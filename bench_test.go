@@ -1,0 +1,278 @@
+package maskedspgemm
+
+// One testing.B benchmark per table/figure of the paper's evaluation.
+// These run the same kernels as cmd/spgemm-bench on a reduced corpus
+// (benchShift halves sizes three times) so `go test -bench=.` finishes
+// in minutes; the binary regenerates the figures at full corpus scale.
+
+import (
+	"fmt"
+	"testing"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/baseline"
+	"maskedspgemm/internal/bench"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/graph"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+const benchShift = 3
+
+var graphCache = map[string]*sparse.CSR[float64]{}
+
+func load(b *testing.B, name string) *sparse.CSR[float64] {
+	b.Helper()
+	if g, ok := graphCache[name]; ok {
+		return g
+	}
+	spec, ok := bench.FindGraph(name)
+	if !ok {
+		b.Fatalf("unknown graph %s", name)
+	}
+	g := spec.Build(benchShift)
+	graphCache[name] = g
+	return g
+}
+
+func runMasked(b *testing.B, a *sparse.CSR[float64], cfg core.Config) {
+	b.Helper()
+	sr := semiring.PlusTimes[float64]{}
+	var nnz int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := core.MaskedSpGEMM[float64](sr, a, a, a, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nnz = c.NNZ()
+	}
+	b.ReportMetric(float64(nnz), "out-nnz")
+}
+
+// BenchmarkTable1Corpus measures corpus generation — the Table I
+// stand-ins — one sub-benchmark per matrix.
+func BenchmarkTable1Corpus(b *testing.B) {
+	for _, spec := range bench.Corpus {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			var nnz int64
+			for i := 0; i < b.N; i++ {
+				nnz = spec.Build(benchShift).NNZ()
+			}
+			b.ReportMetric(float64(nnz), "nnz")
+		})
+	}
+}
+
+// BenchmarkFig1MaskedSpGEMM compares the three implementations of
+// Figure 1 — SuiteSparse-like, GrB-like, tuned — on every corpus graph
+// with hash accumulators.
+func BenchmarkFig1MaskedSpGEMM(b *testing.B) {
+	for _, spec := range bench.Corpus {
+		a := load(b, spec.Name)
+		ssCfg := baseline.SuiteSparseConfig(a, a, a, 0)
+		ssCfg.Accumulator = accum.HashKind
+		impls := []struct {
+			name string
+			cfg  core.Config
+		}{
+			{"SuiteSparseLike", ssCfg},
+			{"GrBLike", baseline.GrBConfig(accum.HashKind, 0)},
+			{"Tuned", core.DefaultConfig()},
+		}
+		for _, impl := range impls {
+			b.Run(spec.Name+"/"+impl.name, func(b *testing.B) {
+				runMasked(b, a, impl.cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11TileSweep sweeps tile count × tiling × scheduling ×
+// accumulator on one road and one social graph — the per-graph series
+// of Figure 11 (the binary runs all nine panels).
+func BenchmarkFig11TileSweep(b *testing.B) {
+	for _, name := range []string{"GAP-road-sim", "com-Orkut-sim"} {
+		a := load(b, name)
+		for _, ts := range []tiling.Strategy{tiling.FlopBalanced, tiling.Uniform} {
+			for _, sp := range []sched.Policy{sched.Dynamic, sched.Static} {
+				for _, ak := range []accum.Kind{accum.DenseKind, accum.HashKind} {
+					for _, tc := range []int{64, 1024, 8192} {
+						label := fmt.Sprintf("%s/%v-%v-%v/tiles=%d", name, ts, sp, ak, tc)
+						cfg := core.Config{
+							Iteration: core.MaskLoad, Kappa: 1,
+							Accumulator: ak, MarkerBits: 32,
+							Tiles: tc, Tiling: ts, Schedule: sp,
+						}
+						b.Run(label, func(b *testing.B) { runMasked(b, a, cfg) })
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig13MarkerWidth sweeps the accumulator marker width
+// (8/16/32/64 bits) for both accumulator families — Figure 13.
+func BenchmarkFig13MarkerWidth(b *testing.B) {
+	for _, name := range []string{"com-LiveJournal-sim", "europe_osm-sim"} {
+		a := load(b, name)
+		for _, ak := range []accum.Kind{accum.DenseKind, accum.HashKind} {
+			for _, bits := range []int{8, 16, 32, 64} {
+				cfg := core.Config{
+					Iteration: core.Hybrid, Kappa: 1,
+					Accumulator: ak, MarkerBits: bits,
+					Tiles: 2048, Tiling: tiling.FlopBalanced, Schedule: sched.Dynamic,
+				}
+				b.Run(fmt.Sprintf("%s/%v/%dbit", name, ak, bits), func(b *testing.B) {
+					runMasked(b, a, cfg)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig14Kappa sweeps the co-iteration factor κ on the paper's
+// four representative matrices, plus the no-co-iteration baseline —
+// Figure 14.
+func BenchmarkFig14Kappa(b *testing.B) {
+	for _, name := range bench.Fig14Graphs {
+		a := load(b, name)
+		for _, kappa := range []float64{0.01, 0.1, 1, 10, 100} {
+			cfg := core.Config{
+				Iteration: core.Hybrid, Kappa: kappa,
+				Accumulator: accum.HashKind, MarkerBits: 32,
+				Tiles: 2048, Tiling: tiling.FlopBalanced, Schedule: sched.Dynamic,
+			}
+			b.Run(fmt.Sprintf("%s/kappa=%g", name, kappa), func(b *testing.B) {
+				runMasked(b, a, cfg)
+			})
+		}
+		base := core.Config{
+			Iteration: core.MaskLoad, Kappa: 1,
+			Accumulator: accum.HashKind, MarkerBits: 32,
+			Tiles: 2048, Tiling: tiling.FlopBalanced, Schedule: sched.Dynamic,
+		}
+		b.Run(name+"/no-coiter", func(b *testing.B) { runMasked(b, a, base) })
+	}
+}
+
+// BenchmarkIterationSpaces is the §III-B ablation: all four iteration
+// spaces on the circuit matrix whose vanilla/mask-load costs diverge
+// most (the circuit5M timeout of the paper).
+func BenchmarkIterationSpaces(b *testing.B) {
+	a := load(b, "circuit5M-sim")
+	for _, it := range []core.IterationSpace{core.Vanilla, core.MaskLoad, core.CoIter, core.Hybrid} {
+		cfg := core.DefaultConfig()
+		cfg.Iteration = it
+		b.Run(it.String(), func(b *testing.B) { runMasked(b, a, cfg) })
+	}
+}
+
+// BenchmarkResetStrategies is the §III-C ablation: marker-based
+// (SuiteSparse-style) vs explicit (GrB-style) accumulator reset.
+func BenchmarkResetStrategies(b *testing.B) {
+	a := load(b, "hollywood-2009-sim")
+	kinds := []accum.Kind{
+		accum.DenseKind, accum.DenseExplicitKind,
+		accum.HashKind, accum.HashExplicitKind,
+	}
+	for _, k := range kinds {
+		cfg := core.DefaultConfig()
+		cfg.Iteration = core.MaskLoad
+		cfg.Accumulator = k
+		b.Run(k.String(), func(b *testing.B) { runMasked(b, a, cfg) })
+	}
+}
+
+// BenchmarkTriangleSemirings is the semiring-specialization ablation:
+// PlusPair avoids reading the value streams.
+func BenchmarkTriangleSemirings(b *testing.B) {
+	a := load(b, "as-Skitter-sim")
+	sym := sparse.Symmetrize(a)
+	cfg := core.DefaultConfig()
+	b.Run("PlusTimes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaskedSpGEMM[float64](semiring.PlusTimes[float64]{}, sym, sym, sym, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PlusPair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaskedSpGEMM[float64](semiring.PlusPair[float64]{}, sym, sym, sym, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFormulations compares the saxpy kernel against the
+// inner-product (dot) formulation and the 2-D tiled extension on the
+// two structural extremes: the railed circuit and a social graph.
+func BenchmarkFormulations(b *testing.B) {
+	sr := semiring.PlusTimes[float64]{}
+	for _, name := range []string{"circuit5M-sim", "hollywood-2009-sim"} {
+		a := load(b, name)
+		bT := sparse.Transpose(a)
+		cfg := core.DefaultConfig()
+		b.Run(name+"/saxpy-hybrid", func(b *testing.B) { runMasked(b, a, cfg) })
+		b.Run(name+"/dot", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MaskedSpGEMMDot[float64](sr, a, a, bT, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/2d-8panels", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MaskedSpGEMM2D[float64](sr, a, a, a, cfg, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/complement", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MaskedSpGEMMComp[float64](sr, a, a, a, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraphAlgorithms measures the end-to-end workloads the kernel
+// serves: triangle counting (all three formulations), one k-truss round,
+// and BFS.
+func BenchmarkGraphAlgorithms(b *testing.B) {
+	a := sparse.Symmetrize(load(b, "com-LiveJournal-sim"))
+	cfg := core.DefaultConfig()
+	for _, m := range []graph.TriangleMethod{graph.Burkhardt, graph.SandiaLL, graph.Cohen} {
+		b.Run("Triangles"+m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.TriangleCount(a, m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("TriangleSupport", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.TriangleSupport(a, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	road := load(b, "GAP-road-sim")
+	b.Run("BFSRoad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.BFS(road, 0, core.Auto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+// Command spgemm-bench regenerates the tables and figures of "To tile or
+// not to tile, that is the question" (IPDPSW 2024) on the synthetic
+// corpus. Each experiment prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|all [flags]
+//
+// Flags:
+//
+//	-shift N     halve graph sizes N times (default 0 = benchmark scale)
+//	-workers N   kernel worker goroutines (default GOMAXPROCS)
+//	-reps N      max timed repetitions per configuration (default 3)
+//	-budget D    per-configuration time budget (default 2s)
+//	-graphs CSV  restrict to named graphs (default all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"maskedspgemm/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	shift := flag.Int("shift", 0, "halve graph sizes this many times")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	reps := flag.Int("reps", 3, "max timed repetitions")
+	budget := flag.Duration("budget", 2*time.Second, "per-config time budget")
+	graphs := flag.String("graphs", "", "comma-separated graph names (default all)")
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	o.Shift = *shift
+	o.Workers = *workers
+	o.Method = bench.Methodology{Warmups: 1, MaxReps: *reps, Budget: *budget}
+	if *graphs != "" {
+		for _, g := range strings.Split(*graphs, ",") {
+			name := strings.TrimSpace(g)
+			if _, ok := bench.FindGraph(name); !ok {
+				fmt.Fprintf(os.Stderr, "unknown graph %q; available: %s\n",
+					name, strings.Join(bench.CorpusNames(), ", "))
+				os.Exit(2)
+			}
+			o.Graphs = append(o.Graphs, name)
+		}
+	}
+
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		fmt.Fprintf(w, "=== %s ===\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+	if want("table1") {
+		run("table1", func() error { return bench.Table1(w, o) })
+		ran = true
+	}
+	if want("fig1") {
+		run("fig1", func() error { return bench.Fig1(w, o) })
+		ran = true
+	}
+	if want("fig10") || want("fig11") {
+		run("fig10+fig11", func() error {
+			rel, err := bench.TileSweep(w, o)
+			if err != nil {
+				return err
+			}
+			bench.Fig10(w, rel)
+			return nil
+		})
+		ran = true
+	}
+	if want("fig13") {
+		run("fig13", func() error { return bench.Fig13(w, o) })
+		ran = true
+	}
+	if want("fig14") {
+		run("fig14", func() error { return bench.Fig14(w, o) })
+		ran = true
+	}
+	if want("tune") {
+		run("tune", func() error { return bench.TuneReport(w, o) })
+		ran = true
+	}
+	if want("ablation") {
+		run("ablation", func() error { return bench.Ablations(w, o) })
+		ran = true
+	}
+	if want("predict") {
+		run("predict", func() error { return bench.PredictReport(w, o) })
+		ran = true
+	}
+	if want("model") {
+		run("model", func() error { return bench.ModelValidation(w, o) })
+		ran = true
+	}
+	if want("sortcost") {
+		run("sortcost", func() error { return bench.SortCost(w, o) })
+		ran = true
+	}
+	if want("formulations") {
+		run("formulations", func() error { return bench.Formulations(w, o) })
+		ran = true
+	}
+	if want("scaling") {
+		run("scaling", func() error { return bench.Scaling(w, o) })
+		ran = true
+	}
+	if want("counters") {
+		run("counters", func() error { return bench.CountersReport(w, o) })
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,10 @@
+// Package maskedspgemm reproduces "To tile or not to tile, that is the
+// question" (Haan, Popovici, Sen, Iancu, Cheung; IPDPSW 2024): a
+// performance study of the masked sparse matrix-matrix multiplication
+// kernel C = M ⊙ (A × B) along three design dimensions — tiling and
+// scheduling, iteration space, and sparse accumulator design.
+//
+// The public API lives in maskedspgemm/spgemm. The benchmark functions
+// in this package regenerate the paper's tables and figures; see
+// bench_test.go, cmd/spgemm-bench, DESIGN.md and EXPERIMENTS.md.
+package maskedspgemm

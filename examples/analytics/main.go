@@ -1,0 +1,155 @@
+// Full graph-analytics pipeline on one social network: every workload
+// family the paper's introduction motivates for the masked-SpGEMM
+// kernel, run back to back through the public API — triangle counting,
+// k-truss, k-core, connected components, BFS, betweenness centrality
+// (vector and batched), shortest paths, and PageRank.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"maskedspgemm/spgemm"
+)
+
+func main() {
+	a := spgemm.RandomGraph("rmat", 1<<12, 4242)
+	s := a.Stats()
+	fmt.Printf("R-MAT social network: n=%d edges=%d max-deg=%d avg=%.1f\n\n",
+		s.Rows, s.NNZ/2, s.MaxRowNNZ, s.AvgRowNNZ)
+
+	step := func(name string, f func() string) {
+		start := time.Now()
+		out := f()
+		fmt.Printf("%-28s %-40s %10s\n", name, out, time.Since(start).Round(time.Microsecond))
+	}
+
+	opts := spgemm.Defaults()
+
+	step("triangles", func() string {
+		n, err := spgemm.TriangleCount(a, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmt.Sprintf("%d", n)
+	})
+
+	step("trussness", func() string {
+		k := 3
+		for {
+			truss, _, err := spgemm.KTruss(a, k, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if truss.NNZ() == 0 {
+				return fmt.Sprintf("max k-truss: %d", k-1)
+			}
+			k++
+		}
+	})
+
+	step("degeneracy (k-core)", func() string {
+		_, maxCore, err := spgemm.KCore(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmt.Sprintf("%d", maxCore)
+	})
+
+	step("connected components", func() string {
+		_, comps, err := spgemm.ConnectedComponents(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmt.Sprintf("%d", comps)
+	})
+
+	step("BFS eccentricity(0)", func() string {
+		levels, err := spgemm.BFS(a, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var maxL int32
+		reached := 0
+		for _, l := range levels {
+			if l > maxL {
+				maxL = l
+			}
+			if l >= 0 {
+				reached++
+			}
+		}
+		return fmt.Sprintf("%d (reached %d)", maxL, reached)
+	})
+
+	step("shortest paths from 0", func() string {
+		dist, err := spgemm.ShortestPaths(a, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		far, reach := 0.0, 0
+		for _, d := range dist {
+			if !math.IsInf(d, 1) {
+				reach++
+				if d > far {
+					far = d
+				}
+			}
+		}
+		return fmt.Sprintf("max finite dist %.0f over %d", far, reach)
+	})
+
+	sources := []int{0, 100, 500, 1000, 2000}
+	var bcVec []float64
+	step("betweenness (vector)", func() string {
+		var err error
+		bcVec, err = spgemm.BetweennessCentrality(a, sources)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmt.Sprintf("top=%0.1f", maxOf(bcVec))
+	})
+
+	step("betweenness (batched)", func() string {
+		bcBatch, err := spgemm.BetweennessCentralityBatch(a, sources, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for v := range bcBatch {
+			if math.Abs(bcBatch[v]-bcVec[v]) > 1e-6 {
+				log.Fatalf("batched BC disagrees at %d: %v vs %v", v, bcBatch[v], bcVec[v])
+			}
+		}
+		return "matches vector variant"
+	})
+
+	step("pagerank top-3", func() string {
+		ranks, err := spgemm.PageRank(a, 0.85, 1e-9, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		type vr struct {
+			v int
+			r float64
+		}
+		top := make([]vr, 0, len(ranks))
+		for v, r := range ranks {
+			top = append(top, vr{v, r})
+		}
+		sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+		return fmt.Sprintf("v%d v%d v%d", top[0].v, top[1].v, top[2].v)
+	})
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,91 @@
+package accum
+
+import (
+	"fmt"
+	"testing"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// benchRow builds a deterministic mask row and update stream shaped
+// like a masked-SpGEMM row: maskLen allowed columns out of n, updates
+// candidate updates of which roughly half hit the mask.
+func benchRow(n, maskLen, updates int) (mask []sparse.Index, stream []sparse.Index) {
+	mask = make([]sparse.Index, maskLen)
+	stride := n / maskLen
+	for i := range mask {
+		mask[i] = sparse.Index(i * stride)
+	}
+	stream = make([]sparse.Index, updates)
+	for i := range stream {
+		if i%2 == 0 {
+			stream[i] = mask[i%maskLen] // hit
+		} else {
+			stream[i] = sparse.Index((i*stride + stride/2) % n) // miss
+		}
+	}
+	return mask, stream
+}
+
+// BenchmarkAccumulatorRow measures the full per-row protocol
+// (reset, mask load, masked updates, gather) for every accumulator
+// configuration — the §III-C micro-comparison.
+func BenchmarkAccumulatorRow(b *testing.B) {
+	const n, maskLen, updates = 1 << 16, 64, 512
+	mask, stream := benchRow(n, maskLen, updates)
+	sr := semiring.PlusTimes[float64]{}
+	cases := []struct {
+		name string
+		acc  Accumulator[float64]
+	}{
+		{"Dense8", NewDense[float64, semiring.PlusTimes[float64], uint8](sr, n)},
+		{"Dense16", NewDense[float64, semiring.PlusTimes[float64], uint16](sr, n)},
+		{"Dense32", NewDense[float64, semiring.PlusTimes[float64], uint32](sr, n)},
+		{"Dense64", NewDense[float64, semiring.PlusTimes[float64], uint64](sr, n)},
+		{"Hash32", NewHash[float64, semiring.PlusTimes[float64], uint32](sr, maskLen)},
+		{"DenseExplicit", NewDenseExplicit[float64, semiring.PlusTimes[float64]](sr, n)},
+		{"HashExplicit", NewHashExplicit[float64, semiring.PlusTimes[float64]](sr, int64(maskLen))},
+	}
+	var cols []sparse.Index
+	var vals []float64
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.acc.BeginRow()
+				c.acc.LoadMask(mask)
+				for _, j := range stream {
+					c.acc.UpdateMasked(j, 1)
+				}
+				cols, vals = c.acc.Gather(mask, cols[:0], vals[:0])
+			}
+			b.ReportMetric(float64(len(cols)), "row-nnz")
+			_ = vals
+		})
+	}
+}
+
+// BenchmarkAccumulatorReset isolates the reset cost: marker-based reset
+// is O(1) per row until the marker wraps; explicit reset walks the
+// touched slots every row.
+func BenchmarkAccumulatorReset(b *testing.B) {
+	const n, maskLen = 1 << 18, 128
+	mask, _ := benchRow(n, maskLen, 1)
+	sr := semiring.PlusTimes[float64]{}
+	for _, bits := range []int{8, 32} {
+		b.Run(fmt.Sprintf("DenseMarker%d", bits), func(b *testing.B) {
+			acc := New[float64](DenseKind, sr, n, maskLen, bits)
+			for i := 0; i < b.N; i++ {
+				acc.BeginRow()
+				acc.LoadMask(mask)
+			}
+		})
+	}
+	b.Run("DenseExplicit", func(b *testing.B) {
+		acc := New[float64](DenseExplicitKind, sr, n, maskLen, 64)
+		for i := 0; i < b.N; i++ {
+			acc.BeginRow()
+			acc.LoadMask(mask)
+		}
+	})
+}

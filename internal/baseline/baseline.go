@@ -1,0 +1,103 @@
+// Package baseline re-implements the two systems the paper compares
+// against, characterized by the design choices the paper attributes to
+// them rather than by their code:
+//
+//   - GrB (Milaković et al., §II-C): p FLOP-balanced tiles — one per
+//     thread — static assignment, the mask-load iteration space, and
+//     explicit per-row accumulator reset. The tiling/parallelization
+//     scheme is fixed; only the accumulator family is selectable.
+//   - SuiteSparse:GraphBLAS (§II-B, §III): T = 2p FLOP-balanced tiles
+//     with dynamic scheduling, the hybrid push-pull iteration space, a
+//     64-bit marker for implicit reset, and a heuristic choice between
+//     the dense and hash accumulators hidden from the caller.
+//
+// Both run on the same core kernel, so measured differences are due to
+// the design choices themselves — the point of the study.
+package baseline
+
+import (
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// GrBConfig returns the fixed GrB configuration for p workers with the
+// requested accumulator family (DenseKind or HashKind; GrB's explicit
+// reset is applied automatically).
+func GrBConfig(kind accum.Kind, workers int) core.Config {
+	p := sched.Workers(workers)
+	explicit := accum.HashExplicitKind
+	if kind == accum.DenseKind || kind == accum.DenseExplicitKind {
+		explicit = accum.DenseExplicitKind
+	}
+	return core.Config{
+		Iteration:   core.MaskLoad,
+		Accumulator: explicit,
+		MarkerBits:  64, // unused by explicit kinds; kept valid
+		Tiles:       p,
+		Tiling:      tiling.FlopBalanced,
+		Schedule:    sched.Static,
+		Workers:     p,
+	}
+}
+
+// GrBLike computes the masked SpGEMM the way the GrB library does.
+func GrBLike[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSR[T], kind accum.Kind, workers int,
+) (*sparse.CSR[T], error) {
+	return core.MaskedSpGEMM(sr, m, a, b, GrBConfig(kind, workers))
+}
+
+// SuiteSparseConfig returns the heuristic-driven configuration that
+// mimics SuiteSparse:GraphBLAS for the given operands: 2p balanced tiles
+// with dynamic scheduling, hybrid iteration with κ = 1, 64-bit markers,
+// and the accumulator family chosen by ChooseAccumulator.
+func SuiteSparseConfig[T sparse.Number](m, a, b *sparse.CSR[T], workers int) core.Config {
+	p := sched.Workers(workers)
+	return core.Config{
+		Iteration:   core.Hybrid,
+		Kappa:       1,
+		Accumulator: ChooseAccumulator(m, b),
+		MarkerBits:  64,
+		Tiles:       2 * p,
+		Tiling:      tiling.FlopBalanced,
+		Schedule:    sched.Dynamic,
+		Workers:     p,
+	}
+}
+
+// denseColsThreshold approximates "the dense accumulator fits in cache":
+// below this column count a size-n state vector has enough locality that
+// SuiteSparse-style heuristics prefer it (paper §III-C: "dense may be
+// preferred when the dimension of the matrix is small").
+const denseColsThreshold = 1 << 16
+
+// ChooseAccumulator applies the §III-C guidance: dense when the
+// dimension is small or the writes have significant spatial locality
+// (dense mask rows), hash when the dimension is large and rows sparse.
+func ChooseAccumulator[T sparse.Number](m, b *sparse.CSR[T]) accum.Kind {
+	if b.Cols <= denseColsThreshold {
+		return accum.DenseKind
+	}
+	// Spatial locality proxy: a mask dense enough that an average row
+	// touches a sizable fraction of the state vector writes with
+	// locality, so the dense accumulator stays cache-resident.
+	if m.Rows > 0 {
+		avg := float64(m.NNZ()) / float64(m.Rows)
+		if avg > float64(b.Cols)/64 {
+			return accum.DenseKind
+		}
+	}
+	return accum.HashKind
+}
+
+// SuiteSparseLike computes the masked SpGEMM the way
+// SuiteSparse:GraphBLAS's heuristics would.
+func SuiteSparseLike[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSR[T], workers int,
+) (*sparse.CSR[T], error) {
+	return core.MaskedSpGEMM(sr, m, a, b, SuiteSparseConfig(m, a, b, workers))
+}

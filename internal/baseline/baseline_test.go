@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/graphgen"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+func TestBaselinesMatchTunedKernel(t *testing.T) {
+	a := graphgen.ErdosRenyi(200, 1500, 5)
+	sr := semiring.PlusTimes[float64]{}
+	want, err := core.MaskedSpGEMM[float64](sr, a, a, a, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGrB, err := GrBLike[float64](sr, a, a, a, accum.HashKind, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(want, gotGrB) {
+		t.Error("GrBLike result differs")
+	}
+	gotGrBD, err := GrBLike[float64](sr, a, a, a, accum.DenseKind, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(want, gotGrBD) {
+		t.Error("GrBLike dense result differs")
+	}
+	gotSS, err := SuiteSparseLike[float64](sr, a, a, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(want, gotSS) {
+		t.Error("SuiteSparseLike result differs")
+	}
+}
+
+func TestGrBConfigShape(t *testing.T) {
+	cfg := GrBConfig(accum.HashKind, 4)
+	if cfg.Tiles != 4 || cfg.Schedule != sched.Static || cfg.Tiling != tiling.FlopBalanced {
+		t.Errorf("GrB config wrong: %v", cfg)
+	}
+	if cfg.Iteration != core.MaskLoad {
+		t.Error("GrB must use the mask-load iteration space")
+	}
+	if cfg.Accumulator != accum.HashExplicitKind {
+		t.Error("GrB must use explicit reset")
+	}
+	if GrBConfig(accum.DenseKind, 2).Accumulator != accum.DenseExplicitKind {
+		t.Error("GrB dense must map to DenseExplicit")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuiteSparseConfigShape(t *testing.T) {
+	a := graphgen.ErdosRenyi(100, 400, 1)
+	cfg := SuiteSparseConfig(a, a, a, 4)
+	if cfg.Tiles != 8 {
+		t.Errorf("SS must use 2p tiles, got %d for p=4", cfg.Tiles)
+	}
+	if cfg.Schedule != sched.Dynamic || cfg.Iteration != core.Hybrid || cfg.MarkerBits != 64 {
+		t.Errorf("SS config wrong: %v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChooseAccumulatorHeuristic(t *testing.T) {
+	small := graphgen.ErdosRenyi(500, 2000, 2)
+	if ChooseAccumulator(small, small) != accum.DenseKind {
+		t.Error("small dimension should choose dense")
+	}
+	// Large dimension with sparse rows: hash.
+	big := sparse.NewCSR[float64](1<<17, 1<<17, 0)
+	coo := sparse.NewCOO[float64](1<<17, 1<<17, 4)
+	coo.Add(0, 1, 1)
+	coo.Add(5000, 70000, 1)
+	big = coo.ToCSR()
+	if ChooseAccumulator(big, big) != accum.HashKind {
+		t.Error("large sparse should choose hash")
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/tiling"
+)
+
+// Ablations measures the secondary design choices DESIGN.md §5 calls
+// out, each against the paper's recommended configuration:
+//
+//   - marker-based vs explicit accumulator reset (SS:GB vs GrB, §III-C),
+//   - PlusPair vs PlusTimes semirings for triangle counting,
+//   - the vanilla (post-hoc mask) space vs the fused spaces,
+//   - accumulator sizing: mask bound (ours) vs flop bound (GrB/SS:GB),
+//     shown indirectly through the hash accumulator's growth counters.
+func Ablations(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Ablations (ms); recommended config = 2048 balanced tiles, dynamic, hybrid κ=1")
+	fmt.Fprintf(w, "%-22s %12s %12s %12s %12s %12s\n",
+		"Graph", "marker", "explicit", "PlusTimes", "PlusPair", "vanilla")
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		base := core.Config{
+			Iteration: core.Hybrid, Kappa: 1,
+			Accumulator: accum.HashKind, MarkerBits: 32,
+			Tiles: 2048, Tiling: tiling.FlopBalanced,
+			Schedule: sched.Dynamic, Workers: o.Workers,
+		}
+
+		marker, err := TimeMasked(a, base, o.Method)
+		if err != nil {
+			return err
+		}
+		expl := base
+		expl.Accumulator = accum.HashExplicitKind
+		explicit, err := TimeMasked(a, expl, o.Method)
+		if err != nil {
+			return err
+		}
+
+		pair, err := TimeFn(func() (int64, error) {
+			c, err := core.MaskedSpGEMM[float64](semiring.PlusPair[float64]{}, a, a, a, base)
+			if err != nil {
+				return 0, err
+			}
+			return c.NNZ(), nil
+		}, o.Method)
+		if err != nil {
+			return err
+		}
+
+		van := base
+		van.Iteration = core.Vanilla
+		vanilla, err := TimeMasked(a, van, vanillaMethod(o.Method))
+		if err != nil {
+			return err
+		}
+
+		fmt.Fprintf(w, "%-22s %12.2f %12.2f %12.2f %12.2f %12.2f\n",
+			g.Name, marker.Millis, explicit.Millis, marker.Millis, pair.Millis,
+			vanilla.Millis)
+	}
+	return nil
+}
+
+// vanillaMethod trims repetitions for the deliberately wasteful vanilla
+// space, which can be orders of magnitude slower (the circuit5M effect).
+func vanillaMethod(m Methodology) Methodology {
+	m.Warmups = 0
+	m.MaxReps = 1
+	return m
+}

@@ -1,0 +1,44 @@
+package bench
+
+import "strings"
+
+// sparkBlocks are the eight block glyphs used to render a series as a
+// one-line sparkline in terminal output — enough to see each figure's
+// shape (the co-iteration cliff, the high-tile-count ramp) without
+// leaving the console.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values scaled to the series' own min..max. A flat
+// series renders as mid-height blocks; an empty series as "".
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	if hi == lo {
+		for range values {
+			b.WriteRune(sparkBlocks[len(sparkBlocks)/2])
+		}
+		return b.String()
+	}
+	for _, v := range values {
+		idx := int((v - lo) / (hi - lo) * float64(len(sparkBlocks)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkBlocks) {
+			idx = len(sparkBlocks) - 1
+		}
+		b.WriteRune(sparkBlocks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§IV): the corpus of Table I
+// stand-ins, the timing methodology, the tiling/scheduling sweep
+// (Figs. 10–11), the co-iteration factor sweep (Fig. 14), the
+// accumulator-width sweep (Fig. 13), the three-implementation comparison
+// (Fig. 1), and the staged tuning flow (Fig. 12).
+package bench
+
+import (
+	"sort"
+
+	"maskedspgemm/internal/graphgen"
+	"maskedspgemm/internal/sparse"
+)
+
+// GraphSpec describes one synthetic stand-in for a Table I matrix.
+type GraphSpec struct {
+	// Name is the stand-in's identifier (paper matrix + "-sim").
+	Name string
+	// Kind is the paper's classification: W(eb), S(ocial), R(oad),
+	// C(ircuit).
+	Kind string
+	// PaperN and PaperNNZ are the original matrix's dimensions from
+	// Table I, for side-by-side reporting.
+	PaperN, PaperNNZ int64
+	// Build generates the graph. shift reduces the size: each unit of
+	// shift roughly halves the vertex count (shift 0 = benchmark scale,
+	// used by cmd/spgemm-bench; tests pass larger shifts).
+	Build func(shift int) *sparse.CSR[float64]
+}
+
+func half(n, shift int) int {
+	for ; shift > 0; shift-- {
+		n /= 2
+	}
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// Corpus mirrors the paper's Table I with one deterministic generator
+// per matrix, matching each original's structural family and relative
+// density. Sizes are chosen so a full sweep finishes on a laptop-class
+// host; EXPERIMENTS.md records the correspondence.
+var Corpus = []GraphSpec{
+	{
+		Name: "arabic-2005-sim", Kind: "W", PaperN: 22744080, PaperNNZ: 639999458,
+		Build: func(s int) *sparse.CSR[float64] {
+			return graphgen.WebGraph(half(40000, s), 14, 0.6, 0xA2AB1C)
+		},
+	},
+	{
+		Name: "as-Skitter-sim", Kind: "W", PaperN: 1696415, PaperNNZ: 22190596,
+		Build: func(s int) *sparse.CSR[float64] {
+			return sparse.Symmetrize(graphgen.WebGraph(half(24000, s), 10, 0.45, 0x5517))
+		},
+	},
+	{
+		Name: "circuit5M-sim", Kind: "C", PaperN: 5558326, PaperNNZ: 59524291,
+		Build: func(s int) *sparse.CSR[float64] {
+			// Dense power/clock rails (degree n/8) on a thin band: the
+			// structure that makes linear-scan masking time out in the
+			// paper until co-iteration rescues it (Fig. 14d).
+			n := half(30000, s)
+			return graphgen.Circuit(n, 3, 0.6, 4, n/8, 0xC1AC)
+		},
+	},
+	{
+		Name: "com-LiveJournal-sim", Kind: "S", PaperN: 3997962, PaperNNZ: 69362378,
+		Build: func(s int) *sparse.CSR[float64] {
+			return graphgen.RMAT(14-min(s, 8), 9, 0.57, 0.19, 0.19, 0x117E)
+		},
+	},
+	{
+		Name: "com-Orkut-sim", Kind: "S", PaperN: 3072441, PaperNNZ: 234370166,
+		Build: func(s int) *sparse.CSR[float64] {
+			return graphgen.RMAT(13-min(s, 7), 20, 0.57, 0.19, 0.19, 0x0870)
+		},
+	},
+	{
+		Name: "europe_osm-sim", Kind: "R", PaperN: 50912018, PaperNNZ: 108109320,
+		Build: func(s int) *sparse.CSR[float64] {
+			return graphgen.RoadNetwork(half(320, s/2+s%2), half(250, s/2), 0.93, 0xE05)
+		},
+	},
+	{
+		Name: "GAP-road-sim", Kind: "R", PaperN: 23947347, PaperNNZ: 57708624,
+		Build: func(s int) *sparse.CSR[float64] {
+			return graphgen.RoadNetwork(half(230, s/2+s%2), half(200, s/2), 0.95, 0x6A9)
+		},
+	},
+	{
+		Name: "hollywood-2009-sim", Kind: "S", PaperN: 1139905, PaperNNZ: 113891327,
+		Build: func(s int) *sparse.CSR[float64] {
+			return graphgen.RMAT(12-min(s, 6), 36, 0.55, 0.2, 0.2, 0x0111)
+		},
+	},
+	{
+		Name: "stokes-sim", Kind: "C", PaperN: 11449533, PaperNNZ: 349321980,
+		Build: func(s int) *sparse.CSR[float64] {
+			n := half(26000, s)
+			return graphgen.Circuit(n, 9, 0.85, 2, n/60, 0x570E5)
+		},
+	},
+	{
+		Name: "uk-2002-sim", Kind: "W", PaperN: 18520486, PaperNNZ: 298113762,
+		Build: func(s int) *sparse.CSR[float64] {
+			return graphgen.WebGraph(half(32000, s), 13, 0.55, 0x2002)
+		},
+	},
+}
+
+// FindGraph returns the corpus entry with the given name.
+func FindGraph(name string) (GraphSpec, bool) {
+	for _, g := range Corpus {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GraphSpec{}, false
+}
+
+// CorpusNames returns the graph names in corpus order.
+func CorpusNames() []string {
+	names := make([]string, len(Corpus))
+	for i, g := range Corpus {
+		names[i] = g.Name
+	}
+	return names
+}
+
+// Fig14Graphs are the four representative matrices of the paper's κ
+// sweep: a road network, two social networks, and the circuit matrix
+// whose no-co-iteration baseline times out.
+var Fig14Graphs = []string{
+	"GAP-road-sim", "hollywood-2009-sim", "com-Orkut-sim", "circuit5M-sim",
+}
+
+// SortedCopy returns names sorted alphabetically (plot order in Fig. 1).
+func SortedCopy(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

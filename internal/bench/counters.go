@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/semiring"
+)
+
+// CountersReport runs the instrumented kernel on the corpus and prints
+// actual accumulator traffic next to the symbolic model: updates
+// attempted (vs Eq. 2's flop term), the share the mask rejected (the
+// §III-B waste the co-iteration spaces exist to avoid), and the hybrid
+// space's realized saving vs the linear scan.
+func CountersReport(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Instrumented kernel counters: actual work vs the Eq. 2/3 model")
+	fmt.Fprintf(w, "%-22s %12s %12s %9s %12s %9s\n",
+		"Graph", "model-flops", "lin-updates", "rejected", "hyb-updates", "saving")
+	sr := semiring.PlusTimes[float64]{}
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		p, err := core.ProfileMasked(a, a, a, 1)
+		if err != nil {
+			return err
+		}
+		linCfg := tunedConfig(o.Workers)
+		linCfg.Iteration = core.MaskLoad
+		_, lin, err := core.MaskedSpGEMMInstrumented[float64](sr, a, a, a, linCfg)
+		if err != nil {
+			return err
+		}
+		_, hyb, err := core.MaskedSpGEMMInstrumented[float64](sr, a, a, a, tunedConfig(o.Workers))
+		if err != nil {
+			return err
+		}
+		if lin.Updates != p.Flops {
+			return fmt.Errorf("%s: linear updates %d != modeled flops %d — model broken",
+				g.Name, lin.Updates, p.Flops)
+		}
+		rejPct := 0.0
+		if lin.Updates > 0 {
+			rejPct = 100 * float64(lin.Rejected) / float64(lin.Updates)
+		}
+		saving := 1.0
+		if hyb.Updates > 0 {
+			saving = float64(lin.Updates) / float64(hyb.Updates)
+		}
+		fmt.Fprintf(w, "%-22s %12d %12d %8.1f%% %12d %8.2fx\n",
+			g.Name, p.Flops, lin.Updates, rejPct, hyb.Updates, saving)
+	}
+	return nil
+}

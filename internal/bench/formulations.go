@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// Formulations compares the masked-SpGEMM formulations beyond row-wise
+// saxpy on the corpus benchmark C = A ⊙ (A×A):
+//
+//   - saxpy/MaskLoad: the paper's Fig. 5 linear scan,
+//   - saxpy/Hybrid:   the paper's Fig. 9 push-pull (κ=1),
+//   - dot:            the inner-product formulation that iterates mask
+//     entries directly (related-work direction),
+//   - 2-D tiles:      the panel-major extension of §V-A (8 k-panels).
+//
+// All four must agree on the output; the table reports runtimes.
+func Formulations(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Kernel formulations (ms) on C = A ⊙ (A×A); 2048 balanced tiles, dynamic")
+	fmt.Fprintf(w, "%-22s %12s %12s %12s %12s\n",
+		"Graph", "saxpy-load", "saxpy-hyb", "dot", "2D(8 panels)")
+	sr := semiring.PlusTimes[float64]{}
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		// The dot formulation needs Bᵀ; for web graphs (directed) that is
+		// a real transpose, for the symmetric families it equals A.
+		bT := sparse.Transpose(a)
+
+		loadCfg := tunedConfig(o.Workers)
+		loadCfg.Iteration = core.MaskLoad
+		load, err := TimeMasked(a, loadCfg, o.Method)
+		if err != nil {
+			return err
+		}
+		hyb, err := TimeMasked(a, tunedConfig(o.Workers), o.Method)
+		if err != nil {
+			return err
+		}
+		dotCfg := tunedConfig(o.Workers)
+		dot, err := TimeFn(func() (int64, error) {
+			c, err := core.MaskedSpGEMMDot[float64](sr, a, a, bT, dotCfg)
+			if err != nil {
+				return 0, err
+			}
+			return c.NNZ(), nil
+		}, o.Method)
+		if err != nil {
+			return err
+		}
+		twoD, err := TimeFn(func() (int64, error) {
+			c, err := core.MaskedSpGEMM2D[float64](sr, a, a, a, dotCfg, 8)
+			if err != nil {
+				return 0, err
+			}
+			return c.NNZ(), nil
+		}, o.Method)
+		if err != nil {
+			return err
+		}
+		if load.OutputNNZ != dot.OutputNNZ || load.OutputNNZ != twoD.OutputNNZ {
+			return fmt.Errorf("%s: formulations disagree on output nnz (%d/%d/%d)",
+				g.Name, load.OutputNNZ, dot.OutputNNZ, twoD.OutputNNZ)
+		}
+		fmt.Fprintf(w, "%-22s %12.2f %12.2f %12.2f %12.2f\n",
+			g.Name, load.Millis, hyb.Millis, dot.Millis, twoD.Millis)
+	}
+	return nil
+}

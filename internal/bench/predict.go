@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/model"
+)
+
+// PredictReport evaluates the execution-time configuration model (the
+// paper's conclusion future-work item, implemented in internal/model)
+// against the default configuration and the per-(i,k) cost model's own
+// predictions: for each corpus graph it prints the extracted features,
+// the predicted configuration, and measured runtimes of default vs
+// predicted.
+func PredictReport(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Model-based tuning: features -> predicted config vs paper default")
+	fmt.Fprintf(w, "%-22s %10s %8s %10s | %-26s %12s %12s\n",
+		"Graph", "flops/pos", "skew", "coit-pred", "predicted-config", "default-ms", "predicted-ms")
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		cfg, f, err := model.PredictConfig(a, a, a, o.Workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.Name, err)
+		}
+		def, err := TimeMasked(a, tunedConfig(o.Workers), o.Method)
+		if err != nil {
+			return fmt.Errorf("%s default: %w", g.Name, err)
+		}
+		pred, err := TimeMasked(a, cfg, o.Method)
+		if err != nil {
+			return fmt.Errorf("%s predicted: %w", g.Name, err)
+		}
+		if def.OutputNNZ != pred.OutputNNZ {
+			return fmt.Errorf("%s: predicted config changed the result", g.Name)
+		}
+		short := fmt.Sprintf("%v/%v t=%d", cfg.Iteration, cfg.Accumulator, cfg.Tiles)
+		fmt.Fprintf(w, "%-22s %10.1f %8.1f %9.2fx | %-26s %12.2f %12.2f\n",
+			g.Name, f.AvgFlopsPerUpdatePos, f.DegreeSkew, f.CoIterSpeedup,
+			short, def.Millis, pred.Millis)
+	}
+	return nil
+}
+
+// ModelValidation prints the Eq. 2 / Eq. 3 cost-model quantities per
+// graph (the symbolic profile) next to measured hybrid vs mask-load
+// runtimes, quantifying how well the model's predicted co-iteration
+// speedup tracks reality — the paper's §V-B claim that "the estimate
+// from Equation 3 is accurate relative to the linear estimate from
+// Equation 2".
+func ModelValidation(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Cost-model validation: predicted co-iteration speedup vs measured (κ=1)")
+	fmt.Fprintf(w, "%-22s %12s %12s %10s | %12s %12s %10s\n",
+		"Graph", "flops", "hybrid-cost", "predicted", "maskload-ms", "hybrid-ms", "measured")
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		p, err := core.ProfileMasked(a, a, a, 1)
+		if err != nil {
+			return err
+		}
+		linCfg := tunedConfig(o.Workers)
+		linCfg.Iteration = core.MaskLoad
+		lin, err := TimeMasked(a, linCfg, o.Method)
+		if err != nil {
+			return err
+		}
+		hybCfg := tunedConfig(o.Workers)
+		hyb, err := TimeMasked(a, hybCfg, o.Method)
+		if err != nil {
+			return err
+		}
+		measured := lin.Millis / hyb.Millis
+		fmt.Fprintf(w, "%-22s %12d %12d %9.2fx | %12.2f %12.2f %9.2fx\n",
+			g.Name, p.Flops, p.HybridCost, p.PredictedCoIterSpeedup(),
+			lin.Millis, hyb.Millis, measured)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package bench
+
+import "sort"
+
+// RelativeTable implements the methodology of the paper's Figs. 10 and
+// 13: "for each matrix, each configuration is compared to the lowest
+// runtime for that matrix; the percentage corresponds to how often each
+// configuration was within 10% of the best configuration, across all
+// matrices."
+type RelativeTable struct {
+	// times[config][graph] = milliseconds
+	times map[string]map[string]float64
+}
+
+// NewRelativeTable returns an empty table.
+func NewRelativeTable() *RelativeTable {
+	return &RelativeTable{times: map[string]map[string]float64{}}
+}
+
+// Add records one measurement.
+func (r *RelativeTable) Add(config, graph string, millis float64) {
+	m, ok := r.times[config]
+	if !ok {
+		m = map[string]float64{}
+		r.times[config] = m
+	}
+	m[graph] = millis
+}
+
+// bestPerGraph returns the minimum time over all configs for each graph.
+func (r *RelativeTable) bestPerGraph() map[string]float64 {
+	best := map[string]float64{}
+	for _, graphs := range r.times {
+		for g, ms := range graphs {
+			if b, ok := best[g]; !ok || ms < b {
+				best[g] = ms
+			}
+		}
+	}
+	return best
+}
+
+// WithinPercent returns, for every config, the percentage of graphs on
+// which that config's time is within tol (e.g. 0.10) of the per-graph
+// best. Graphs a config was not measured on count against it.
+func (r *RelativeTable) WithinPercent(tol float64) map[string]float64 {
+	best := r.bestPerGraph()
+	if len(best) == 0 {
+		return map[string]float64{}
+	}
+	out := map[string]float64{}
+	for cfg, graphs := range r.times {
+		hits := 0
+		for g, b := range best {
+			if ms, ok := graphs[g]; ok && ms <= b*(1+tol) {
+				hits++
+			}
+		}
+		out[cfg] = 100 * float64(hits) / float64(len(best))
+	}
+	return out
+}
+
+// WithinPercentGrouped is WithinPercent with the per-graph best taken
+// within groups: groupOf maps each config label to its group (e.g. its
+// accumulator family), and each config is compared against the best
+// config of the same group on that graph. This matches the paper's
+// Figs. 10 and 13 methodology, where configurations are "split by
+// accumulator" before the within-10% comparison.
+func (r *RelativeTable) WithinPercentGrouped(groupOf func(string) string, tol float64) map[string]float64 {
+	// best[group][graph] = min ms
+	best := map[string]map[string]float64{}
+	graphs := map[string]bool{}
+	for cfg, times := range r.times {
+		grp := groupOf(cfg)
+		m, ok := best[grp]
+		if !ok {
+			m = map[string]float64{}
+			best[grp] = m
+		}
+		for g, ms := range times {
+			graphs[g] = true
+			if b, ok := m[g]; !ok || ms < b {
+				m[g] = ms
+			}
+		}
+	}
+	if len(graphs) == 0 {
+		return map[string]float64{}
+	}
+	out := map[string]float64{}
+	for cfg, times := range r.times {
+		grp := groupOf(cfg)
+		hits := 0
+		for g := range graphs {
+			b, hasBest := best[grp][g]
+			if ms, ok := times[g]; ok && hasBest && ms <= b*(1+tol) {
+				hits++
+			}
+		}
+		out[cfg] = 100 * float64(hits) / float64(len(graphs))
+	}
+	return out
+}
+
+// Configs returns the config labels in sorted order.
+func (r *RelativeTable) Configs() []string {
+	var out []string
+	for cfg := range r.times {
+		out = append(out, cfg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Time returns the recorded time for (config, graph), if any.
+func (r *RelativeTable) Time(config, graph string) (float64, bool) {
+	ms, ok := r.times[config][graph]
+	return ms, ok
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"time"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// Methodology controls how a kernel is timed. The paper runs one
+// warm-up, then repeats for 5 seconds or 10000 iterations, whichever
+// comes first (§IV-A); the defaults here shrink that budget to suit a
+// laptop while keeping the shape: warm-up, repeat until either the time
+// budget or the repetition cap is hit, report the minimum.
+type Methodology struct {
+	// Warmups is the number of untimed runs before measurement.
+	Warmups int
+	// MaxReps caps the number of timed repetitions.
+	MaxReps int
+	// Budget caps the total measurement time.
+	Budget time.Duration
+}
+
+// DefaultMethodology measures with 1 warm-up, up to 5 reps, 2 s budget.
+func DefaultMethodology() Methodology {
+	return Methodology{Warmups: 1, MaxReps: 5, Budget: 2 * time.Second}
+}
+
+// QuickMethodology is a single warm-up-free measurement for smoke runs.
+func QuickMethodology() Methodology {
+	return Methodology{Warmups: 0, MaxReps: 1, Budget: time.Hour}
+}
+
+// Measurement is one timed kernel execution summary.
+type Measurement struct {
+	// Millis is the minimum observed wall time in milliseconds.
+	Millis float64
+	// Reps is how many timed repetitions were taken.
+	Reps int
+	// OutputNNZ is the result size, kept as a cross-run checksum.
+	OutputNNZ int64
+}
+
+// TimeMasked measures C = A ⊙ (A×A) — the paper's benchmark kernel
+// (§IV-A: M and B are identical to A) — under the given configuration.
+func TimeMasked(a *sparse.CSR[float64], cfg core.Config, m Methodology) (Measurement, error) {
+	sr := semiring.PlusTimes[float64]{}
+	run := func() (int64, error) {
+		c, err := core.MaskedSpGEMM[float64](sr, a, a, a, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return c.NNZ(), nil
+	}
+	return measure(run, m)
+}
+
+// TimeFn measures an arbitrary kernel closure returning a checksum.
+func TimeFn(run func() (int64, error), m Methodology) (Measurement, error) {
+	return measure(run, m)
+}
+
+func measure(run func() (int64, error), m Methodology) (Measurement, error) {
+	var out Measurement
+	for w := 0; w < m.Warmups; w++ {
+		nnz, err := run()
+		if err != nil {
+			return out, err
+		}
+		out.OutputNNZ = nnz
+	}
+	deadline := time.Now().Add(m.Budget)
+	best := time.Duration(0)
+	for rep := 0; rep < m.MaxReps; rep++ {
+		start := time.Now()
+		nnz, err := run()
+		elapsed := time.Since(start)
+		if err != nil {
+			return out, err
+		}
+		out.OutputNNZ = nnz
+		out.Reps++
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	out.Millis = float64(best) / float64(time.Millisecond)
+	return out, nil
+}

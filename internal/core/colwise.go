@@ -1,0 +1,54 @@
+package core
+
+import (
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// MaskedSpGEMMCSC computes C = M ⊙ (A × B) over CSC operands with the
+// column-wise saxpy algorithm: each column C[:,j] is formed by scaling
+// the columns of A selected by the nonzeros of B[:,j] and masking with
+// M[:,j] — the exact mirror of the row-wise algorithm, per the paper's
+// §II-A symmetry remark. All of Config's knobs apply, with tiles cut
+// along the column dimension.
+//
+// The identity used: column-wise saxpy on (M, A, B) equals row-wise
+// saxpy on the transposed problem Cᵀ = Mᵀ ⊙ (Bᵀ × Aᵀ), and a CSC matrix
+// is exactly the CSR storage of its transpose. No data movement is
+// needed beyond relabeling.
+func MaskedSpGEMMCSC[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSC[T], cfg Config,
+) (*sparse.CSC[T], error) {
+	mT := cscAsCSR(m)
+	aT := cscAsCSR(a)
+	bT := cscAsCSR(b)
+	// Cᵀ = Mᵀ ⊙ (Bᵀ × Aᵀ): note the operand swap.
+	cT, err := MaskedSpGEMM(sr, mT, bT, aT, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return csrAsCSC(cT), nil
+}
+
+// cscAsCSR reinterprets CSC storage as the CSR storage of the
+// transpose — a relabeling, not a copy.
+func cscAsCSR[T sparse.Number](m *sparse.CSC[T]) *sparse.CSR[T] {
+	return &sparse.CSR[T]{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: m.ColPtr,
+		ColIdx: m.RowIdx,
+		Val:    m.Val,
+	}
+}
+
+// csrAsCSC is the inverse relabeling.
+func csrAsCSC[T sparse.Number](m *sparse.CSR[T]) *sparse.CSC[T] {
+	return &sparse.CSC[T]{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		ColPtr: m.RowPtr,
+		RowIdx: m.ColIdx,
+		Val:    m.Val,
+	}
+}

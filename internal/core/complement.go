@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// MaskedSpGEMMComp computes C = ¬M ⊙ (A × B): the product restricted to
+// positions where the mask stores NO entry — GraphBLAS's complemented
+// structural mask (GrB_COMP). BFS-style algorithms use it to exclude
+// already-visited vertices.
+//
+// Complement masks invert the study's key property: the output is no
+// longer bounded by nnz(M), so the mask cannot pre-size or pre-populate
+// the accumulator and only the vanilla-style traversal applies — each
+// row's full product is formed and mask hits are discarded. The
+// accumulator here is a per-worker dense scratch with an explicit
+// touched list, sized by the column dimension.
+func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSR[T], cfg Config,
+) (*sparse.CSR[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Cols != b.Rows || m.Rows != a.Rows || m.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: M %dx%d, A %dx%d, B %dx%d",
+			sparse.ErrShape, m.Rows, m.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.Rows == 0 {
+		return sparse.NewCSR[T](a.Rows, b.Cols, 0), nil
+	}
+
+	tiles := tiling.Make(cfg.Tiling, cfg.Tiles, a, b, m)
+	workers := sched.Workers(cfg.Workers)
+	outs := make([]tileOutput[T], len(tiles))
+
+	scratch := make([]*compScratch[T], workers)
+	for wkr := range scratch {
+		scratch[wkr] = &compScratch[T]{
+			vals:  make([]T, b.Cols),
+			state: make([]uint8, b.Cols),
+		}
+	}
+
+	sched.Run(cfg.Schedule, workers, len(tiles), func(worker, t int) {
+		runTileComp(sr, scratch[worker], m, a, b, tiles[t], &outs[t])
+	})
+
+	return assemble(a.Rows, b.Cols, tiles, outs), nil
+}
+
+// compScratch is the per-worker state of the complement kernel: value
+// and state vectors of the full column dimension plus the touched list
+// used for explicit reset (state: 0 empty, 1 blocked by mask, 2 written).
+type compScratch[T sparse.Number] struct {
+	vals    []T
+	state   []uint8
+	touched []sparse.Index
+}
+
+func runTileComp[T sparse.Number, S semiring.Semiring[T]](
+	sr S, sc *compScratch[T],
+	m, a, b *sparse.CSR[T], tile tiling.Tile, out *tileOutput[T],
+) {
+	out.rowNNZ = make([]int32, tile.Rows())
+	for i := tile.Lo; i < tile.Hi; i++ {
+		// Block the masked positions, then accumulate the row product
+		// into everything else.
+		for _, j := range m.RowCols(i) {
+			sc.state[j] = 1
+			sc.touched = append(sc.touched, j)
+		}
+		aCols, aVals := a.Row(i)
+		for kk, k := range aCols {
+			aik := aVals[kk]
+			bCols, bVals := b.Row(int(k))
+			for jj, j := range bCols {
+				switch sc.state[j] {
+				case 2:
+					sc.vals[j] = sr.Plus(sc.vals[j], sr.Times(aik, bVals[jj]))
+				case 0:
+					sc.state[j] = 2
+					sc.vals[j] = sr.Times(aik, bVals[jj])
+					sc.touched = append(sc.touched, j)
+				} // state 1: blocked by the mask, discard
+			}
+		}
+		// Gather written entries in column order, then reset.
+		start := len(out.cols)
+		for _, j := range sc.touched {
+			if sc.state[j] == 2 {
+				out.cols = append(out.cols, j)
+				out.vals = append(out.vals, sc.vals[j])
+			}
+			sc.state[j] = 0
+		}
+		sc.touched = sc.touched[:0]
+		row := rowView[T]{out.cols[start:], out.vals[start:]}
+		sort.Sort(&row)
+		out.rowNNZ[i-tile.Lo] = int32(len(out.cols) - start)
+	}
+}
+
+// rowView sorts a freshly gathered row's (cols, vals) pair in place.
+type rowView[T sparse.Number] struct {
+	cols []sparse.Index
+	vals []T
+}
+
+func (r *rowView[T]) Len() int           { return len(r.cols) }
+func (r *rowView[T]) Less(a, b int) bool { return r.cols[a] < r.cols[b] }
+func (r *rowView[T]) Swap(a, b int) {
+	r.cols[a], r.cols[b] = r.cols[b], r.cols[a]
+	r.vals[a], r.vals[b] = r.vals[b], r.vals[a]
+}

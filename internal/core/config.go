@@ -1,0 +1,159 @@
+// Package core implements the paper's primary contribution: a
+// parameterized row-wise saxpy masked-SpGEMM kernel,
+//
+//	C = M ⊙ (A × B)
+//
+// exposing every design dimension of the study as an explicit knob:
+//
+//   - iteration space: Vanilla (Fig. 3), MaskLoad (Fig. 5, GrB's
+//     algorithm), CoIter (Fig. 7), Hybrid (Fig. 9, push-pull with
+//     co-iteration factor κ);
+//   - tiling: uniform vs FLOP-balanced, any tile count;
+//   - scheduling: static vs dynamic over a goroutine worker pool;
+//   - accumulator: dense or hash, marker widths 8/16/32/64 bits, or
+//     explicit-reset variants.
+//
+// The kernel is generic over the value type and semiring, so the same
+// code serves arithmetic, Boolean, tropical and structural (pair)
+// algebras.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/tiling"
+)
+
+// IterationSpace selects how the multiplication and the masking
+// operation are traversed together (paper §III-B).
+type IterationSpace int
+
+const (
+	// Vanilla accumulates the full unmasked product of each row and
+	// intersects with the mask afterwards (Fig. 3). Large buffers, many
+	// wasted operations — the baseline the better spaces are measured
+	// against.
+	Vanilla IterationSpace = iota
+	// MaskLoad loads the mask row into the accumulator first and filters
+	// every candidate update against it (Fig. 5). This is the GrB
+	// algorithm, now also used by SuiteSparse:GraphBLAS.
+	MaskLoad
+	// CoIter iterates the mask row and binary-searches each B row for
+	// the mask's columns (Fig. 7). Wins when nnz(M[i,:]) is small
+	// relative to nnz(B[k,:]); loses badly otherwise.
+	CoIter
+	// Hybrid chooses per (i,k) between the MaskLoad linear scan and
+	// CoIter using the Eq. 3 cost model with factor Kappa (Fig. 9) — the
+	// paper's push-pull optimization.
+	Hybrid
+)
+
+func (s IterationSpace) String() string {
+	switch s {
+	case Vanilla:
+		return "Vanilla"
+	case MaskLoad:
+		return "MaskLoad"
+	case CoIter:
+		return "CoIter"
+	case Hybrid:
+		return "Hybrid"
+	default:
+		return "Unknown"
+	}
+}
+
+// Config is the full tuning surface of the kernel. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	// Iteration selects the iteration space (§III-B).
+	Iteration IterationSpace
+	// Kappa is the co-iteration factor κ of Fig. 9: co-iterate when
+	// nnz(M[i,:])·log2(nnz(B[k,:])) < κ·nnz(B[k,:]). Only used by Hybrid.
+	Kappa float64
+	// Accumulator selects the accumulator family (§III-C).
+	Accumulator accum.Kind
+	// MarkerBits is the marker word width for marker-based accumulators:
+	// 8, 16, 32 or 64 (Fig. 13).
+	MarkerBits int
+	// Tiles is the requested number of row tiles (Fig. 11 sweeps 64 to
+	// 32768). Clamped to the number of rows.
+	Tiles int
+	// Tiling selects uniform vs FLOP-balanced tile boundaries (§III-A).
+	Tiling tiling.Strategy
+	// Schedule selects static vs dynamic tile-to-worker assignment.
+	Schedule sched.Policy
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig is the paper's recommended configuration (§V): 2048
+// FLOP-balanced tiles, dynamic scheduling, hybrid iteration with κ = 1,
+// hash accumulator with a 32-bit marker.
+func DefaultConfig() Config {
+	return Config{
+		Iteration:   Hybrid,
+		Kappa:       1,
+		Accumulator: accum.HashKind,
+		MarkerBits:  32,
+		Tiles:       2048,
+		Tiling:      tiling.FlopBalanced,
+		Schedule:    sched.Dynamic,
+		Workers:     0,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	switch c.Iteration {
+	case Vanilla, MaskLoad, CoIter, Hybrid:
+	default:
+		return fmt.Errorf("core: unknown iteration space %d", c.Iteration)
+	}
+	switch c.Accumulator {
+	case accum.DenseKind, accum.HashKind:
+		switch c.MarkerBits {
+		case 8, 16, 32, 64:
+		default:
+			return fmt.Errorf("core: marker bits must be 8/16/32/64, got %d", c.MarkerBits)
+		}
+	case accum.DenseExplicitKind, accum.HashExplicitKind, accum.SortListKind:
+	default:
+		return fmt.Errorf("core: unknown accumulator kind %d", c.Accumulator)
+	}
+	if c.Tiles < 1 {
+		return fmt.Errorf("core: tiles must be >= 1, got %d", c.Tiles)
+	}
+	if c.Iteration == Hybrid && !(c.Kappa > 0) {
+		return fmt.Errorf("core: hybrid iteration needs kappa > 0, got %v", c.Kappa)
+	}
+	return nil
+}
+
+// String renders the configuration compactly for experiment logs.
+func (c Config) String() string {
+	s := fmt.Sprintf("%v/%v mb=%d tiles=%d %v %v w=%d",
+		c.Iteration, c.Accumulator, c.MarkerBits, c.Tiles, c.Tiling, c.Schedule, c.Workers)
+	if c.Iteration == Hybrid {
+		s += fmt.Sprintf(" κ=%g", c.Kappa)
+	}
+	return s
+}
+
+// log2ceil returns ⌈log2(n)⌉ for n ≥ 1 (0 for n ≤ 1); the cost model of
+// Eq. 3 uses it as the binary-search cost.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// coIterCheaper evaluates Eq. 3 against the linear-scan cost: true when
+// nnzM·log2(nnzB) < κ·nnzB.
+func coIterCheaper(nnzM, nnzB int, kappa float64) bool {
+	return float64(nnzM*log2ceil(nnzB)) < kappa*float64(nnzB)
+}

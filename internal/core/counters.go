@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/sparse"
+)
+
+// Counters are actual (not modeled) operation counts from an
+// instrumented kernel run — the ground truth the symbolic Profile is
+// validated against, and the observability hook for tuning studies.
+type Counters struct {
+	// Rows is the number of output rows processed.
+	Rows int64
+	// MaskLoads is the number of mask entries inserted into accumulators.
+	MaskLoads int64
+	// Updates is the number of accumulator updates attempted
+	// (Update + UpdateMasked calls).
+	Updates int64
+	// Rejected is the number of UpdateMasked calls the mask filtered out.
+	Rejected int64
+	// Gathered is the number of output entries emitted.
+	Gathered int64
+}
+
+// countingAccumulator decorates any accumulator with operation counts.
+// Counts are accumulated locally and flushed atomically so one decorator
+// can serve each worker without contention in the hot loop.
+type countingAccumulator[T sparse.Number] struct {
+	inner accum.Accumulator[T]
+	local Counters
+}
+
+func (c *countingAccumulator[T]) BeginRow() {
+	c.local.Rows++
+	c.inner.BeginRow()
+}
+
+func (c *countingAccumulator[T]) LoadMask(cols []sparse.Index) {
+	c.local.MaskLoads += int64(len(cols))
+	c.inner.LoadMask(cols)
+}
+
+func (c *countingAccumulator[T]) Update(j sparse.Index, x T) {
+	c.local.Updates++
+	c.inner.Update(j, x)
+}
+
+func (c *countingAccumulator[T]) UpdateMasked(j sparse.Index, x T) bool {
+	c.local.Updates++
+	ok := c.inner.UpdateMasked(j, x)
+	if !ok {
+		c.local.Rejected++
+	}
+	return ok
+}
+
+func (c *countingAccumulator[T]) Gather(
+	maskCols []sparse.Index, cols []sparse.Index, vals []T,
+) ([]sparse.Index, []T) {
+	before := len(cols)
+	cols, vals = c.inner.Gather(maskCols, cols, vals)
+	c.local.Gathered += int64(len(cols) - before)
+	return cols, vals
+}
+
+// flushInto adds the local counts into the shared atomic totals.
+func (c *countingAccumulator[T]) flushInto(t *atomicCounters) {
+	t.rows.Add(c.local.Rows)
+	t.maskLoads.Add(c.local.MaskLoads)
+	t.updates.Add(c.local.Updates)
+	t.rejected.Add(c.local.Rejected)
+	t.gathered.Add(c.local.Gathered)
+}
+
+type atomicCounters struct {
+	rows, maskLoads, updates, rejected, gathered atomic.Int64
+}
+
+func (t *atomicCounters) snapshot() Counters {
+	return Counters{
+		Rows:      t.rows.Load(),
+		MaskLoads: t.maskLoads.Load(),
+		Updates:   t.updates.Load(),
+		Rejected:  t.rejected.Load(),
+		Gathered:  t.gathered.Load(),
+	}
+}

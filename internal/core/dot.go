@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// MaskedSpGEMMDot is the inner-product (dot) formulation of the masked
+// SpGEMM: instead of traversing the multiplication row-wise (saxpy) and
+// filtering against the mask, it iterates the mask's stored entries
+// directly and computes each surviving output as a sparse dot product
+//
+//	C[i,j] = A[i,:] · B[:,j]   for every M[i,j] ≠ 0.
+//
+// This is the "higher-level algorithm beyond row-wise saxpy" direction
+// of Milaković et al. that the paper's related-work section cites: the
+// mask makes the output structure known up front, so work is exactly
+// proportional to nnz(M) dot products, with no accumulator at all. It
+// wins when the mask is much sparser than the product (the circuit5M
+// regime) and loses when A rows are revisited many times per row of C.
+//
+// bT must be the transpose of B in CSR form (i.e. B in CSC); callers
+// doing C = A ⊙ (A×A) on a symmetric A can pass A itself.
+func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, bT *sparse.CSR[T], cfg Config,
+) (*sparse.CSR[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Rows != a.Rows || bT.Cols != a.Cols || m.Cols != bT.Rows {
+		return nil, fmt.Errorf("%w: M %dx%d, A %dx%d, Bᵀ %dx%d",
+			sparse.ErrShape, m.Rows, m.Cols, a.Rows, a.Cols, bT.Rows, bT.Cols)
+	}
+	if m.Rows == 0 {
+		return sparse.NewCSR[T](m.Rows, m.Cols, 0), nil
+	}
+
+	// Eq. 2 does not model the dot traversal; its analogue is the merge
+	// cost of each surviving dot product:
+	//   W[i] = Σ_{M[i,j]≠0} (nnz(A[i,:]) + nnz(B[:,j])).
+	var tiles []tiling.Tile
+	if cfg.Tiling == tiling.FlopBalanced {
+		work := make([]int64, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			na := a.RowNNZ(i)
+			var wi int64
+			for _, j := range m.RowCols(i) {
+				wi += na + bT.RowNNZ(int(j))
+			}
+			work[i] = wi
+		}
+		tiles = tiling.BalancedTiles(work, cfg.Tiles)
+	} else {
+		tiles = tiling.UniformTiles(m.Rows, cfg.Tiles)
+	}
+	workers := sched.Workers(cfg.Workers)
+	outs := make([]tileOutput[T], len(tiles))
+
+	sched.Run(cfg.Schedule, workers, len(tiles), func(_, t int) {
+		tile := tiles[t]
+		out := &outs[t]
+		maskVol := m.RowPtr[tile.Hi] - m.RowPtr[tile.Lo]
+		out.rowNNZ = make([]int32, tile.Rows())
+		out.cols = make([]sparse.Index, 0, maskVol)
+		out.vals = make([]T, 0, maskVol)
+		for i := tile.Lo; i < tile.Hi; i++ {
+			aCols, aVals := a.Row(i)
+			before := len(out.cols)
+			for _, j := range m.RowCols(i) {
+				bCols, bVals := bT.Row(int(j))
+				if v, hit := sparseDot(sr, aCols, aVals, bCols, bVals); hit {
+					out.cols = append(out.cols, j)
+					out.vals = append(out.vals, v)
+				}
+			}
+			out.rowNNZ[i-tile.Lo] = int32(len(out.cols) - before)
+		}
+	})
+
+	return assemble(m.Rows, m.Cols, tiles, outs), nil
+}
+
+// sparseDot merges two sorted index lists and accumulates the products
+// of coinciding entries. hit reports whether any index matched (an
+// all-miss dot yields no stored entry, matching the saxpy kernels'
+// structural semantics).
+func sparseDot[T sparse.Number, S semiring.Semiring[T]](
+	sr S, aCols []sparse.Index, aVals []T, bCols []sparse.Index, bVals []T,
+) (T, bool) {
+	var acc T
+	hit := false
+	p, q := 0, 0
+	for p < len(aCols) && q < len(bCols) {
+		switch {
+		case aCols[p] < bCols[q]:
+			p++
+		case aCols[p] > bCols[q]:
+			q++
+		default:
+			x := sr.Times(aVals[p], bVals[q])
+			if hit {
+				acc = sr.Plus(acc, x)
+			} else {
+				acc = x
+				hit = true
+			}
+			p++
+			q++
+		}
+	}
+	return acc, hit
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+func TestMaskedSpGEMMDotMatchesSaxpy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, inner, cols := r.Intn(25)+1, r.Intn(25)+1, r.Intn(25)+1
+		a := randMatrix(rows, inner, 0.25, r)
+		b := randMatrix(inner, cols, 0.25, r)
+		m := randMatrix(rows, cols, 0.3, r)
+		cfg := DefaultConfig()
+		cfg.Tiles = r.Intn(5) + 1
+		cfg.Workers = 2
+
+		want, err := MaskedSpGEMM[float64](semiring.PlusTimes[float64]{}, m, a, b, cfg)
+		if err != nil {
+			return false
+		}
+		got, err := MaskedSpGEMMDot[float64](semiring.PlusTimes[float64]{}, m, a, sparse.Transpose(b), cfg)
+		if err != nil {
+			return false
+		}
+		if got.Check() != nil {
+			return false
+		}
+		return sparse.Equal(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskedSpGEMMDotSymmetric(t *testing.T) {
+	// On a symmetric A, C = A ⊙ (A×A) can pass A itself as Bᵀ.
+	r := rand.New(rand.NewSource(91))
+	a := sparse.Symmetrize(randMatrix(40, 40, 0.1, r))
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	want, err := MaskedSpGEMM[float64](semiring.PlusTimes[float64]{}, a, a, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MaskedSpGEMMDot[float64](semiring.PlusTimes[float64]{}, a, a, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(want, got) {
+		t.Error("dot formulation differs on symmetric operands")
+	}
+}
+
+func TestMaskedSpGEMMDotErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	a := randMatrix(5, 6, 0.5, r)
+	m := randMatrix(5, 7, 0.5, r)
+	bT := randMatrix(7, 9, 0.5, r) // wrong inner dimension (9 != 6)
+	if _, err := MaskedSpGEMMDot[float64](semiring.PlusTimes[float64]{}, m, a, bT, DefaultConfig()); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	z := sparse.NewCSR[float64](0, 0, 0)
+	if got, err := MaskedSpGEMMDot[float64](semiring.PlusTimes[float64]{}, z, z, z, DefaultConfig()); err != nil || got.Rows != 0 {
+		t.Errorf("zero-rows: %v %v", got, err)
+	}
+}
+
+func TestSparseDot(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	cases := []struct {
+		aCols, bCols []sparse.Index
+		aVals, bVals []float64
+		want         float64
+		hit          bool
+	}{
+		{[]sparse.Index{1, 3, 5}, []sparse.Index{3, 5, 9}, []float64{1, 2, 3}, []float64{4, 5, 6}, 2*4 + 3*5, true},
+		{[]sparse.Index{1, 2}, []sparse.Index{3, 4}, []float64{1, 1}, []float64{1, 1}, 0, false},
+		{nil, []sparse.Index{1}, nil, []float64{1}, 0, false},
+		{[]sparse.Index{7}, []sparse.Index{7}, []float64{3}, []float64{9}, 27, true},
+	}
+	for i, c := range cases {
+		got, hit := sparseDot(sr, c.aCols, c.aVals, c.bCols, c.bVals)
+		if hit != c.hit || (hit && got != c.want) {
+			t.Errorf("case %d: got (%v,%v), want (%v,%v)", i, got, hit, c.want, c.hit)
+		}
+	}
+}

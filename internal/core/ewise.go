@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// EWiseAdd computes the element-wise "union" combination of a and b:
+// positions present in both matrices combine with the semiring's Plus;
+// positions present in exactly one keep their value (GraphBLAS
+// eWiseAdd semantics — the additive identity is implicit, not applied).
+func EWiseAdd[T sparse.Number, S semiring.Semiring[T]](
+	sr S, a, b *sparse.CSR[T],
+) (*sparse.CSR[T], error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: A %dx%d, B %dx%d",
+			sparse.ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := sparse.NewCSR[T](a.Rows, a.Cols, a.NNZ()+b.NNZ())
+	var cols []sparse.Index
+	var vals []T
+	for i := 0; i < a.Rows; i++ {
+		aCols, aVals := a.Row(i)
+		bCols, bVals := b.Row(i)
+		cols = cols[:0]
+		vals = vals[:0]
+		p, q := 0, 0
+		for p < len(aCols) && q < len(bCols) {
+			switch {
+			case aCols[p] < bCols[q]:
+				cols = append(cols, aCols[p])
+				vals = append(vals, aVals[p])
+				p++
+			case aCols[p] > bCols[q]:
+				cols = append(cols, bCols[q])
+				vals = append(vals, bVals[q])
+				q++
+			default:
+				cols = append(cols, aCols[p])
+				vals = append(vals, sr.Plus(aVals[p], bVals[q]))
+				p++
+				q++
+			}
+		}
+		for ; p < len(aCols); p++ {
+			cols = append(cols, aCols[p])
+			vals = append(vals, aVals[p])
+		}
+		for ; q < len(bCols); q++ {
+			cols = append(cols, bCols[q])
+			vals = append(vals, bVals[q])
+		}
+		out.AppendRow(i, cols, vals)
+	}
+	return out, nil
+}
+
+// EWiseMult computes the element-wise "intersection" combination:
+// positions present in both matrices combine with the semiring's Times;
+// all other positions vanish (GraphBLAS eWiseMult semantics). With
+// PlusTimes this is the Hadamard product; with a pattern operand it is
+// structural masking with values.
+func EWiseMult[T sparse.Number, S semiring.Semiring[T]](
+	sr S, a, b *sparse.CSR[T],
+) (*sparse.CSR[T], error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: A %dx%d, B %dx%d",
+			sparse.ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	nnzCap := a.NNZ()
+	if b.NNZ() < nnzCap {
+		nnzCap = b.NNZ()
+	}
+	out := sparse.NewCSR[T](a.Rows, a.Cols, nnzCap)
+	var cols []sparse.Index
+	var vals []T
+	for i := 0; i < a.Rows; i++ {
+		aCols, aVals := a.Row(i)
+		bCols, bVals := b.Row(i)
+		cols = cols[:0]
+		vals = vals[:0]
+		p, q := 0, 0
+		for p < len(aCols) && q < len(bCols) {
+			switch {
+			case aCols[p] < bCols[q]:
+				p++
+			case aCols[p] > bCols[q]:
+				q++
+			default:
+				cols = append(cols, aCols[p])
+				vals = append(vals, sr.Times(aVals[p], bVals[q]))
+				p++
+				q++
+			}
+		}
+		out.AppendRow(i, cols, vals)
+	}
+	return out, nil
+}
+
+// ReduceRows folds each row with the semiring's Plus, returning a
+// sparse vector with one entry per non-empty row — GraphBLAS's
+// GrB_Matrix_reduce to a vector. Triangle-per-vertex counts and k-truss
+// support summaries are built from it.
+func ReduceRows[T sparse.Number, S semiring.Semiring[T]](sr S, m *sparse.CSR[T]) *SpVec[T] {
+	out := &SpVec[T]{N: m.Rows}
+	for i := 0; i < m.Rows; i++ {
+		_, vals := m.Row(i)
+		if len(vals) == 0 {
+			continue
+		}
+		acc := vals[0]
+		for _, v := range vals[1:] {
+			acc = sr.Plus(acc, v)
+		}
+		out.Idx = append(out.Idx, sparse.Index(i))
+		out.Val = append(out.Val, acc)
+	}
+	return out
+}

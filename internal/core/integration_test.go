@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/graphgen"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// families are small instances of every structural family the corpus
+// uses; the integration suite runs every kernel formulation on each and
+// demands bit-identical results.
+var families = map[string]func() *sparse.CSR[float64]{
+	"social":  func() *sparse.CSR[float64] { return graphgen.RMAT(8, 10, 0.57, 0.19, 0.19, 1) },
+	"road":    func() *sparse.CSR[float64] { return graphgen.RoadNetwork(20, 18, 0.93, 2) },
+	"web":     func() *sparse.CSR[float64] { return graphgen.WebGraph(350, 9, 0.55, 3) },
+	"circuit": func() *sparse.CSR[float64] { return graphgen.Circuit(320, 3, 0.6, 3, 50, 4) },
+	"smallw":  func() *sparse.CSR[float64] { return graphgen.SmallWorld(300, 6, 0.1, 5) },
+	"geo":     func() *sparse.CSR[float64] { return graphgen.Geometric(250, 0.09, 6) },
+}
+
+// TestAllFormulationsAgreeOnAllFamilies is the repository's central
+// integration test: on every graph family, every kernel formulation —
+// all iteration spaces, all accumulators, 1-D and 2-D tiling, the dot
+// formulation, the CSC column-wise kernel, and the reusable Multiplier —
+// must produce the same CSR bits for C = A ⊙ (A×A).
+func TestAllFormulationsAgreeOnAllFamilies(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	for name, build := range families {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			a := build()
+			ref, err := MaskedSpGEMM[float64](sr, a, a, a, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, it := range []IterationSpace{Vanilla, MaskLoad, CoIter, Hybrid} {
+				for _, ak := range []accum.Kind{
+					accum.DenseKind, accum.HashKind,
+					accum.DenseExplicitKind, accum.HashExplicitKind, accum.SortListKind,
+				} {
+					cfg := Config{
+						Iteration: it, Kappa: 1, Accumulator: ak, MarkerBits: 16,
+						Tiles: 9, Tiling: tiling.FlopBalanced,
+						Schedule: sched.Dynamic, Workers: 2,
+					}
+					got, err := MaskedSpGEMM[float64](sr, a, a, a, cfg)
+					if err != nil {
+						t.Fatalf("%v/%v: %v", it, ak, err)
+					}
+					if !sparse.Equal(ref, got) {
+						t.Fatalf("%v/%v differs", it, ak)
+					}
+				}
+			}
+
+			for _, panels := range []int{1, 4, 13} {
+				got, err := MaskedSpGEMM2D[float64](sr, a, a, a, DefaultConfig(), panels)
+				if err != nil {
+					t.Fatalf("2D/%d: %v", panels, err)
+				}
+				if !sparse.Equal(ref, got) {
+					t.Fatalf("2D/%d differs", panels)
+				}
+			}
+
+			gotDot, err := MaskedSpGEMMDot[float64](sr, a, a, sparse.Transpose(a), DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sparse.Equal(ref, gotDot) {
+				t.Fatal("dot formulation differs")
+			}
+
+			gotCSC, err := MaskedSpGEMMCSC[float64](sr,
+				sparse.CSRToCSC(a), sparse.CSRToCSC(a), sparse.CSRToCSC(a), DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sparse.Equal(ref, sparse.CSCToCSR(gotCSC)) {
+				t.Fatal("column-wise kernel differs")
+			}
+
+			mu, err := NewMultiplier[float64](sr, a, a, a, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 2; rep++ {
+				if !sparse.Equal(ref, mu.Multiply()) {
+					t.Fatalf("multiplier rep %d differs", rep)
+				}
+			}
+
+			gotInstr, counters, err := MaskedSpGEMMInstrumented[float64](sr, a, a, a, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sparse.Equal(ref, gotInstr) {
+				t.Fatal("instrumented kernel differs")
+			}
+			if counters.Gathered != ref.NNZ() {
+				t.Fatalf("counters gathered %d, want %d", counters.Gathered, ref.NNZ())
+			}
+
+			// Masked + complement partition the unmasked product.
+			comp, err := MaskedSpGEMMComp[float64](sr, a, a, a, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := SpGEMM[float64](sr, a, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.NNZ()+comp.NNZ() != full.NNZ() {
+				t.Fatalf("partition broken: %d + %d != %d", ref.NNZ(), comp.NNZ(), full.NNZ())
+			}
+		})
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// MaskedSpGEMM computes C = M ⊙ (A × B) over the given semiring with the
+// given configuration. The mask is structural (GraphBLAS Boolean mask):
+// an output entry may exist only where M stores an entry, regardless of
+// M's values. All operands must be CSR with sorted rows; the result is
+// CSR with sorted rows.
+//
+// Shape requirements: A is m×k, B is k×n, M is m×n.
+func MaskedSpGEMM[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSR[T], cfg Config,
+) (*sparse.CSR[T], error) {
+	return maskedRun(sr, m, a, b, cfg, nil)
+}
+
+// MaskedSpGEMMInstrumented is MaskedSpGEMM with per-operation counting:
+// it returns the actual accumulator traffic of the run, the ground
+// truth that validates the symbolic Profile and quantifies how much
+// work each iteration space really does on a given input.
+func MaskedSpGEMMInstrumented[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSR[T], cfg Config,
+) (*sparse.CSR[T], Counters, error) {
+	var totals atomicCounters
+	var decorators []*countingAccumulator[T]
+	c, err := maskedRun(sr, m, a, b, cfg, func(inner accum.Accumulator[T]) accum.Accumulator[T] {
+		d := &countingAccumulator[T]{inner: inner}
+		decorators = append(decorators, d)
+		return d
+	})
+	if err != nil {
+		return nil, Counters{}, err
+	}
+	for _, d := range decorators {
+		d.flushInto(&totals)
+	}
+	return c, totals.snapshot(), nil
+}
+
+// maskedRun is the shared kernel body; wrap, when non-nil, decorates
+// each worker's accumulator (used by the instrumented entry point).
+func maskedRun[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSR[T], cfg Config,
+	wrap func(accum.Accumulator[T]) accum.Accumulator[T],
+) (*sparse.CSR[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Cols != b.Rows || m.Rows != a.Rows || m.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: M %dx%d, A %dx%d, B %dx%d",
+			sparse.ErrShape, m.Rows, m.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.Rows == 0 {
+		return sparse.NewCSR[T](a.Rows, b.Cols, 0), nil
+	}
+
+	tiles := tiling.Make(cfg.Tiling, cfg.Tiles, a, b, m)
+	workers := sched.Workers(cfg.Workers)
+
+	// Accumulator row capacity (§III-C): masked spaces can hold at most
+	// max_i nnz(M[i,:]) entries per row; the vanilla space populates the
+	// full unmasked product row, bounded by the per-row flop count and
+	// the column dimension.
+	rowCap := maxRowNNZ(m)
+	if cfg.Iteration == Vanilla {
+		_, maxFlops := tiling.FlopCount(a, b)
+		rowCap = maxFlops
+		if rowCap > int64(b.Cols) {
+			rowCap = int64(b.Cols)
+		}
+	}
+
+	outs := make([]tileOutput[T], len(tiles))
+	accs := make([]accum.Accumulator[T], workers)
+	for w := range accs {
+		accs[w] = accum.New[T](cfg.Accumulator, sr, b.Cols, rowCap, cfg.MarkerBits)
+		if wrap != nil {
+			accs[w] = wrap(accs[w])
+		}
+	}
+
+	sched.Run(cfg.Schedule, workers, len(tiles), func(worker, t int) {
+		runTile(sr, accs[worker], m, a, b, cfg, tiles[t], &outs[t])
+	})
+
+	return assemble(a.Rows, b.Cols, tiles, outs), nil
+}
+
+// tileOutput holds one tile's slice of the result before assembly.
+type tileOutput[T sparse.Number] struct {
+	rowNNZ []int32
+	cols   []sparse.Index
+	vals   []T
+}
+
+func maxRowNNZ[T sparse.Number](m *sparse.CSR[T]) int64 {
+	var mx int64
+	for i := 0; i < m.Rows; i++ {
+		if n := m.RowNNZ(i); n > mx {
+			mx = n
+		}
+	}
+	return mx
+}
+
+// runTile computes the output rows of one tile into out using the
+// worker-local accumulator, pre-sizing the buffers by the tile's mask
+// volume (output ⊆ mask).
+func runTile[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T],
+	m, a, b *sparse.CSR[T], cfg Config, tile tiling.Tile, out *tileOutput[T],
+) {
+	maskVol := m.RowPtr[tile.Hi] - m.RowPtr[tile.Lo]
+	out.cols = make([]sparse.Index, 0, maskVol)
+	out.vals = make([]T, 0, maskVol)
+	runTilePlanned(sr, acc, m, a, b, cfg, tile, out)
+}
+
+// rowVanilla is the Fig. 3 algorithm: accumulate the full product row,
+// mask only at gather time. The wasted updates outside the mask are the
+// point — this is the cost the better iteration spaces avoid.
+func rowVanilla[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int,
+) {
+	acc.BeginRow()
+	aCols, aVals := a.Row(i)
+	for kk, k := range aCols {
+		aik := aVals[kk]
+		bCols, bVals := b.Row(int(k))
+		for jj, j := range bCols {
+			acc.Update(j, sr.Times(aik, bVals[jj]))
+		}
+	}
+}
+
+// rowMaskLoad is the Fig. 5 (GrB) algorithm: load the mask into the
+// accumulator, then linearly scan each B row, discarding updates that
+// miss the mask.
+func rowMaskLoad[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int, maskCols []sparse.Index,
+) {
+	acc.BeginRow()
+	acc.LoadMask(maskCols)
+	aCols, aVals := a.Row(i)
+	for kk, k := range aCols {
+		aik := aVals[kk]
+		bCols, bVals := b.Row(int(k))
+		for jj, j := range bCols {
+			acc.UpdateMasked(j, sr.Times(aik, bVals[jj]))
+		}
+	}
+}
+
+// rowCoIter is the Fig. 7 algorithm: iterate the mask row and binary
+// search each B row for the mask's columns, touching only candidate
+// output positions.
+func rowCoIter[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int, maskCols []sparse.Index,
+) {
+	acc.BeginRow()
+	aCols, aVals := a.Row(i)
+	for kk, k := range aCols {
+		aik := aVals[kk]
+		bCols, bVals := b.Row(int(k))
+		coIterate(sr, acc, aik, maskCols, bCols, bVals)
+	}
+}
+
+// coIterate performs one mask-vs-B-row intersection by binary search
+// (Eq. 3 cost: nnz(M[i,:])·log2 nnz(B[k,:])). The search range shrinks
+// monotonically because mask columns are ascending.
+func coIterate[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], aik T,
+	maskCols, bCols []sparse.Index, bVals []T,
+) {
+	lo := 0
+	for _, j := range maskCols {
+		sub := bCols[lo:]
+		p := sort.Search(len(sub), func(q int) bool { return sub[q] >= j })
+		lo += p
+		if lo >= len(bCols) {
+			return
+		}
+		if bCols[lo] == j {
+			acc.Update(j, sr.Times(aik, bVals[lo]))
+			lo++
+			if lo >= len(bCols) {
+				return
+			}
+		}
+	}
+}
+
+// rowHybrid is the Fig. 9 algorithm: the mask is loaded (the linear
+// branch needs it), then each B row is processed by whichever of the two
+// strategies the Eq. 3 cost model predicts is cheaper.
+func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int,
+	maskCols []sparse.Index, kappa float64,
+) {
+	acc.BeginRow()
+	acc.LoadMask(maskCols)
+	nnzM := len(maskCols)
+	aCols, aVals := a.Row(i)
+	for kk, k := range aCols {
+		aik := aVals[kk]
+		bCols, bVals := b.Row(int(k))
+		if coIterCheaper(nnzM, len(bCols), kappa) {
+			coIterate(sr, acc, aik, maskCols, bCols, bVals)
+		} else {
+			for jj, j := range bCols {
+				acc.UpdateMasked(j, sr.Times(aik, bVals[jj]))
+			}
+		}
+	}
+}
+
+// assemble stitches the per-tile outputs into one CSR matrix.
+func assemble[T sparse.Number](
+	rows, cols int, tiles []tiling.Tile, outs []tileOutput[T],
+) *sparse.CSR[T] {
+	c := &sparse.CSR[T]{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	var nnz int64
+	for t := range outs {
+		for r, n := range outs[t].rowNNZ {
+			c.RowPtr[tiles[t].Lo+r+1] = int64(n)
+			nnz += int64(n)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		c.RowPtr[i+1] += c.RowPtr[i]
+	}
+	c.ColIdx = make([]sparse.Index, nnz)
+	c.Val = make([]T, nnz)
+	for t := range outs {
+		lo := c.RowPtr[tiles[t].Lo]
+		copy(c.ColIdx[lo:], outs[t].cols)
+		copy(c.Val[lo:], outs[t].vals)
+	}
+	return c
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+func TestMultiplierMatchesOneShot(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	a := randMatrix(60, 60, 0.12, r)
+	for _, it := range []IterationSpace{Vanilla, MaskLoad, CoIter, Hybrid} {
+		for _, ak := range []accum.Kind{accum.DenseKind, accum.HashKind} {
+			cfg := DefaultConfig()
+			cfg.Iteration = it
+			cfg.Accumulator = ak
+			cfg.Tiles = 7
+			cfg.Workers = 2
+			want, err := MaskedSpGEMM[float64](semiring.PlusTimes[float64]{}, a, a, a, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mu, err := NewMultiplier[float64](semiring.PlusTimes[float64]{}, a, a, a, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Repeated multiplies must stay bit-identical: buffer reuse
+			// and marker state must not leak between runs.
+			for rep := 0; rep < 4; rep++ {
+				got := mu.Multiply()
+				if err := got.Check(); err != nil {
+					t.Fatalf("%v/%v rep %d: malformed: %v", it, ak, rep, err)
+				}
+				if !sparse.Equal(want, got) {
+					t.Fatalf("%v/%v rep %d: differs from one-shot kernel", it, ak, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiplierErrorsAndEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	a := randMatrix(5, 6, 0.5, r)
+	b := randMatrix(7, 5, 0.5, r)
+	m := randMatrix(5, 5, 0.5, r)
+	if _, err := NewMultiplier[float64](semiring.PlusTimes[float64]{}, m, a, b, DefaultConfig()); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	bad := DefaultConfig()
+	bad.Tiles = 0
+	sq := randMatrix(5, 5, 0.5, r)
+	if _, err := NewMultiplier[float64](semiring.PlusTimes[float64]{}, sq, sq, sq, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	z := sparse.NewCSR[float64](0, 0, 0)
+	mu, err := NewMultiplier[float64](semiring.PlusTimes[float64]{}, z, z, z, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mu.Multiply(); got.Rows != 0 || got.NNZ() != 0 {
+		t.Error("zero-row multiply wrong")
+	}
+}
+
+func TestMultiplierTiles(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	a := randMatrix(100, 100, 0.1, r)
+	cfg := DefaultConfig()
+	cfg.Tiles = 16
+	mu, err := NewMultiplier[float64](semiring.PlusTimes[float64]{}, a, a, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.Tiles() < 1 || mu.Tiles() > 16 {
+		t.Errorf("plan has %d tiles, want 1..16", mu.Tiles())
+	}
+}
+
+// BenchmarkMultiplierReuse quantifies the plan-reuse saving against the
+// one-shot kernel on the same problem.
+func BenchmarkMultiplierReuse(b *testing.B) {
+	r := rand.New(rand.NewSource(104))
+	a := randMatrix(400, 400, 0.03, r)
+	cfg := DefaultConfig()
+	b.Run("OneShot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MaskedSpGEMM[float64](semiring.PlusTimes[float64]{}, a, a, a, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Planned", func(b *testing.B) {
+		mu, err := NewMultiplier[float64](semiring.PlusTimes[float64]{}, a, a, a, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mu.Multiply()
+		}
+	})
+}

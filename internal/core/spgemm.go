@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// SpGEMM computes the unmasked product C = A × B over the semiring,
+// single-threaded, with a scatter-vector accumulator. It exists as the
+// reference the masked kernels are cross-checked against (masking the
+// full product post hoc must equal the fused masked kernels) and as the
+// "two-step" strawman the paper's §III-B dismisses.
+func SpGEMM[T sparse.Number, S semiring.Semiring[T]](
+	sr S, a, b *sparse.CSR[T],
+) (*sparse.CSR[T], error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: A %dx%d, B %dx%d",
+			sparse.ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := sparse.NewCSR[T](a.Rows, b.Cols, a.NNZ())
+	vals := make([]T, b.Cols)
+	present := make([]bool, b.Cols)
+	touched := make([]sparse.Index, 0, 256)
+	for i := 0; i < a.Rows; i++ {
+		touched = touched[:0]
+		aCols, aVals := a.Row(i)
+		for kk, k := range aCols {
+			aik := aVals[kk]
+			bCols, bVals := b.Row(int(k))
+			for jj, j := range bCols {
+				x := sr.Times(aik, bVals[jj])
+				if present[j] {
+					vals[j] = sr.Plus(vals[j], x)
+				} else {
+					present[j] = true
+					vals[j] = x
+					touched = append(touched, j)
+				}
+			}
+		}
+		sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+		rowVals := make([]T, len(touched))
+		for p, j := range touched {
+			rowVals[p] = vals[j]
+			present[j] = false
+		}
+		c.AppendRow(i, touched, rowVals)
+	}
+	return c, nil
+}
+
+// ApplyMask returns M ⊙ C structurally: the entries of c whose positions
+// are stored in m. Together with SpGEMM it forms the two-step
+// masked-SpGEMM used as a correctness oracle.
+func ApplyMask[T, U sparse.Number](m *sparse.CSR[U], c *sparse.CSR[T]) (*sparse.CSR[T], error) {
+	if m.Rows != c.Rows || m.Cols != c.Cols {
+		return nil, fmt.Errorf("%w: M %dx%d, C %dx%d",
+			sparse.ErrShape, m.Rows, m.Cols, c.Rows, c.Cols)
+	}
+	out := sparse.NewCSR[T](c.Rows, c.Cols, m.NNZ())
+	for i := 0; i < c.Rows; i++ {
+		maskCols := m.RowCols(i)
+		cCols, cVals := c.Row(i)
+		var rowCols []sparse.Index
+		var rowVals []T
+		// Sorted-merge intersection of the mask row and the product row.
+		p, q := 0, 0
+		for p < len(maskCols) && q < len(cCols) {
+			switch {
+			case maskCols[p] < cCols[q]:
+				p++
+			case maskCols[p] > cCols[q]:
+				q++
+			default:
+				rowCols = append(rowCols, cCols[q])
+				rowVals = append(rowVals, cVals[q])
+				p++
+				q++
+			}
+		}
+		out.AppendRow(i, rowCols, rowVals)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sort"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// SpVec is a sorted sparse vector: the 1×n (or n×1) operand of the
+// vector kernels that BFS and betweenness centrality are built from.
+type SpVec[T sparse.Number] struct {
+	N   int
+	Idx []sparse.Index
+	Val []T
+}
+
+// NNZ returns the number of stored entries.
+func (v *SpVec[T]) NNZ() int { return len(v.Idx) }
+
+// Direction selects the traversal of a masked sparse vector × sparse
+// matrix product — the vector analogue of the paper's iteration-space
+// choice, known as push/pull or direction optimization in BFS
+// literature (paper §III-B relates the two).
+type Direction int
+
+const (
+	// Push scans the rows of A selected by the input vector (the Fig. 5
+	// linear-scan analogue).
+	Push Direction = iota
+	// Pull scans candidate outputs and co-iterates the input vector with
+	// each A^T row (the Fig. 7 co-iteration analogue). Requires at the
+	// matrix being structurally symmetric or the caller passing A^T.
+	Pull
+	// Auto picks per call using the relative work estimates.
+	Auto
+)
+
+// MaskedSpVM computes y = f ⊙′ (fᵀ × A) restricted to positions where
+// allowed returns true (a complement mask in BFS: "not yet visited").
+// A must have sorted rows; Pull additionally assumes A is the matrix
+// whose rows are the in-neighborhoods of each candidate (for symmetric
+// adjacency matrices A itself).
+//
+// The result vector is sorted.
+func MaskedSpVM[T sparse.Number, S semiring.Semiring[T]](
+	sr S, f *SpVec[T], a *sparse.CSR[T], allowed func(sparse.Index) bool, dir Direction,
+) *SpVec[T] {
+	if dir == Auto {
+		dir = chooseDirection(f, a)
+	}
+	switch dir {
+	case Push:
+		return pushSpVM(sr, f, a, allowed)
+	case Pull:
+		return pullSpVM(sr, f, a, allowed)
+	default:
+		panic("core: unknown direction")
+	}
+}
+
+// chooseDirection estimates push work (edges out of the frontier) vs
+// pull work (co-iterating the frontier against every candidate row) and
+// picks the cheaper, mirroring Eq. 3 at vector granularity.
+func chooseDirection[T sparse.Number](f *SpVec[T], a *sparse.CSR[T]) Direction {
+	var pushWork int64
+	for _, u := range f.Idx {
+		pushWork += a.RowNNZ(int(u))
+	}
+	// Pull must consider all rows; approximate its per-row cost by the
+	// binary-search cost of the frontier against the average row.
+	avgRow := int(a.NNZ() / int64(max(a.Rows, 1)))
+	pullWork := int64(a.Rows) * int64(log2ceil(max(avgRow, 2))) * int64(len(f.Idx)) / int64(max(avgRow, 1))
+	if pullWork < pushWork {
+		return Pull
+	}
+	return Push
+}
+
+func pushSpVM[T sparse.Number, S semiring.Semiring[T]](
+	sr S, f *SpVec[T], a *sparse.CSR[T], allowed func(sparse.Index) bool,
+) *SpVec[T] {
+	vals := make([]T, a.Cols)
+	present := make([]bool, a.Cols)
+	var touched []sparse.Index
+	for p, u := range f.Idx {
+		fu := f.Val[p]
+		cols, avs := a.Row(int(u))
+		for q, j := range cols {
+			if !allowed(j) {
+				continue
+			}
+			x := sr.Times(fu, avs[q])
+			if present[j] {
+				vals[j] = sr.Plus(vals[j], x)
+			} else {
+				present[j] = true
+				vals[j] = x
+				touched = append(touched, j)
+			}
+		}
+	}
+	sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+	out := &SpVec[T]{N: a.Cols, Idx: touched, Val: make([]T, len(touched))}
+	for p, j := range touched {
+		out.Val[p] = vals[j]
+	}
+	return out
+}
+
+func pullSpVM[T sparse.Number, S semiring.Semiring[T]](
+	sr S, f *SpVec[T], a *sparse.CSR[T], allowed func(sparse.Index) bool,
+) *SpVec[T] {
+	out := &SpVec[T]{N: a.Cols}
+	for v := 0; v < a.Rows; v++ {
+		j := sparse.Index(v)
+		if !allowed(j) {
+			continue
+		}
+		cols, avs := a.Row(v)
+		// Sorted-merge co-iteration of the frontier and row v.
+		p, q := 0, 0
+		var acc T
+		found := false
+		for p < len(f.Idx) && q < len(cols) {
+			switch {
+			case f.Idx[p] < cols[q]:
+				p++
+			case f.Idx[p] > cols[q]:
+				q++
+			default:
+				x := sr.Times(f.Val[p], avs[q])
+				if found {
+					acc = sr.Plus(acc, x)
+				} else {
+					acc = x
+					found = true
+				}
+				p++
+				q++
+			}
+		}
+		if found {
+			out.Idx = append(out.Idx, j)
+			out.Val = append(out.Val, acc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// denseMaskedVecMat computes y = fᵀ×A restricted to allowed columns, densely.
+func denseMaskedVecMat(f *SpVec[float64], a *sparse.CSR[float64], allowed func(sparse.Index) bool) map[sparse.Index]float64 {
+	want := map[sparse.Index]float64{}
+	fv := make([]float64, a.Rows)
+	for p, u := range f.Idx {
+		fv[u] = f.Val[p]
+	}
+	for j := 0; j < a.Cols; j++ {
+		if !allowed(sparse.Index(j)) {
+			continue
+		}
+		var acc float64
+		hit := false
+		for i := 0; i < a.Rows; i++ {
+			av := a.At(i, sparse.Index(j))
+			if av != 0 && fv[i] != 0 {
+				acc += fv[i] * av
+				hit = true
+			}
+		}
+		if hit {
+			want[sparse.Index(j)] = acc
+		}
+	}
+	return want
+}
+
+func symRandMatrix(n int, density float64, seed int64) *sparse.CSR[float64] {
+	r := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO[float64](n, n, 0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Float64() < density {
+				coo.Add(sparse.Index(i), sparse.Index(j), float64(r.Intn(3)+1))
+			}
+		}
+	}
+	return sparse.Symmetrize(coo.ToCSR())
+}
+
+func TestMaskedSpVMPushPullAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		a := symRandMatrix(20, 0.15, seed)
+		r := rand.New(rand.NewSource(seed + 1))
+		var idx []sparse.Index
+		for i := 0; i < a.Rows; i++ {
+			if r.Float64() < 0.3 {
+				idx = append(idx, sparse.Index(i))
+			}
+		}
+		vals := make([]float64, len(idx))
+		for p := range vals {
+			vals[p] = float64(r.Intn(4) + 1)
+		}
+		fv := &SpVec[float64]{N: a.Rows, Idx: idx, Val: vals}
+		blocked := map[sparse.Index]bool{}
+		for i := 0; i < a.Rows; i++ {
+			if r.Float64() < 0.4 {
+				blocked[sparse.Index(i)] = true
+			}
+		}
+		allowed := func(j sparse.Index) bool { return !blocked[j] }
+
+		sr := semiring.PlusTimes[float64]{}
+		push := MaskedSpVM(sr, fv, a, allowed, Push)
+		pull := MaskedSpVM(sr, fv, a, allowed, Pull)
+		want := denseMaskedVecMat(fv, a, allowed)
+
+		check := func(got *SpVec[float64]) bool {
+			if len(got.Idx) != len(want) {
+				return false
+			}
+			if !sort.SliceIsSorted(got.Idx, func(x, y int) bool { return got.Idx[x] < got.Idx[y] }) {
+				return false
+			}
+			for p, j := range got.Idx {
+				if want[j] != got.Val[p] {
+					return false
+				}
+			}
+			return true
+		}
+		return check(push) && check(pull)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskedSpVMAuto(t *testing.T) {
+	a := symRandMatrix(30, 0.2, 5)
+	fv := &SpVec[float64]{N: a.Rows, Idx: []sparse.Index{3}, Val: []float64{1}}
+	sr := semiring.PlusTimes[float64]{}
+	auto := MaskedSpVM(sr, fv, a, func(sparse.Index) bool { return true }, Auto)
+	push := MaskedSpVM(sr, fv, a, func(sparse.Index) bool { return true }, Push)
+	if len(auto.Idx) != len(push.Idx) {
+		t.Fatal("auto direction result differs from push")
+	}
+	for p := range auto.Idx {
+		if auto.Idx[p] != push.Idx[p] || auto.Val[p] != push.Val[p] {
+			t.Fatal("auto direction result differs from push")
+		}
+	}
+}
+
+func TestMaskedSpVMEmptyFrontier(t *testing.T) {
+	a := symRandMatrix(10, 0.3, 9)
+	fv := &SpVec[float64]{N: a.Rows}
+	got := MaskedSpVM(semiring.PlusTimes[float64]{}, fv, a, func(sparse.Index) bool { return true }, Push)
+	if got.NNZ() != 0 {
+		t.Errorf("empty frontier produced %d entries", got.NNZ())
+	}
+}

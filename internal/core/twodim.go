@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// MaskedSpGEMM2D is the two-dimensional tiling extension the paper's
+// §V-A leaves as future work: the output rows are tiled as in the 1-D
+// kernel, and additionally the inner (k) dimension is cut into kPanels
+// panels processed panel-major within each row tile. All rows of a tile
+// advance through one B panel before the next panel is touched, so the
+// panel's B rows stay cache-resident across the whole row tile — the
+// locality the row-at-a-time traversal cannot get.
+//
+// The accumulator is a per-tile mask-shaped buffer: row i's partial sums
+// live in a slice parallel to M[i,:]'s columns, updated by binary search
+// within the (sorted) mask row. Memory per tile is proportional to the
+// tile's mask volume, so the working set is controlled by the tile size
+// regardless of panel count.
+//
+// Scheduling, tiling strategy, tile count and workers come from cfg;
+// the iteration space and accumulator fields are ignored (the 2-D
+// traversal fixes both). kPanels ≤ 1 degrades to mask-sorted 1-D.
+func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSR[T], cfg Config, kPanels int,
+) (*sparse.CSR[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Cols != b.Rows || m.Rows != a.Rows || m.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: M %dx%d, A %dx%d, B %dx%d",
+			sparse.ErrShape, m.Rows, m.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.Rows == 0 {
+		return sparse.NewCSR[T](a.Rows, b.Cols, 0), nil
+	}
+	if kPanels < 1 {
+		kPanels = 1
+	}
+	if kPanels > a.Cols {
+		kPanels = a.Cols
+	}
+
+	tiles := tiling.Make(cfg.Tiling, cfg.Tiles, a, b, m)
+	workers := sched.Workers(cfg.Workers)
+	outs := make([]tileOutput[T], len(tiles))
+
+	// Panel boundaries in the k dimension, uniform cuts of [0, a.Cols).
+	bounds := make([]sparse.Index, kPanels+1)
+	for p := 0; p <= kPanels; p++ {
+		bounds[p] = sparse.Index(a.Cols * p / kPanels)
+	}
+
+	sched.Run(cfg.Schedule, workers, len(tiles), func(_, t int) {
+		runTile2D(sr, m, a, b, tiles[t], bounds, &outs[t])
+	})
+
+	return assemble(a.Rows, b.Cols, tiles, outs), nil
+}
+
+// runTile2D computes one row tile panel-major.
+func runTile2D[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m, a, b *sparse.CSR[T], tile tiling.Tile,
+	bounds []sparse.Index, out *tileOutput[T],
+) {
+	rows := tile.Rows()
+	maskLo := m.RowPtr[tile.Lo]
+	maskVol := m.RowPtr[tile.Hi] - maskLo
+
+	// Per-tile accumulator, shaped like the tile's mask slice: vals[p]
+	// and written[p] correspond to mask entry p (global index maskLo+p).
+	vals := make([]T, maskVol)
+	written := make([]bool, maskVol)
+
+	// cursor[r] walks row (tile.Lo+r) of A panel by panel; rows are
+	// sorted by column, so each panel is a contiguous segment.
+	cursor := make([]int64, rows)
+	for r := 0; r < rows; r++ {
+		cursor[r] = a.RowPtr[tile.Lo+r]
+	}
+
+	for p := 0; p+1 < len(bounds); p++ {
+		panelEnd := bounds[p+1]
+		for r := 0; r < rows; r++ {
+			i := tile.Lo + r
+			maskCols := m.RowCols(i)
+			if len(maskCols) == 0 {
+				cursor[r] = a.RowPtr[i+1]
+				continue
+			}
+			rowBase := m.RowPtr[i] - maskLo
+			rowVals := vals[rowBase : rowBase+int64(len(maskCols))]
+			rowWritten := written[rowBase : rowBase+int64(len(maskCols))]
+
+			end := a.RowPtr[i+1]
+			for cursor[r] < end && a.ColIdx[cursor[r]] < panelEnd {
+				k := a.ColIdx[cursor[r]]
+				aik := a.Val[cursor[r]]
+				cursor[r]++
+				bCols, bVals := b.Row(int(k))
+				// Mask-sorted accumulate: each B entry is located within
+				// the mask row by binary search.
+				lo := 0
+				for jj, j := range bCols {
+					sub := maskCols[lo:]
+					q := sort.Search(len(sub), func(x int) bool { return sub[x] >= j })
+					// B rows are sorted too, so the searched prefix can
+					// never match again.
+					lo += q
+					if lo >= len(maskCols) {
+						break
+					}
+					if maskCols[lo] == j {
+						x := sr.Times(aik, bVals[jj])
+						if rowWritten[lo] {
+							rowVals[lo] = sr.Plus(rowVals[lo], x)
+						} else {
+							rowWritten[lo] = true
+							rowVals[lo] = x
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Gather: mask order is already sorted output order.
+	out.rowNNZ = make([]int32, rows)
+	out.cols = make([]sparse.Index, 0, maskVol)
+	out.vals = make([]T, 0, maskVol)
+	for r := 0; r < rows; r++ {
+		i := tile.Lo + r
+		maskCols := m.RowCols(i)
+		rowBase := m.RowPtr[i] - maskLo
+		before := len(out.cols)
+		for p, j := range maskCols {
+			if written[rowBase+int64(p)] {
+				out.cols = append(out.cols, j)
+				out.vals = append(out.vals, vals[rowBase+int64(p)])
+			}
+		}
+		out.rowNNZ[r] = int32(len(out.cols) - before)
+	}
+}

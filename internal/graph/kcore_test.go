@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"maskedspgemm/internal/graphgen"
+	"maskedspgemm/internal/sparse"
+)
+
+// bruteCoreness peels naively: repeatedly delete vertices with degree
+// < k for rising k.
+func bruteCoreness(a *sparse.CSR[float64]) []int32 {
+	n := a.Rows
+	core := make([]int32, n)
+	alive := make([]bool, n)
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = int32(a.RowNNZ(v))
+	}
+	remaining := n
+	for k := int32(0); remaining > 0; k++ {
+		for {
+			removed := false
+			for v := 0; v < n; v++ {
+				if alive[v] && deg[v] <= k {
+					alive[v] = false
+					core[v] = k
+					remaining--
+					removed = true
+					for _, u := range a.RowCols(v) {
+						if alive[u] {
+							deg[u]--
+						}
+					}
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+	}
+	return core
+}
+
+func TestKCoreMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := graphgen.ErdosRenyi(50, 140, seed)
+		res, err := KCore(a)
+		if err != nil {
+			return false
+		}
+		want := bruteCoreness(a)
+		for v := range want {
+			if res.Core[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKCoreKnownGraphs(t *testing.T) {
+	// K5: every vertex has coreness 4.
+	coo := sparse.NewCOO[float64](5, 5, 20)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				coo.Add(sparse.Index(i), sparse.Index(j), 1)
+			}
+		}
+	}
+	res, err := KCore(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res.Core {
+		if c != 4 {
+			t.Errorf("K5 core[%d] = %d, want 4", v, c)
+		}
+	}
+	if res.MaxCore != 4 {
+		t.Errorf("K5 degeneracy = %d, want 4", res.MaxCore)
+	}
+
+	// Path graph: everything is 1-core.
+	coo = sparse.NewCOO[float64](4, 4, 6)
+	for i := 0; i < 3; i++ {
+		coo.Add(sparse.Index(i), sparse.Index(i+1), 1)
+		coo.Add(sparse.Index(i+1), sparse.Index(i), 1)
+	}
+	res, err = KCore(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res.Core {
+		if c != 1 {
+			t.Errorf("path core[%d] = %d, want 1", v, c)
+		}
+	}
+}
+
+func TestKTrussInsideKCore(t *testing.T) {
+	// Structural theorem: every vertex of the (k+1)-truss lies in the
+	// k-core. Cross-validates the two peeling algorithms.
+	a := graphgen.RMAT(8, 10, 0.57, 0.19, 0.19, 33)
+	cores, err := KCore(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{3, 4, 5} {
+		truss, err := KTruss(a, k+1, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < truss.Truss.Rows; v++ {
+			if truss.Truss.RowNNZ(v) > 0 && cores.Core[v] < int32(k) {
+				t.Fatalf("vertex %d in %d-truss but only %d-core", v, k+1, cores.Core[v])
+			}
+		}
+	}
+}
+
+func TestKCoreEmptyAndErrors(t *testing.T) {
+	z := sparse.NewCSR[float64](0, 0, 0)
+	if res, err := KCore(z); err != nil || len(res.Core) != 0 {
+		t.Errorf("empty: %v %v", res, err)
+	}
+	rect := sparse.NewCSR[float64](3, 4, 0)
+	if _, err := KCore(rect); err == nil {
+		t.Error("rectangular accepted")
+	}
+}

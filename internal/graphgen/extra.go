@@ -1,0 +1,150 @@
+package graphgen
+
+import (
+	"math"
+
+	"maskedspgemm/internal/sparse"
+)
+
+// SmallWorld generates a Watts–Strogatz small-world graph: a ring
+// lattice where each vertex connects to its k nearest neighbors, with
+// each edge rewired to a uniform random endpoint with probability beta.
+// At beta=0 it is a pure lattice (road-like flat degrees, huge
+// diameter); at beta=1 it approaches a random graph — useful for
+// sweeping between the corpus's structural extremes.
+func SmallWorld(n, k int, beta float64, seed uint64) *sparse.CSR[Value] {
+	if k >= n {
+		k = n - 1
+	}
+	r := newRNG(seed)
+	coo := sparse.NewCOO[Value](n, n, int64(n*k))
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k/2; d++ {
+			t := (v + d) % n
+			if r.float64() < beta {
+				t = r.intn(n)
+			}
+			if t != v {
+				coo.Add(sparse.Index(v), sparse.Index(t), 1)
+			}
+		}
+	}
+	m := sparse.Symmetrize(coo.ToCSR())
+	for i := range m.Val {
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// Geometric generates a random geometric graph: n points uniform in the
+// unit square, an edge between every pair within distance radius.
+// Produces spatially clustered, road-network-adjacent structure with a
+// natural 2-D embedding. O(n²) pair check — intended for corpus-scale
+// n, not millions.
+func Geometric(n int, radius float64, seed uint64) *sparse.CSR[Value] {
+	r := newRNG(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.float64()
+		ys[i] = r.float64()
+	}
+	r2 := radius * radius
+	coo := sparse.NewCOO[Value](n, n, int64(n*8))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx*dx+dy*dy <= r2 {
+				coo.Add(sparse.Index(i), sparse.Index(j), 1)
+				coo.Add(sparse.Index(j), sparse.Index(i), 1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// ExpectedGeometricDegree returns the expected average degree of a
+// Geometric graph, ignoring boundary effects: n·π·r².
+func ExpectedGeometricDegree(n int, radius float64) float64 {
+	return float64(n) * math.Pi * radius * radius
+}
+
+// KroneckerNoisy generates an R-MAT graph with per-level probability
+// noise (Seshadhri et al.'s "noisy Kronecker" correction): at each
+// recursion level the quadrant probabilities are perturbed by ±noise,
+// which smooths R-MAT's artificial degree-distribution oscillations.
+// noise=0 reduces to plain RMAT.
+func KroneckerNoisy(scale, edgeFactor int, a, b, c, noise float64, seed uint64) *sparse.CSR[Value] {
+	n := 1 << scale
+	edges := edgeFactor * n
+	r := newRNG(seed)
+	coo := sparse.NewCOO[Value](n, n, int64(edges))
+	// Per-level perturbed parameters, fixed for the whole generation so
+	// the distribution stays consistent across edges.
+	la := make([]float64, scale)
+	lb := make([]float64, scale)
+	lc := make([]float64, scale)
+	for l := 0; l < scale; l++ {
+		d := noise * (2*r.float64() - 1)
+		la[l] = clampProb(a + d)
+		lb[l] = clampProb(b + d/2)
+		lc[l] = clampProb(c + d/2)
+		// Renormalize so the quadrant probabilities sum to at most 1.
+		if s := la[l] + lb[l] + lc[l]; s >= 1 {
+			la[l] /= s + 1e-3
+			lb[l] /= s + 1e-3
+			lc[l] /= s + 1e-3
+		}
+	}
+	for e := 0; e < edges; e++ {
+		var i, j int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.float64()
+			switch {
+			case p < la[bit]:
+			case p < la[bit]+lb[bit]:
+				j |= 1 << bit
+			case p < la[bit]+lb[bit]+lc[bit]:
+				i |= 1 << bit
+			default:
+				i |= 1 << bit
+				j |= 1 << bit
+			}
+		}
+		if i != j {
+			coo.Add(sparse.Index(i), sparse.Index(j), 1)
+		}
+	}
+	m := sparse.Symmetrize(coo.ToCSR())
+	for k := range m.Val {
+		m.Val[k] = 1
+	}
+	return m
+}
+
+func clampProb(p float64) float64 {
+	if p < 0.01 {
+		return 0.01
+	}
+	if p > 0.98 {
+		return 0.98
+	}
+	return p
+}
+
+// Bipartite generates a random bipartite-structured rectangular matrix
+// (rows×cols with approximately nnz entries) — the shape needed to
+// exercise the kernels' rectangular paths outside of square graph
+// benchmarks.
+func Bipartite(rows, cols int, nnz int64, seed uint64) *sparse.CSR[Value] {
+	r := newRNG(seed)
+	coo := sparse.NewCOO[Value](rows, cols, nnz)
+	for e := int64(0); e < nnz; e++ {
+		coo.Add(sparse.Index(r.intn(rows)), sparse.Index(r.intn(cols)), 1)
+	}
+	m := coo.ToCSR()
+	for i := range m.Val {
+		m.Val[i] = 1
+	}
+	return m
+}

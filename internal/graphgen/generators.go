@@ -1,0 +1,170 @@
+package graphgen
+
+import (
+	"maskedspgemm/internal/sparse"
+)
+
+// Value is the element type of generated adjacency matrices. The masked
+// SpGEMM study treats graphs structurally; 1.0 everywhere keeps PlusTimes
+// triangle counts exact in float64.
+type Value = float64
+
+// RMAT generates a recursive-matrix (Kronecker) graph: 2^scale vertices,
+// edgeFactor·2^scale directed edges drawn with quadrant probabilities
+// (a, b, c, d). With the Graph500 parameters (0.57, 0.19, 0.19, 0.05) it
+// produces the heavy-tailed degree distributions of social networks —
+// the com-Orkut / com-LiveJournal / hollywood-2009 family of Table I.
+// The result is symmetrized and diagonal-free.
+func RMAT(scale, edgeFactor int, a, b, c float64, seed uint64) *sparse.CSR[Value] {
+	n := 1 << scale
+	edges := edgeFactor * n
+	r := newRNG(seed)
+	coo := sparse.NewCOO[Value](n, n, int64(edges))
+	for e := 0; e < edges; e++ {
+		var i, j int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.float64()
+			switch {
+			case p < a: // top-left
+			case p < a+b: // top-right
+				j |= 1 << bit
+			case p < a+b+c: // bottom-left
+				i |= 1 << bit
+			default: // bottom-right
+				i |= 1 << bit
+				j |= 1 << bit
+			}
+		}
+		if i != j {
+			coo.Add(sparse.Index(i), sparse.Index(j), 1)
+		}
+	}
+	m := coo.ToCSR()
+	m = sparse.Symmetrize(m)
+	for k := range m.Val {
+		m.Val[k] = 1 // symmetrize may have summed duplicate edges
+	}
+	return m
+}
+
+// RoadNetwork generates a road-like graph: a width×height 2-D lattice
+// where each node connects to its right and down neighbors with
+// probability keep, plus a sprinkling of diagonal shortcuts. Degrees are
+// nearly uniform (2–4), diameters huge — the europe_osm / GAP-road
+// family, whose flat work distribution makes uniform tiling viable in
+// the paper's Fig. 11.
+func RoadNetwork(width, height int, keep float64, seed uint64) *sparse.CSR[Value] {
+	n := width * height
+	r := newRNG(seed)
+	coo := sparse.NewCOO[Value](n, n, int64(2*n))
+	id := func(x, y int) sparse.Index { return sparse.Index(y*width + x) }
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if x+1 < width && r.float64() < keep {
+				coo.Add(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < height && r.float64() < keep {
+				coo.Add(id(x, y), id(x, y+1), 1)
+			}
+			// Occasional diagonal: highway ramps and irregular junctions.
+			if x+1 < width && y+1 < height && r.float64() < 0.05 {
+				coo.Add(id(x, y), id(x+1, y+1), 1)
+			}
+		}
+	}
+	m := coo.ToCSR()
+	m = sparse.Symmetrize(m)
+	for k := range m.Val {
+		m.Val[k] = 1
+	}
+	return m
+}
+
+// WebGraph generates a web-crawl-like directed graph by the copying
+// model: each new page links to out randomly chosen targets, but with
+// probability copyProb it copies a link from an existing page instead of
+// choosing uniformly, yielding the scale-free in-degrees and locally
+// clustered structure of arabic-2005 / uk-2002 / as-Skitter. The result
+// keeps its directedness (the paper's web graphs are directed) but is
+// returned with sorted rows and unit values.
+func WebGraph(n, out int, copyProb float64, seed uint64) *sparse.CSR[Value] {
+	r := newRNG(seed)
+	coo := sparse.NewCOO[Value](n, n, int64(n*out))
+	// Flat list of all previously created links for O(1) copying.
+	targets := make([]sparse.Index, 0, n*out)
+	for v := 1; v < n; v++ {
+		for e := 0; e < out; e++ {
+			var t sparse.Index
+			if len(targets) > 0 && r.float64() < copyProb {
+				t = targets[r.intn(len(targets))]
+			} else {
+				t = sparse.Index(r.intn(v))
+			}
+			if t != sparse.Index(v) {
+				coo.Add(sparse.Index(v), t, 1)
+				targets = append(targets, t)
+			}
+		}
+	}
+	m := coo.ToCSR()
+	m = sparse.DropDiagonal(m)
+	for k := range m.Val {
+		m.Val[k] = 1
+	}
+	return m
+}
+
+// Circuit generates a circuit-simulation-like matrix: a banded sparse
+// core (local wiring) plus a few "rail" nodes connected to a large
+// fraction of all nodes (power/clock nets). The rails create a handful
+// of enormously dense rows exactly like circuit5M, the matrix whose
+// unmasked row products time out in the paper until co-iteration
+// rescues them (Fig. 14d). Symmetric, diagonal-free.
+func Circuit(n, band int, fill float64, rails int, railDegree int, seed uint64) *sparse.CSR[Value] {
+	r := newRNG(seed)
+	coo := sparse.NewCOO[Value](n, n, int64(n*3))
+	for i := 0; i < n; i++ {
+		// Local band wiring.
+		for d := 1; d <= band; d++ {
+			if i+d < n && r.float64() < fill {
+				coo.Add(sparse.Index(i), sparse.Index(i+d), 1)
+			}
+		}
+	}
+	// Rail nodes: the first `rails` vertices each connect to railDegree
+	// random vertices spread across the whole matrix.
+	for rail := 0; rail < rails; rail++ {
+		for e := 0; e < railDegree; e++ {
+			t := r.intn(n)
+			if t != rail {
+				coo.Add(sparse.Index(rail), sparse.Index(t), 1)
+			}
+		}
+	}
+	m := coo.ToCSR()
+	m = sparse.Symmetrize(m)
+	for k := range m.Val {
+		m.Val[k] = 1
+	}
+	return m
+}
+
+// ErdosRenyi generates a G(n, m)-style uniform random graph with
+// approximately edges directed edges before symmetrization. It is the
+// structureless control used by tests and property checks.
+func ErdosRenyi(n int, edges int, seed uint64) *sparse.CSR[Value] {
+	r := newRNG(seed)
+	coo := sparse.NewCOO[Value](n, n, int64(edges))
+	for e := 0; e < edges; e++ {
+		i, j := r.intn(n), r.intn(n)
+		if i != j {
+			coo.Add(sparse.Index(i), sparse.Index(j), 1)
+		}
+	}
+	m := coo.ToCSR()
+	m = sparse.Symmetrize(m)
+	for k := range m.Val {
+		m.Val[k] = 1
+	}
+	return m
+}

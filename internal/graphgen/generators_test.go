@@ -1,0 +1,156 @@
+package graphgen
+
+import (
+	"sort"
+	"testing"
+
+	"maskedspgemm/internal/sparse"
+)
+
+func checkAdjacency(t *testing.T, name string, m *sparse.CSR[Value], wantSymmetric bool) {
+	t.Helper()
+	if err := m.Check(); err != nil {
+		t.Fatalf("%s: malformed: %v", name, err)
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.Has(i, sparse.Index(i)) {
+			t.Fatalf("%s: self-loop at %d", name, i)
+		}
+	}
+	for _, v := range m.Val {
+		if v != 1 {
+			t.Fatalf("%s: non-unit value %v", name, v)
+		}
+	}
+	if wantSymmetric {
+		if !sparse.EqualPattern(m, sparse.Transpose(m)) {
+			t.Fatalf("%s: not symmetric", name)
+		}
+	}
+}
+
+func TestRMATStructure(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 42)
+	checkAdjacency(t, "rmat", g, true)
+	if g.Rows != 1024 {
+		t.Errorf("rows = %d, want 1024", g.Rows)
+	}
+	// Heavy-tailed: the max degree must dwarf the average.
+	s := sparse.ComputeStats(g, false)
+	if float64(s.MaxRowNNZ) < 5*s.AvgRowNNZ {
+		t.Errorf("RMAT not skewed: max %d vs avg %.1f", s.MaxRowNNZ, s.AvgRowNNZ)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(8, 4, 0.57, 0.19, 0.19, 7)
+	b := RMAT(8, 4, 0.57, 0.19, 0.19, 7)
+	if !sparse.Equal(a, b) {
+		t.Error("same seed produced different graphs")
+	}
+	c := RMAT(8, 4, 0.57, 0.19, 0.19, 8)
+	if sparse.Equal(a, c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRoadNetworkStructure(t *testing.T) {
+	g := RoadNetwork(40, 30, 0.95, 1)
+	checkAdjacency(t, "road", g, true)
+	if g.Rows != 1200 {
+		t.Errorf("rows = %d, want 1200", g.Rows)
+	}
+	// Flat degrees: max degree is bounded by the lattice structure
+	// (4 axis neighbors + up to 4 diagonal shortcut endpoints).
+	s := sparse.ComputeStats(g, false)
+	if s.MaxRowNNZ > 8 {
+		t.Errorf("road max degree %d, want <= 8", s.MaxRowNNZ)
+	}
+	if s.AvgRowNNZ < 2 {
+		t.Errorf("road too sparse: avg %.2f", s.AvgRowNNZ)
+	}
+}
+
+func TestWebGraphStructure(t *testing.T) {
+	g := WebGraph(2000, 8, 0.5, 3)
+	checkAdjacency(t, "web", g, false)
+	// Directed: it should NOT be symmetric.
+	if sparse.EqualPattern(g, sparse.Transpose(g)) {
+		t.Error("web graph unexpectedly symmetric")
+	}
+	// Scale-free in-degree: some page must have far more in-links than
+	// the mean out-degree.
+	indeg := sparse.RowDegrees(sparse.Transpose(g))
+	sort.Slice(indeg, func(a, b int) bool { return indeg[a] > indeg[b] })
+	if indeg[0] < 40 {
+		t.Errorf("web top in-degree %d, want >= 40 (copying model should concentrate)", indeg[0])
+	}
+}
+
+func TestCircuitStructure(t *testing.T) {
+	g := Circuit(3000, 3, 0.6, 4, 600, 9)
+	checkAdjacency(t, "circuit", g, true)
+	s := sparse.ComputeStats(g, false)
+	// The rails give a handful of enormous rows on a thin banded core.
+	if s.MaxRowNNZ < 300 {
+		t.Errorf("circuit rail degree %d too small", s.MaxRowNNZ)
+	}
+	deg := sparse.RowDegrees(g)
+	var thin int
+	for _, d := range deg[100:] { // skip the rail region
+		if d <= 12 {
+			thin++
+		}
+	}
+	if thin < 2500 {
+		t.Errorf("circuit body not banded: only %d thin rows", thin)
+	}
+}
+
+func TestErdosRenyiStructure(t *testing.T) {
+	g := ErdosRenyi(500, 2000, 11)
+	checkAdjacency(t, "er", g, true)
+	s := sparse.ComputeStats(g, false)
+	if s.NNZ < 3000 || s.NNZ > 4100 {
+		t.Errorf("ER nnz = %d, want ~2*2000 minus collisions", s.NNZ)
+	}
+}
+
+func TestGeneratorsAllDeterministic(t *testing.T) {
+	pairs := []struct {
+		name string
+		gen  func(seed uint64) *sparse.CSR[Value]
+	}{
+		{"road", func(s uint64) *sparse.CSR[Value] { return RoadNetwork(20, 20, 0.9, s) }},
+		{"web", func(s uint64) *sparse.CSR[Value] { return WebGraph(300, 4, 0.4, s) }},
+		{"circuit", func(s uint64) *sparse.CSR[Value] { return Circuit(300, 2, 0.5, 2, 50, s) }},
+		{"er", func(s uint64) *sparse.CSR[Value] { return ErdosRenyi(200, 400, s) }},
+	}
+	for _, p := range pairs {
+		if !sparse.Equal(p.gen(5), p.gen(5)) {
+			t.Errorf("%s: nondeterministic for fixed seed", p.name)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Coarse sanity on splitmix64: bucket counts within 10% of uniform.
+	r := newRNG(99)
+	const buckets, draws = 16, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d has %d draws, want ~%d", b, c, want)
+		}
+	}
+	// float64 stays in [0,1).
+	for i := 0; i < 1000; i++ {
+		if f := r.float64(); f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %v", f)
+		}
+	}
+}

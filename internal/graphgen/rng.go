@@ -1,0 +1,33 @@
+// Package graphgen generates the synthetic graph corpus that stands in
+// for the paper's SuiteSparse Matrix Collection selection (Table I).
+// The paper draws matrices from four structural families — web graphs,
+// social networks, road networks, and circuit simulations — whose
+// degree distributions and sparsity patterns drive the performance
+// effects under study. One deterministic generator per family
+// reproduces those features at a scale the benchmark host can run.
+package graphgen
+
+// rng is SplitMix64: a tiny, fast, high-quality 64-bit PRNG with a
+// one-word state, sufficient for structural generation and fully
+// deterministic across platforms (unlike math/rand's global state).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float64 returns a uniform float in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,166 @@
+// Package model implements the execution-time configuration predictor
+// the paper's conclusion calls for: "build models which can
+// intelligently tune the parameters at execution time, rather than
+// offline for the average case." The model extracts cheap structural
+// features from the operands (one O(nnz) pass — the same pass the
+// FLOP-balanced tiler already needs) and maps them to a kernel
+// configuration with decision rules distilled from the paper's
+// experimental findings (§V).
+package model
+
+import (
+	"fmt"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// Features are the structural quantities the predictor decides on. All
+// are computable in one pass over the operand structure.
+type Features struct {
+	// Rows and Cols are the output dimensions.
+	Rows, Cols int
+	// MaskNNZ, Flops, MaxMaskRow, MaxRowFlops come from the symbolic
+	// profile (Eqs. 2–3 quantities).
+	MaskNNZ, Flops          int64
+	MaxMaskRow, MaxRowFlops int64
+	// DegreeSkew is max row nnz of A over the average — near 1 for road
+	// networks, large for social/web hubs.
+	DegreeSkew float64
+	// MaskDensity is MaskNNZ / (Rows·Cols).
+	MaskDensity float64
+	// CoIterSpeedup is the Eq. 3 model's predicted gain of the hybrid
+	// traversal over pure linear scanning at κ=1.
+	CoIterSpeedup float64
+	// AvgFlopsPerUpdatePos is Flops / MaskNNZ: how many candidate
+	// updates compete for each potential output — high values mean the
+	// mask is much sparser than the products (the circuit5M signature).
+	AvgFlopsPerUpdatePos float64
+}
+
+// Extract computes the features of C = M ⊙ (A × B).
+func Extract[T sparse.Number](m, a, b *sparse.CSR[T]) (Features, error) {
+	p, err := core.ProfileMasked(m, a, b, 1)
+	if err != nil {
+		return Features{}, err
+	}
+	f := Features{
+		Rows: m.Rows, Cols: m.Cols,
+		MaskNNZ: p.MaskNNZ, Flops: p.Flops,
+		MaxMaskRow: p.MaxMaskRow, MaxRowFlops: p.MaxRowFlops,
+		CoIterSpeedup: p.PredictedCoIterSpeedup(),
+	}
+	var maxA int64
+	for i := 0; i < a.Rows; i++ {
+		if n := a.RowNNZ(i); n > maxA {
+			maxA = n
+		}
+	}
+	if a.Rows > 0 && a.NNZ() > 0 {
+		f.DegreeSkew = float64(maxA) * float64(a.Rows) / float64(a.NNZ())
+	} else {
+		f.DegreeSkew = 1
+	}
+	if m.Rows > 0 && m.Cols > 0 {
+		f.MaskDensity = float64(p.MaskNNZ) / (float64(m.Rows) * float64(m.Cols))
+	}
+	if p.MaskNNZ > 0 {
+		f.AvgFlopsPerUpdatePos = float64(p.Flops) / float64(p.MaskNNZ)
+	}
+	return f, nil
+}
+
+// Thresholds are the decision boundaries of the predictor; the defaults
+// encode the paper's findings and can be re-fit from sweep data.
+type Thresholds struct {
+	// CoIterGain is the minimum predicted speedup before the hybrid
+	// space is worth its per-pair decision overhead.
+	CoIterGain float64
+	// DenseCols is the largest column dimension for which the dense
+	// accumulator's state vector is considered cache-friendly.
+	DenseCols int
+	// DenseMaskRowFrac: above this mask-row density (MaxMaskRow/Cols)
+	// the dense accumulator wins regardless of dimension.
+	DenseMaskRowFrac float64
+	// RowsPerTile is the target granularity: tiles ≈ rows/RowsPerTile,
+	// clamped to [MinTiles, MaxTiles].
+	RowsPerTile        int
+	MinTiles, MaxTiles int
+}
+
+// DefaultThresholds encodes §V: balanced+dynamic with ~2048 tiles works
+// for 80–90% of matrices; co-iteration helps when the model predicts
+// ≥ 15% gain; dense accumulators win on small dimensions (≤ 2¹⁶) and
+// dense masks; 32-bit markers are the sweet spot.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		CoIterGain:       1.15,
+		DenseCols:        1 << 16,
+		DenseMaskRowFrac: 1.0 / 64,
+		RowsPerTile:      16,
+		MinTiles:         64,
+		MaxTiles:         2048,
+	}
+}
+
+// Predict maps features to a kernel configuration.
+func Predict(f Features, th Thresholds, workers int) core.Config {
+	cfg := core.Config{
+		Kappa:      1,
+		MarkerBits: 32, // Fig. 13 sweet spot
+		Tiling:     tiling.FlopBalanced,
+		Schedule:   sched.Dynamic,
+		Workers:    workers,
+	}
+
+	// Iteration space: hybrid only if the Eq. 3 model predicts real
+	// savings; otherwise the plain mask-load scan avoids per-pair
+	// decision overhead.
+	if f.CoIterSpeedup >= th.CoIterGain {
+		cfg.Iteration = core.Hybrid
+	} else {
+		cfg.Iteration = core.MaskLoad
+	}
+
+	// Accumulator: §III-C guidance, quantified.
+	dense := f.Cols <= th.DenseCols
+	if !dense && f.Cols > 0 &&
+		float64(f.MaxMaskRow) >= th.DenseMaskRowFrac*float64(f.Cols) {
+		dense = true
+	}
+	if dense {
+		cfg.Accumulator = accum.DenseKind
+	} else {
+		cfg.Accumulator = accum.HashKind
+	}
+
+	// Tile count: enough tiles for dynamic balancing, not so many that
+	// per-tile overhead dominates (Fig. 11's high-tile-count collapse).
+	t := f.Rows / max(th.RowsPerTile, 1)
+	if t < th.MinTiles {
+		t = th.MinTiles
+	}
+	if t > th.MaxTiles {
+		t = th.MaxTiles
+	}
+	cfg.Tiles = t
+	return cfg
+}
+
+// PredictConfig extracts features and predicts in one call — the
+// "execution time" entry point (cost: one structural pass, ~the same
+// as the FLOP-balanced tiler itself).
+func PredictConfig[T sparse.Number](m, a, b *sparse.CSR[T], workers int) (core.Config, Features, error) {
+	f, err := Extract(m, a, b)
+	if err != nil {
+		return core.Config{}, Features{}, err
+	}
+	cfg := Predict(f, DefaultThresholds(), workers)
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, Features{}, fmt.Errorf("model: predicted invalid config: %w", err)
+	}
+	return cfg, f, nil
+}

@@ -1,0 +1,138 @@
+package model
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/graphgen"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// Test-scale versions of the benchmark corpus families (kept local to
+// avoid an import cycle with internal/bench, which imports this
+// package).
+var testFamilies = map[string]func() *sparse.CSR[float64]{
+	"circuit": func() *sparse.CSR[float64] { return graphgen.Circuit(937, 3, 0.6, 4, 117, 0xC1AC) },
+	"road":    func() *sparse.CSR[float64] { return graphgen.RoadNetwork(57, 50, 0.95, 0x6A9) },
+	"social":  func() *sparse.CSR[float64] { return graphgen.RMAT(9, 20, 0.57, 0.19, 0.19, 0x0870) },
+	"web":     func() *sparse.CSR[float64] { return graphgen.WebGraph(1250, 14, 0.6, 0xA2AB1C) },
+	"er":      func() *sparse.CSR[float64] { return graphgen.ErdosRenyi(600, 2400, 7) },
+}
+
+func TestExtractFeatures(t *testing.T) {
+	a := graphgen.ErdosRenyi(200, 800, 3)
+	f, err := Extract(a, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MaskNNZ != a.NNZ() || f.Rows != 200 {
+		t.Errorf("features wrong: %+v", f)
+	}
+	if f.DegreeSkew < 1 {
+		t.Errorf("skew %v < 1", f.DegreeSkew)
+	}
+	if f.MaskDensity <= 0 || f.MaskDensity > 1 {
+		t.Errorf("density %v out of range", f.MaskDensity)
+	}
+	if f.CoIterSpeedup < 1 {
+		t.Errorf("predicted speedup %v < 1 at κ=1", f.CoIterSpeedup)
+	}
+}
+
+func TestPredictOnCorpusFamilies(t *testing.T) {
+	// Circuit: the mask is far sparser than the products; the model must
+	// choose the hybrid space (the co-iteration rescue of Fig. 14d).
+	a := testFamilies["circuit"]()
+	cfg, f, err := PredictConfig(a, a, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Iteration != core.Hybrid {
+		t.Errorf("circuit: predicted %v, want Hybrid (speedup model says %.2fx)",
+			cfg.Iteration, f.CoIterSpeedup)
+	}
+
+	// Road: flat degrees, co-iteration is ~neutral (Fig. 14a); either
+	// space is acceptable but the config must be valid and the tile
+	// count modest for the small row count.
+	road := testFamilies["road"]()
+	cfg, _, err = PredictConfig(road, road, road, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tiles > 2048 {
+		t.Errorf("road: %d tiles exceeds the recommended cap", cfg.Tiles)
+	}
+
+	// Small dimension: dense accumulator.
+	if cfg.Accumulator != accum.DenseKind {
+		t.Errorf("small-dimension graph: predicted %v, want Dense", cfg.Accumulator)
+	}
+}
+
+func TestPredictLargeSparse(t *testing.T) {
+	// Large dimension with thin mask rows: hash accumulator.
+	coo := sparse.NewCOO[float64](1<<17, 1<<17, 8)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 1)
+	coo.Add(70000, 90000, 1)
+	coo.Add(90000, 70000, 1)
+	a := coo.ToCSR()
+	cfg, _, err := PredictConfig(a, a, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Accumulator != accum.HashKind {
+		t.Errorf("large sparse: predicted %v, want Hash", cfg.Accumulator)
+	}
+}
+
+func TestPredictedConfigsRun(t *testing.T) {
+	// Every structural family's predicted config must validate and
+	// produce the same result as the default config.
+	for name, build := range testFamilies {
+		a := build()
+		cfg, _, err := PredictConfig(a, a, a, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sr := semiring.PlusTimes[float64]{}
+		got, err := core.MaskedSpGEMM[float64](sr, a, a, a, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := core.MaskedSpGEMM[float64](sr, a, a, a, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.Equal(got, want) {
+			t.Errorf("%s: predicted config changed the result", name)
+		}
+	}
+}
+
+func TestThresholdKnobs(t *testing.T) {
+	f := Features{Rows: 100000, Cols: 1 << 20, MaxMaskRow: 5, CoIterSpeedup: 1.0}
+	th := DefaultThresholds()
+	cfg := Predict(f, th, 0)
+	if cfg.Iteration != core.MaskLoad || cfg.Accumulator != accum.HashKind {
+		t.Errorf("baseline prediction wrong: %v", cfg)
+	}
+	// Lowering the gain threshold flips to hybrid.
+	th.CoIterGain = 0.5
+	if Predict(f, th, 0).Iteration != core.Hybrid {
+		t.Error("gain threshold not honored")
+	}
+	// A dense mask row flips to dense accumulator despite the dimension.
+	f.MaxMaskRow = 1 << 19
+	if Predict(f, DefaultThresholds(), 0).Accumulator != accum.DenseKind {
+		t.Error("dense mask-row rule not honored")
+	}
+	// Tile clamping.
+	tiny := Features{Rows: 10, Cols: 10, CoIterSpeedup: 1}
+	if got := Predict(tiny, DefaultThresholds(), 0).Tiles; got != 64 {
+		t.Errorf("tiny graph tiles = %d, want MinTiles 64", got)
+	}
+}

@@ -1,0 +1,151 @@
+package mtx
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+
+	"maskedspgemm/internal/sparse"
+)
+
+// Binary CSR container: a fast native serialization for caching
+// generated corpora between benchmark runs, where re-parsing
+// MatrixMarket text would dominate. Layout (little endian):
+//
+//	magic "CSRB" | version u32 | rows i64 | cols i64 | nnz i64
+//	rowptr [rows+1]i64 | colidx [nnz]i32 | vals [nnz]f64
+//	crc64(ECMA) of everything above
+const (
+	binaryMagic   = "CSRB"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes m in the binary CSR container format.
+func WriteBinary(w io.Writer, m *sparse.CSR[float64]) error {
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("mtx: write binary header: %w", err)
+	}
+	for _, v := range []int64{binaryVersion, int64(m.Rows), int64(m.Cols), m.NNZ()} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("mtx: write binary header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.RowPtr); err != nil {
+		return fmt.Errorf("mtx: write rowptr: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.ColIdx); err != nil {
+		return fmt.Errorf("mtx: write colidx: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Val); err != nil {
+		return fmt.Errorf("mtx: write vals: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mtx: flush: %w", err)
+	}
+	// The checksum goes directly to w (it must not hash itself).
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum64()); err != nil {
+		return fmt.Errorf("mtx: write checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary parses the binary CSR container, verifying the checksum
+// (by re-hashing the canonical serialization of the parsed payload)
+// and every structural invariant before returning.
+func ReadBinary(r io.Reader) (*sparse.CSR[float64], error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("mtx: read binary magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("mtx: bad magic %q", magic)
+	}
+	var version, rows, cols, nnz int64
+	for _, p := range []*int64{&version, &rows, &cols, &nnz} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("mtx: read binary header: %w", err)
+		}
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("mtx: unsupported binary version %d", version)
+	}
+	const maxDim = 1 << 31
+	if rows < 0 || cols < 0 || rows > maxDim || cols > maxDim || nnz < 0 {
+		return nil, fmt.Errorf("mtx: implausible header %dx%d nnz=%d", rows, cols, nnz)
+	}
+	if nnz > (rows+1)*cols && rows > 0 {
+		return nil, fmt.Errorf("mtx: nnz %d exceeds matrix capacity", nnz)
+	}
+	m := &sparse.CSR[float64]{
+		Rows:   int(rows),
+		Cols:   int(cols),
+		RowPtr: make([]int64, rows+1),
+		ColIdx: make([]sparse.Index, nnz),
+		Val:    make([]float64, nnz),
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.RowPtr); err != nil {
+		return nil, fmt.Errorf("mtx: read rowptr: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.ColIdx); err != nil {
+		return nil, fmt.Errorf("mtx: read colidx: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.Val); err != nil {
+		return nil, fmt.Errorf("mtx: read vals: %w", err)
+	}
+	var got uint64
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("mtx: read checksum: %w", err)
+	}
+	payloadCRC, err := recomputePayloadCRC(m)
+	if err != nil {
+		return nil, err
+	}
+	if payloadCRC != got {
+		return nil, fmt.Errorf("mtx: checksum mismatch (file corrupt)")
+	}
+	for _, v := range m.Val {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("mtx: NaN value in binary payload")
+		}
+	}
+	if err := m.Check(); err != nil {
+		return nil, fmt.Errorf("mtx: binary payload malformed: %w", err)
+	}
+	return m, nil
+}
+
+// recomputePayloadCRC hashes the canonical serialization of m, which by
+// construction equals what WriteBinary hashed.
+func recomputePayloadCRC(m *sparse.CSR[float64]) (uint64, error) {
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	bw := bufio.NewWriterSize(crc, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return 0, err
+	}
+	for _, v := range []int64{binaryVersion, int64(m.Rows), int64(m.Cols), m.NNZ()} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return 0, err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.RowPtr); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.ColIdx); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Val); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return crc.Sum64(), nil
+}

@@ -1,0 +1,128 @@
+package mtx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"maskedspgemm/internal/graphgen"
+	"maskedspgemm/internal/sparse"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := graphgen.ErdosRenyi(60, 200, seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return sparse.Equal(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEmptyMatrix(t *testing.T) {
+	m := sparse.NewCSR[float64](0, 0, 0)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != 0 || back.NNZ() != 0 {
+		t.Error("empty matrix round trip wrong")
+	}
+}
+
+func TestBinaryDetectsCorruption(t *testing.T) {
+	m := graphgen.ErdosRenyi(40, 120, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip one payload byte: the checksum must catch it (or the CSR
+	// invariant check, for corruptions that keep the checksum region).
+	for _, pos := range []int{5, 40, len(pristine) / 2, len(pristine) - 9} {
+		corrupt := append([]byte(nil), pristine...)
+		corrupt[pos] ^= 0x40
+		if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("corruption at byte %d not detected", pos)
+		}
+	}
+
+	// Truncation.
+	if _, err := ReadBinary(bytes.NewReader(pristine[:len(pristine)/2])); err == nil {
+		t.Error("truncation not detected")
+	}
+	// Wrong magic.
+	bad := append([]byte("NOPE"), pristine[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic not detected")
+	}
+	// Empty stream.
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream not detected")
+	}
+}
+
+func TestBinaryTextEquivalence(t *testing.T) {
+	// Both containers must reproduce the same matrix. (Binary exists for
+	// parse speed, not size: for unit-valued graphs the "i j 1" text
+	// form is byte-competitive, but text parsing dominates load time.)
+	m := graphgen.RMAT(9, 8, 0.57, 0.19, 0.19, 8)
+	var text, bin bytes.Buffer
+	if err := Write(&text, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, m); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := Read(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(fromText, fromBin) {
+		t.Error("text and binary containers disagree")
+	}
+}
+
+// BenchmarkLoadFormats quantifies why the binary container exists.
+func BenchmarkLoadFormats(b *testing.B) {
+	m := graphgen.RMAT(11, 8, 0.57, 0.19, 0.19, 8)
+	var text, bin bytes.Buffer
+	if err := Write(&text, m); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteBinary(&bin, m); err != nil {
+		b.Fatal(err)
+	}
+	textBytes, binBytes := text.Bytes(), bin.Bytes()
+	b.Run("Text", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Read(bytes.NewReader(textBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadBinary(bytes.NewReader(binBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

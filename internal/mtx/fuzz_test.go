@@ -1,0 +1,41 @@
+package mtx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the MatrixMarket parser never panics and that every
+// successfully parsed matrix satisfies the CSR invariants and
+// round-trips through Write.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 -7\n")
+	f.Add("%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9\n1 1 1\n")
+	f.Add("garbage\n1 2 3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("accepted malformed matrix: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("write failed on accepted matrix: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NNZ() != m.NNZ() || back.Rows != m.Rows || back.Cols != m.Cols {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package mtx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"maskedspgemm/internal/graphgen"
+	"maskedspgemm/internal/sparse"
+)
+
+func TestReadGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 4
+1 1 2.5
+1 3 -1
+3 2 7
+2 4 0.5
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.NNZ() != 4 {
+		t.Fatalf("shape %dx%d nnz %d", m.Rows, m.Cols, m.NNZ())
+	}
+	if m.At(0, 0) != 2.5 || m.At(0, 2) != -1 || m.At(2, 1) != 7 || m.At(1, 3) != 0.5 {
+		t.Error("values wrong")
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer symmetric
+3 3 3
+2 1 4
+3 1 5
+3 3 6
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal entries expand; diagonal does not.
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5", m.NNZ())
+	}
+	if m.At(0, 1) != 4 || m.At(1, 0) != 4 || m.At(2, 2) != 6 {
+		t.Error("symmetric expansion wrong")
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 1 || m.At(1, 0) != 1 {
+		t.Error("pattern values must be 1")
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != -3 {
+		t.Errorf("skew expansion wrong: %v %v", m.At(1, 0), m.At(0, 1))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad banner":      "%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"array format":    "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex field":   "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad size":        "%%MatrixMarket matrix coordinate real general\nnope\n",
+		"out of bounds":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"missing entries": "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1\n",
+		"bad value":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+		"bad index":       "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := graphgen.ErdosRenyi(30, 60, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return sparse.Equal(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternRoundTrip(t *testing.T) {
+	m := graphgen.RMAT(6, 4, 0.57, 0.19, 0.19, 3)
+	var buf bytes.Buffer
+	if err := WritePattern(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.EqualPattern(m, back) {
+		t.Error("pattern round trip changed structure")
+	}
+}

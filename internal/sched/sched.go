@@ -1,0 +1,99 @@
+// Package sched runs tiles on a fixed pool of worker goroutines with
+// either static or dynamic assignment — the Go analogue of OpenMP's
+// schedule(static) and schedule(dynamic) that the paper sweeps
+// (§III-A, Fig. 11).
+//
+// Static: tile t is owned by worker t mod P, decided before execution;
+// no coordination at runtime, but a slow tile stalls its owner.
+// Dynamic: workers pull the next unclaimed tile from a shared atomic
+// counter; balance is recovered at the cost of one atomic op per tile.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects how tiles are assigned to workers.
+type Policy int
+
+const (
+	// Static assigns tiles round-robin to workers before execution.
+	Static Policy = iota
+	// Dynamic lets workers claim tiles from a shared queue at runtime.
+	Dynamic
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "Static"
+	case Dynamic:
+		return "Dynamic"
+	default:
+		return "Unknown"
+	}
+}
+
+// Workers returns the worker count to use: w if positive, otherwise
+// GOMAXPROCS (the paper pins one thread per core).
+func Workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn(worker, tile) for every tile index in [0, tiles),
+// using the given policy over p workers. fn must be safe for concurrent
+// invocation with distinct tile indices; the worker id lets callers keep
+// per-worker scratch (accumulators, output buffers) without locking.
+// When p == 1 the tiles run inline on the caller's goroutine, so
+// single-worker measurements carry no goroutine overhead.
+func Run(policy Policy, p, tiles int, fn func(worker, tile int)) {
+	p = Workers(p)
+	if p > tiles {
+		p = tiles
+	}
+	if p <= 1 {
+		for t := 0; t < tiles; t++ {
+			fn(0, t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	switch policy {
+	case Static:
+		for w := 0; w < p; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for t := w; t < tiles; t += p {
+					fn(w, t)
+				}
+			}(w)
+		}
+	case Dynamic:
+		var next atomic.Int64
+		for w := 0; w < p; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= tiles {
+						return
+					}
+					fn(w, t)
+				}
+			}(w)
+		}
+	default:
+		panic("sched: unknown policy")
+	}
+	wg.Wait()
+}
+
+// StaticOwner returns the worker that owns tile t under the static
+// policy with p workers — exposed so tests can verify assignment.
+func StaticOwner(t, p int) int { return t % p }

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunExecutesEveryTileOnce(t *testing.T) {
+	for _, policy := range []Policy{Static, Dynamic} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			const tiles = 103
+			var counts [tiles]atomic.Int32
+			Run(policy, workers, tiles, func(_, tile int) {
+				counts[tile].Add(1)
+			})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Errorf("%v/p=%d: tile %d ran %d times", policy, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRunWorkerIDsInRange(t *testing.T) {
+	for _, policy := range []Policy{Static, Dynamic} {
+		const workers, tiles = 4, 50
+		var bad atomic.Int32
+		Run(policy, workers, tiles, func(w, _ int) {
+			if w < 0 || w >= workers {
+				bad.Add(1)
+			}
+		})
+		if bad.Load() != 0 {
+			t.Errorf("%v: worker id out of range", policy)
+		}
+	}
+}
+
+func TestStaticAssignmentIsDeterministic(t *testing.T) {
+	// Under the static policy, tile t must always run on worker t mod p.
+	const workers, tiles = 3, 30
+	owner := make([]int, tiles)
+	var mu sync.Mutex
+	Run(Static, workers, tiles, func(w, tile int) {
+		mu.Lock()
+		owner[tile] = w
+		mu.Unlock()
+	})
+	for tile, w := range owner {
+		if w != StaticOwner(tile, workers) {
+			t.Errorf("tile %d ran on worker %d, want %d", tile, w, StaticOwner(tile, workers))
+		}
+	}
+}
+
+func TestWorkerScratchIsolation(t *testing.T) {
+	// Per-worker scratch must never be touched concurrently: bump a
+	// non-atomic counter per worker and verify the total.
+	const workers, tiles = 4, 1000
+	scratch := make([]int64, workers)
+	Run(Dynamic, workers, tiles, func(w, _ int) {
+		scratch[w]++ // safe iff worker w is single-threaded
+	})
+	var total int64
+	for _, s := range scratch {
+		total += s
+	}
+	if total != tiles {
+		t.Errorf("scratch total %d, want %d (lost updates => worker ids unsafe)", total, tiles)
+	}
+}
+
+func TestSingleWorkerRunsInline(t *testing.T) {
+	// With one worker the tiles must run on the calling goroutine in
+	// order — verified by observing strictly increasing tile ids without
+	// synchronization.
+	last := -1
+	ok := true
+	Run(Dynamic, 1, 20, func(_, tile int) {
+		if tile != last+1 {
+			ok = false
+		}
+		last = tile
+	})
+	if !ok || last != 19 {
+		t.Error("single-worker execution not inline/in-order")
+	}
+}
+
+func TestRunZeroTiles(t *testing.T) {
+	for _, policy := range []Policy{Static, Dynamic} {
+		ran := false
+		Run(policy, 4, 0, func(_, _ int) { ran = true })
+		if ran {
+			t.Errorf("%v: fn invoked with zero tiles", policy)
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Error("Workers(0) must be at least 1")
+	}
+	if Workers(5) != 5 {
+		t.Error("Workers(5) must be 5")
+	}
+}
+
+func TestRunPropertyAllPoliciesAllSizes(t *testing.T) {
+	f := func(pRaw, tRaw uint8, dynamic bool) bool {
+		p := int(pRaw%8) + 1
+		tiles := int(tRaw % 64)
+		policy := Static
+		if dynamic {
+			policy = Dynamic
+		}
+		var n atomic.Int64
+		Run(policy, p, tiles, func(_, _ int) { n.Add(1) })
+		return n.Load() == int64(tiles)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

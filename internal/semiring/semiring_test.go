@@ -1,0 +1,127 @@
+package semiring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// checkSemiringLaws verifies the semiring axioms on sampled values:
+// Plus associativity/commutativity, Zero as additive identity, and
+// Times distributing over Plus (where exact arithmetic permits).
+func checkSemiringLaws[T int64 | float64](t *testing.T, name string, s Semiring[T], exact bool) {
+	t.Helper()
+	f := func(a, b, c int16) bool {
+		x, y, z := T(a), T(b), T(c)
+		if s.Plus(x, y) != s.Plus(y, x) {
+			return false
+		}
+		if s.Plus(s.Plus(x, y), z) != s.Plus(x, s.Plus(y, z)) {
+			return false
+		}
+		if s.Plus(x, s.Zero()) != x {
+			return false
+		}
+		if exact {
+			// x*(y+z) == x*y + x*z
+			lhs := s.Times(x, s.Plus(y, z))
+			rhs := s.Plus(s.Times(x, y), s.Times(x, z))
+			if lhs != rhs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestPlusTimesLaws(t *testing.T) {
+	checkSemiringLaws[int64](t, "PlusTimes[int64]", PlusTimes[int64]{}, true)
+	checkSemiringLaws[float64](t, "PlusTimes[float64]", PlusTimes[float64]{}, false)
+}
+
+func TestMinPlusLaws(t *testing.T) {
+	s := MinPlus[int64]{Inf: math.MaxInt64 / 4}
+	// Distributivity holds for min-plus: x+(min(y,z)) == min(x+y, x+z).
+	checkSemiringLaws[int64](t, "MinPlus[int64]", s, true)
+}
+
+func TestOrAndLaws(t *testing.T) {
+	// OrAnd normalizes every result to {0,1}, so the algebraic laws hold
+	// on that carrier set; test on normalized inputs.
+	s := OrAnd[int64]{}
+	f := func(a, b, c bool) bool {
+		bit := func(v bool) int64 {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		x, y, z := bit(a), bit(b), bit(c)
+		if s.Plus(x, y) != s.Plus(y, x) || s.Plus(s.Plus(x, y), z) != s.Plus(x, s.Plus(y, z)) {
+			return false
+		}
+		if s.Plus(x, s.Zero()) != x {
+			return false
+		}
+		return s.Times(x, s.Plus(y, z)) == s.Plus(s.Times(x, y), s.Times(x, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlusPair(t *testing.T) {
+	s := PlusPair[int64]{}
+	if s.Times(17, -3) != 1 || s.Times(0, 0) != 1 {
+		t.Error("PlusPair.Times must always yield 1")
+	}
+	if s.Plus(2, 3) != 5 || s.Zero() != 0 {
+		t.Error("PlusPair additive monoid wrong")
+	}
+}
+
+func TestPlusSecond(t *testing.T) {
+	s := PlusSecond[float64]{}
+	if s.Times(99, 7) != 7 {
+		t.Error("PlusSecond.Times must return the second operand")
+	}
+}
+
+func TestOrAndTruthTable(t *testing.T) {
+	s := OrAnd[int64]{}
+	cases := []struct{ x, y, or, and int64 }{
+		{0, 0, 0, 0}, {0, 1, 1, 0}, {1, 0, 1, 0}, {1, 1, 1, 1}, {5, -2, 1, 1},
+	}
+	for _, c := range cases {
+		if got := s.Plus(c.x, c.y); got != c.or {
+			t.Errorf("Or(%d,%d) = %d, want %d", c.x, c.y, got, c.or)
+		}
+		if got := s.Times(c.x, c.y); got != c.and {
+			t.Errorf("And(%d,%d) = %d, want %d", c.x, c.y, got, c.and)
+		}
+	}
+}
+
+func TestMinFirst(t *testing.T) {
+	s := MinFirst[int64]{Inf: math.MaxInt64 / 4}
+	if s.Times(7, 99) != 7 {
+		t.Error("MinFirst.Times must return the first operand")
+	}
+	if s.Plus(3, 5) != 3 || s.Plus(5, 3) != 3 {
+		t.Error("MinFirst.Plus must take the minimum")
+	}
+	if s.Plus(42, s.Zero()) != 42 {
+		t.Error("Zero must be the additive identity (acts as +inf)")
+	}
+}
+
+func TestMinPlusShortestPathStep(t *testing.T) {
+	s := MinPlus[float64]{Inf: math.Inf(1)}
+	// Relaxing an infinite distance with an edge weight gives the weight path.
+	if got := s.Plus(s.Zero(), s.Times(3, 4)); got != 7 {
+		t.Errorf("min(inf, 3+4) = %v, want 7", got)
+	}
+}

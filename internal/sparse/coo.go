@@ -1,0 +1,102 @@
+package sparse
+
+import "sort"
+
+// COO is a sparse matrix in coordinate (triplet) format. It is the
+// staging format for matrix construction: generators and the
+// MatrixMarket reader emit triples in arbitrary order, COO sorts and
+// merges them, and ToCSR produces the kernel-ready representation.
+type COO[T Number] struct {
+	Rows, Cols int
+	I, J       []Index
+	V          []T
+}
+
+// NewCOO allocates an empty triplet matrix with the given shape.
+func NewCOO[T Number](rows, cols int, nnzCap int64) *COO[T] {
+	return &COO[T]{
+		Rows: rows,
+		Cols: cols,
+		I:    make([]Index, 0, nnzCap),
+		J:    make([]Index, 0, nnzCap),
+		V:    make([]T, 0, nnzCap),
+	}
+}
+
+// Add appends one triple. No deduplication happens here; call Dedup (or
+// rely on ToCSR, which dedups by summation) before handing the matrix to
+// a kernel.
+func (c *COO[T]) Add(i, j Index, v T) {
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// NNZ returns the number of stored triples (including duplicates).
+func (c *COO[T]) NNZ() int64 { return int64(len(c.I)) }
+
+// Sort orders the triples row-major (by row, then column) in place.
+func (c *COO[T]) Sort() {
+	sort.Sort(cooSorter[T]{c})
+}
+
+type cooSorter[T Number] struct{ c *COO[T] }
+
+func (s cooSorter[T]) Len() int { return len(s.c.I) }
+func (s cooSorter[T]) Less(a, b int) bool {
+	if s.c.I[a] != s.c.I[b] {
+		return s.c.I[a] < s.c.I[b]
+	}
+	return s.c.J[a] < s.c.J[b]
+}
+func (s cooSorter[T]) Swap(a, b int) {
+	s.c.I[a], s.c.I[b] = s.c.I[b], s.c.I[a]
+	s.c.J[a], s.c.J[b] = s.c.J[b], s.c.J[a]
+	s.c.V[a], s.c.V[b] = s.c.V[b], s.c.V[a]
+}
+
+// Dedup sorts the triples and merges duplicates by summing their values.
+// Entries that sum to zero are kept (GraphBLAS semantics: an explicit
+// zero is still a stored entry).
+func (c *COO[T]) Dedup() {
+	if len(c.I) == 0 {
+		return
+	}
+	c.Sort()
+	w := 0
+	for r := 1; r < len(c.I); r++ {
+		if c.I[r] == c.I[w] && c.J[r] == c.J[w] {
+			c.V[w] += c.V[r]
+			continue
+		}
+		w++
+		c.I[w], c.J[w], c.V[w] = c.I[r], c.J[r], c.V[r]
+	}
+	c.I = c.I[:w+1]
+	c.J = c.J[:w+1]
+	c.V = c.V[:w+1]
+}
+
+// ToCSR converts to CSR. The triples are deduplicated (duplicates sum)
+// and rows come out sorted, so the result satisfies CSR.Check.
+func (c *COO[T]) ToCSR() *CSR[T] {
+	c.Dedup()
+	m := &CSR[T]{
+		Rows:   c.Rows,
+		Cols:   c.Cols,
+		RowPtr: make([]int64, c.Rows+1),
+		ColIdx: make([]Index, len(c.J)),
+		Val:    make([]T, len(c.V)),
+	}
+	for _, i := range c.I {
+		m.RowPtr[i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	// After Dedup the triples are already row-major sorted, so a single
+	// sequential copy lands every row in sorted order.
+	copy(m.ColIdx, c.J)
+	copy(m.Val, c.V)
+	return m
+}

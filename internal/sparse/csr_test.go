@@ -1,0 +1,186 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tinyCSR builds the 3x4 matrix
+//
+//	[ 1 0 2 0 ]
+//	[ 0 0 0 3 ]
+//	[ 4 5 0 6 ]
+func tinyCSR(t *testing.T) *CSR[float64] {
+	t.Helper()
+	coo := NewCOO[float64](3, 4, 6)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 2, 2)
+	coo.Add(1, 3, 3)
+	coo.Add(2, 0, 4)
+	coo.Add(2, 1, 5)
+	coo.Add(2, 3, 6)
+	m := coo.ToCSR()
+	if err := m.Check(); err != nil {
+		t.Fatalf("tiny matrix malformed: %v", err)
+	}
+	return m
+}
+
+func TestCSRBasics(t *testing.T) {
+	m := tinyCSR(t)
+	if got := m.NNZ(); got != 6 {
+		t.Errorf("NNZ = %d, want 6", got)
+	}
+	if got := m.RowNNZ(1); got != 1 {
+		t.Errorf("RowNNZ(1) = %d, want 1", got)
+	}
+	cols, vals := m.Row(2)
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 1 || cols[2] != 3 {
+		t.Errorf("Row(2) cols = %v", cols)
+	}
+	if vals[2] != 6 {
+		t.Errorf("Row(2) vals = %v", vals)
+	}
+}
+
+func TestCSRAt(t *testing.T) {
+	m := tinyCSR(t)
+	cases := []struct {
+		i    int
+		j    Index
+		want float64
+	}{
+		{0, 0, 1}, {0, 1, 0}, {0, 2, 2}, {1, 3, 3}, {2, 1, 5}, {2, 2, 0},
+	}
+	for _, c := range cases {
+		if got := m.At(c.i, c.j); got != c.want {
+			t.Errorf("At(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+		if has := m.Has(c.i, c.j); has != (c.want != 0) {
+			t.Errorf("Has(%d,%d) = %v", c.i, c.j, has)
+		}
+	}
+}
+
+func TestCSRCloneIndependent(t *testing.T) {
+	m := tinyCSR(t)
+	c := m.Clone()
+	c.Val[0] = 99
+	c.ColIdx[0] = 3
+	if m.Val[0] == 99 || m.ColIdx[0] == 3 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestCSRPattern(t *testing.T) {
+	m := tinyCSR(t)
+	p := m.Pattern()
+	if !EqualPattern(m, p) {
+		t.Error("Pattern changed the structure")
+	}
+	for _, v := range p.Val {
+		if v != 1 {
+			t.Errorf("Pattern value %v, want 1", v)
+		}
+	}
+}
+
+func TestCSRCheckDetectsCorruption(t *testing.T) {
+	cases := map[string]func(m *CSR[float64]){
+		"rowptr not starting at zero": func(m *CSR[float64]) { m.RowPtr[0] = 1 },
+		"rowptr non-monotone":         func(m *CSR[float64]) { m.RowPtr[1] = 5 },
+		"column out of range":         func(m *CSR[float64]) { m.ColIdx[0] = 42 },
+		"negative column":             func(m *CSR[float64]) { m.ColIdx[0] = -1 },
+		"unsorted row":                func(m *CSR[float64]) { m.ColIdx[0], m.ColIdx[1] = m.ColIdx[1], m.ColIdx[0] },
+		"duplicate column":            func(m *CSR[float64]) { m.ColIdx[1] = m.ColIdx[0] },
+		"rowptr length":               func(m *CSR[float64]) { m.RowPtr = m.RowPtr[:2] },
+		"val length":                  func(m *CSR[float64]) { m.Val = m.Val[:3] },
+	}
+	for name, corrupt := range cases {
+		m := tinyCSR(t)
+		corrupt(m)
+		if err := m.Check(); err == nil {
+			t.Errorf("%s: Check did not detect corruption", name)
+		}
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	m := tinyCSR(t)
+	// Scramble row 2 and re-sort.
+	m.ColIdx[3], m.ColIdx[5] = m.ColIdx[5], m.ColIdx[3]
+	m.Val[3], m.Val[5] = m.Val[5], m.Val[3]
+	m.SortRows()
+	if err := m.Check(); err != nil {
+		t.Fatalf("after SortRows: %v", err)
+	}
+	if m.At(2, 0) != 4 || m.At(2, 3) != 6 {
+		t.Error("SortRows lost value/column pairing")
+	}
+}
+
+func TestAppendRowBuildsValidMatrix(t *testing.T) {
+	m := NewCSR[float64](3, 5, 4)
+	m.AppendRow(0, []Index{1, 3}, []float64{1, 2})
+	m.AppendRow(1, nil, nil)
+	m.AppendRow(2, []Index{0}, []float64{3})
+	if err := m.Check(); err != nil {
+		t.Fatalf("AppendRow produced malformed matrix: %v", err)
+	}
+	if m.NNZ() != 3 || m.At(0, 3) != 2 || m.At(2, 0) != 3 {
+		t.Error("AppendRow content wrong")
+	}
+}
+
+// TestCOODedupProperty: converting random triples to CSR always yields a
+// structurally valid matrix whose entries equal the per-position sums.
+func TestCOODedupProperty(t *testing.T) {
+	f := func(entries []struct {
+		I, J uint8
+		V    int8
+	}) bool {
+		const n = 16
+		coo := NewCOO[int64](n, n, int64(len(entries)))
+		want := map[[2]int]int64{}
+		for _, e := range entries {
+			i, j := Index(e.I%n), Index(e.J%n)
+			coo.Add(i, j, int64(e.V))
+			want[[2]int{int(i), int(j)}] += int64(e.V)
+		}
+		m := coo.ToCSR()
+		if err := m.Check(); err != nil {
+			return false
+		}
+		if m.NNZ() != int64(len(want)) {
+			return false
+		}
+		for pos, v := range want {
+			if m.At(pos[0], Index(pos[1])) != v {
+				// Explicit zeros are stored entries; At returns the stored
+				// value which must equal the sum (possibly zero).
+				if !(v == 0 && m.Has(pos[0], Index(pos[1]))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewCSR[float64](0, 0, 0)
+	if err := m.Check(); err != nil {
+		t.Fatalf("empty matrix malformed: %v", err)
+	}
+	coo := NewCOO[float64](5, 5, 0)
+	m2 := coo.ToCSR()
+	if err := m2.Check(); err != nil {
+		t.Fatalf("all-zero matrix malformed: %v", err)
+	}
+	if m2.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0", m2.NNZ())
+	}
+}

@@ -1,0 +1,97 @@
+package sparse
+
+// Dense is a row-major dense matrix used as the oracle in tests: every
+// sparse kernel is checked against the obvious O(n^3) dense computation
+// on small inputs. It is deliberately simple and unoptimized.
+type Dense[T Number] struct {
+	Rows, Cols int
+	Data       []T // row-major, len Rows*Cols
+}
+
+// NewDense allocates a zeroed dense matrix.
+func NewDense[T Number](rows, cols int) *Dense[T] {
+	return &Dense[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
+}
+
+// At returns the element at (i, j).
+func (d *Dense[T]) At(i, j int) T { return d.Data[i*d.Cols+j] }
+
+// Set stores v at (i, j).
+func (d *Dense[T]) Set(i, j int, v T) { d.Data[i*d.Cols+j] = v }
+
+// ToDense expands a CSR matrix. Stored zeros are indistinguishable from
+// absent entries in the dense form; use DensePattern when structure
+// matters.
+func ToDense[T Number](m *CSR[T]) *Dense[T] {
+	d := NewDense[T](m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			d.Set(i, int(j), vals[k])
+		}
+	}
+	return d
+}
+
+// DensePattern expands the structure of m: 1 where an entry is stored
+// (even an explicit zero), 0 elsewhere.
+func DensePattern[T Number](m *CSR[T]) *Dense[uint8] {
+	d := NewDense[uint8](m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for _, j := range m.RowCols(i) {
+			d.Set(i, int(j), 1)
+		}
+	}
+	return d
+}
+
+// FromDense builds a CSR matrix from d, storing every nonzero element.
+func FromDense[T Number](d *Dense[T]) *CSR[T] {
+	coo := NewCOO[T](d.Rows, d.Cols, 0)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if v := d.At(i, j); v != 0 {
+				coo.Add(Index(i), Index(j), v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// MaskedMatMulDense computes M ⊙ (A × B) densely with ordinary + and ×.
+// This is the test oracle for every masked-SpGEMM kernel variant. The
+// mask is structural: an output element survives iff the mask stores an
+// entry at that position, matching GraphBLAS Boolean-mask semantics.
+func MaskedMatMulDense[T Number](mask *Dense[uint8], a, b *Dense[T]) *Dense[T] {
+	out := NewDense[T](a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			if mask.At(i, j) == 0 {
+				continue
+			}
+			var acc T
+			for k := 0; k < a.Cols; k++ {
+				acc += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, acc)
+		}
+	}
+	return out
+}
+
+// MatMulDense computes A × B densely; oracle for the unmasked SpGEMM.
+func MatMulDense[T Number](a, b *Dense[T]) *Dense[T] {
+	out := NewDense[T](a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package sparse
+
+import "fmt"
+
+// Stats summarizes the structural features that drive masked-SpGEMM
+// performance: size, density, and the degree distribution skew that
+// separates social graphs from road networks in the paper's Figure 11.
+type Stats struct {
+	Rows, Cols int
+	NNZ        int64
+	MaxRowNNZ  int64
+	MinRowNNZ  int64
+	AvgRowNNZ  float64
+	EmptyRows  int
+	Bandwidth  int64 // max |i-j| over stored entries
+	Symmetric  bool  // structural symmetry
+}
+
+// ComputeStats scans m once (plus a transpose for the symmetry check
+// when checkSym is true) and returns its structural statistics.
+func ComputeStats[T Number](m *CSR[T], checkSym bool) Stats {
+	s := Stats{
+		Rows:      m.Rows,
+		Cols:      m.Cols,
+		NNZ:       m.NNZ(),
+		MinRowNNZ: int64(m.Cols) + 1,
+	}
+	for i := 0; i < m.Rows; i++ {
+		n := m.RowNNZ(i)
+		if n > s.MaxRowNNZ {
+			s.MaxRowNNZ = n
+		}
+		if n < s.MinRowNNZ {
+			s.MinRowNNZ = n
+		}
+		if n == 0 {
+			s.EmptyRows++
+		}
+		for _, j := range m.RowCols(i) {
+			d := int64(i) - int64(j)
+			if d < 0 {
+				d = -d
+			}
+			if d > s.Bandwidth {
+				s.Bandwidth = d
+			}
+		}
+	}
+	if m.Rows > 0 {
+		s.AvgRowNNZ = float64(s.NNZ) / float64(m.Rows)
+	}
+	if s.MinRowNNZ > int64(m.Cols) {
+		s.MinRowNNZ = 0
+	}
+	if checkSym && m.Rows == m.Cols {
+		s.Symmetric = EqualPattern(m, Transpose(m))
+	}
+	return s
+}
+
+// String renders the statistics in the layout of the paper's Table I
+// plus the extra structure columns.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d nnz=%d avg=%.2f max=%d empty=%d bw=%d sym=%v",
+		s.Rows, s.NNZ, s.AvgRowNNZ, s.MaxRowNNZ, s.EmptyRows, s.Bandwidth, s.Symmetric)
+}
+
+// RowDegrees returns nnz per row; generators use this to validate the
+// degree distributions they target.
+func RowDegrees[T Number](m *CSR[T]) []int64 {
+	deg := make([]int64, m.Rows)
+	for i := range deg {
+		deg[i] = m.RowNNZ(i)
+	}
+	return deg
+}

@@ -1,0 +1,41 @@
+// Package sparse provides the compressed sparse matrix substrate used by
+// every kernel in this repository: CSR and COO storage, builders,
+// structural transforms (transpose, tril/triu, symmetrize), a dense
+// reference implementation for testing, and structural statistics.
+//
+// All operands of the masked-SpGEMM study are stored in CSR with sorted
+// rows (the paper's setting, §II-A); the co-iteration kernels rely on
+// sorted column indices for binary search, so sortedness is a checked
+// invariant here rather than a convention.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Index is the column/row index type. Graphs in this study have fewer
+// than 2^31 vertices, so 32-bit indices halve the memory traffic of the
+// index streams — the dominant cost in sparse kernels. Row pointers stay
+// 64-bit because nnz may exceed 2^31 (Table I of the paper goes to 640M).
+type Index = int32
+
+// Number is the set of element types a matrix may hold. Semirings
+// redefine + and ×, but storage is always one of these machine types.
+type Number interface {
+	~int8 | ~int16 | ~int32 | ~int64 | ~int |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uint |
+		~float32 | ~float64
+}
+
+// ErrShape is returned when matrix dimensions are inconsistent with the
+// requested operation.
+var ErrShape = errors.New("sparse: dimension mismatch")
+
+// ErrMalformed is returned by Check when a matrix violates a CSR/COO
+// structural invariant.
+var ErrMalformed = errors.New("sparse: malformed matrix")
+
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}

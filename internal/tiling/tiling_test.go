@@ -1,0 +1,181 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maskedspgemm/internal/sparse"
+)
+
+func randomGraph(n int, density float64, seed int64) *sparse.CSR[float64] {
+	r := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO[float64](n, n, 0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Float64() < density {
+				coo.Add(sparse.Index(i), sparse.Index(j), 1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestRowWorkMatchesDefinition(t *testing.T) {
+	a := randomGraph(30, 0.2, 1)
+	w := RowWork(a, a, a)
+	for i := 0; i < a.Rows; i++ {
+		// Recompute Eq. 2 naively.
+		want := a.RowNNZ(i)
+		for _, k := range a.RowCols(i) {
+			want += a.RowNNZ(int(k))
+		}
+		if w[i] != want {
+			t.Fatalf("W[%d] = %d, want %d", i, w[i], want)
+		}
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	a := randomGraph(25, 0.3, 2)
+	total, maxRow := FlopCount(a, a)
+	var wantTotal, wantMax int64
+	for i := 0; i < a.Rows; i++ {
+		var f int64
+		for _, k := range a.RowCols(i) {
+			f += a.RowNNZ(int(k))
+		}
+		wantTotal += f
+		if f > wantMax {
+			wantMax = f
+		}
+	}
+	if total != wantTotal || maxRow != wantMax {
+		t.Errorf("FlopCount = (%d,%d), want (%d,%d)", total, maxRow, wantTotal, wantMax)
+	}
+}
+
+func TestUniformTilesPartition(t *testing.T) {
+	f := func(rows, n uint16) bool {
+		r := int(rows%5000) + 1
+		k := int(n%300) + 1
+		tiles := UniformTiles(r, k)
+		if err := CheckPartition(tiles, r); err != nil {
+			return false
+		}
+		// Uniform tiles differ in size by at most 1.
+		mn, mx := r, 0
+		for _, tl := range tiles {
+			if tl.Rows() < mn {
+				mn = tl.Rows()
+			}
+			if tl.Rows() > mx {
+				mx = tl.Rows()
+			}
+		}
+		return mx-mn <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedTilesPartition(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := r.Intn(2000) + 1
+		work := make([]int64, rows)
+		for i := range work {
+			work[i] = int64(r.Intn(100))
+		}
+		k := int(n%200) + 1
+		tiles := BalancedTiles(work, k)
+		return CheckPartition(tiles, rows) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedTilesBalanceQuality(t *testing.T) {
+	// With skewed work, balanced tiling must beat uniform tiling on the
+	// imbalance metric — the premise of the paper's Fig. 6.
+	rows := 4096
+	work := make([]int64, rows)
+	for i := range work {
+		work[i] = 1
+	}
+	// Clustered heavy rows, like the low-id hubs of an R-MAT graph.
+	const heavy = 5000
+	for h := 0; h < 16; h++ {
+		work[h] = heavy
+	}
+	const tiles = 64
+	bal := Imbalance(BalancedTiles(work, tiles), work)
+	uni := Imbalance(UniformTiles(rows, tiles), work)
+	if bal >= uni {
+		t.Errorf("balanced imbalance %.2f not better than uniform %.2f", bal, uni)
+	}
+	// A balanced tile can exceed the ideal share by at most the heaviest
+	// single row (rows are scheduling atoms and are never split).
+	var total int64
+	for _, w := range work {
+		total += w
+	}
+	mean := float64(total) / tiles
+	if limit := (mean + heavy) / mean; bal > limit {
+		t.Errorf("balanced imbalance %.2f above the mean+maxRow bound %.2f", bal, limit)
+	}
+}
+
+func TestBalancedTilesSingleRowAtom(t *testing.T) {
+	// One dominant row: it must land alone-ish in a tile, never split.
+	work := []int64{1, 1, 1000, 1, 1}
+	tiles := BalancedTiles(work, 4)
+	if err := CheckPartition(tiles, len(work)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range tiles {
+		if tl.Lo <= 2 && 2 < tl.Hi && tl.Rows() > 3 {
+			t.Errorf("heavy row in oversized tile %+v", tl)
+		}
+	}
+}
+
+func TestTileCountClamping(t *testing.T) {
+	if got := len(UniformTiles(10, 100)); got != 10 {
+		t.Errorf("UniformTiles(10,100) made %d tiles, want 10", got)
+	}
+	work := make([]int64, 7)
+	for i := range work {
+		work[i] = 1
+	}
+	if got := len(BalancedTiles(work, 50)); got > 7 {
+		t.Errorf("BalancedTiles made %d tiles for 7 rows", got)
+	}
+	if got := len(UniformTiles(5, 0)); got != 1 {
+		t.Errorf("UniformTiles(5,0) made %d tiles, want 1", got)
+	}
+}
+
+func TestMakeStrategies(t *testing.T) {
+	a := randomGraph(50, 0.1, 3)
+	for _, s := range []Strategy{Uniform, FlopBalanced} {
+		tiles := Make(s, 8, a, a, a)
+		if err := CheckPartition(tiles, a.Rows); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestZeroWorkMatrix(t *testing.T) {
+	// An empty matrix still partitions cleanly.
+	work := make([]int64, 100)
+	tiles := BalancedTiles(work, 8)
+	if err := CheckPartition(tiles, 100); err != nil {
+		t.Fatal(err)
+	}
+	if Imbalance(tiles, work) != 1 {
+		t.Error("zero-work imbalance should be neutral")
+	}
+}

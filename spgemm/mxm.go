@@ -1,0 +1,171 @@
+package spgemm
+
+import (
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// MxM computes C = mask ⊙ (a × b): the masked sparse matrix-matrix
+// product over the semiring selected in opts. The mask is structural.
+//
+// Shape requirements: a is m×k, b is k×n, mask is m×n.
+func MxM(mask, a, b *Matrix, opts Options) (*Matrix, error) {
+	cfg := opts.config()
+	if opts.ValuedMask {
+		mask = wrap(sparse.PruneZeros(mask.csr))
+	}
+	var c *sparse.CSR[float64]
+	var err error
+	switch opts.Semiring {
+	case SRPlusPair:
+		c, err = core.MaskedSpGEMM[float64](semiring.PlusPair[float64]{}, mask.csr, a.csr, b.csr, cfg)
+	case SROrAnd:
+		c, err = core.MaskedSpGEMM[float64](semiring.OrAnd[float64]{}, mask.csr, a.csr, b.csr, cfg)
+	default:
+		c, err = core.MaskedSpGEMM[float64](semiring.PlusTimes[float64]{}, mask.csr, a.csr, b.csr, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap(c), nil
+}
+
+// MxMComplement computes C = ¬mask ⊙ (a × b): the product restricted to
+// positions the mask does NOT store — GraphBLAS's complemented
+// structural mask. Note the output is bounded by the product structure,
+// not by the mask, so this kernel always pays the full multiplication.
+func MxMComplement(mask, a, b *Matrix, opts Options) (*Matrix, error) {
+	cfg := opts.config()
+	var c *sparse.CSR[float64]
+	var err error
+	switch opts.Semiring {
+	case SRPlusPair:
+		c, err = core.MaskedSpGEMMComp[float64](semiring.PlusPair[float64]{}, mask.csr, a.csr, b.csr, cfg)
+	case SROrAnd:
+		c, err = core.MaskedSpGEMMComp[float64](semiring.OrAnd[float64]{}, mask.csr, a.csr, b.csr, cfg)
+	default:
+		c, err = core.MaskedSpGEMMComp[float64](semiring.PlusTimes[float64]{}, mask.csr, a.csr, b.csr, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap(c), nil
+}
+
+// MxMUnmasked computes the plain sparse product C = a × b (no mask).
+// It is single-threaded and intended for correctness checks and small
+// problems; the masked kernel is the optimized path.
+func MxMUnmasked(a, b *Matrix, opts Options) (*Matrix, error) {
+	var c *sparse.CSR[float64]
+	var err error
+	switch opts.Semiring {
+	case SRPlusPair:
+		c, err = core.SpGEMM[float64](semiring.PlusPair[float64]{}, a.csr, b.csr)
+	case SROrAnd:
+		c, err = core.SpGEMM[float64](semiring.OrAnd[float64]{}, a.csr, b.csr)
+	default:
+		c, err = core.SpGEMM[float64](semiring.PlusTimes[float64]{}, a.csr, b.csr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap(c), nil
+}
+
+// Multiplier is a reusable execution plan for repeating the same
+// masked product: tiling and accumulators are built once and reused by
+// every Multiply call. Iterative algorithms over a fixed graph and
+// benchmark loops should prefer it over repeated MxM calls. Not safe
+// for concurrent Multiply calls.
+type Multiplier struct {
+	run func() (*sparse.CSR[float64], error)
+}
+
+// NewMultiplier builds a reusable plan for C = mask ⊙ (a × b).
+func NewMultiplier(mask, a, b *Matrix, opts Options) (*Multiplier, error) {
+	cfg := opts.config()
+	switch opts.Semiring {
+	case SRPlusPair:
+		mu, err := core.NewMultiplier[float64](semiring.PlusPair[float64]{}, mask.csr, a.csr, b.csr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Multiplier{run: func() (*sparse.CSR[float64], error) { return mu.Multiply(), nil }}, nil
+	case SROrAnd:
+		mu, err := core.NewMultiplier[float64](semiring.OrAnd[float64]{}, mask.csr, a.csr, b.csr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Multiplier{run: func() (*sparse.CSR[float64], error) { return mu.Multiply(), nil }}, nil
+	default:
+		mu, err := core.NewMultiplier[float64](semiring.PlusTimes[float64]{}, mask.csr, a.csr, b.csr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Multiplier{run: func() (*sparse.CSR[float64], error) { return mu.Multiply(), nil }}, nil
+	}
+}
+
+// Multiply executes the plan and returns a fresh result matrix.
+func (mu *Multiplier) Multiply() (*Matrix, error) {
+	c, err := mu.run()
+	if err != nil {
+		return nil, err
+	}
+	return wrap(c), nil
+}
+
+// EWiseAdd returns the element-wise union a ⊕ b: coinciding entries
+// combine with the semiring's additive operation, entries present in
+// only one operand carry over unchanged.
+func EWiseAdd(a, b *Matrix, opts Options) (*Matrix, error) {
+	var c *sparse.CSR[float64]
+	var err error
+	switch opts.Semiring {
+	case SROrAnd:
+		c, err = core.EWiseAdd[float64](semiring.OrAnd[float64]{}, a.csr, b.csr)
+	default:
+		c, err = core.EWiseAdd[float64](semiring.PlusTimes[float64]{}, a.csr, b.csr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap(c), nil
+}
+
+// EWiseMult returns the element-wise intersection a ⊗ b: only
+// coinciding entries survive, combined with the semiring's
+// multiplicative operation (Hadamard product under SRPlusTimes).
+func EWiseMult(a, b *Matrix, opts Options) (*Matrix, error) {
+	var c *sparse.CSR[float64]
+	var err error
+	switch opts.Semiring {
+	case SROrAnd:
+		c, err = core.EWiseMult[float64](semiring.OrAnd[float64]{}, a.csr, b.csr)
+	default:
+		c, err = core.EWiseMult[float64](semiring.PlusTimes[float64]{}, a.csr, b.csr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap(c), nil
+}
+
+// ReduceRows folds each row with + and returns one value per non-empty
+// row as parallel (index, value) slices.
+func ReduceRows(m *Matrix) ([]int32, []float64) {
+	v := core.ReduceRows[float64](semiring.PlusTimes[float64]{}, m.csr)
+	return v.Idx, v.Val
+}
+
+// ApplyMask returns mask ⊙ c: the entries of c at positions stored in
+// mask. Together with MxMUnmasked it forms the two-step computation the
+// fused MxM is measured against.
+func ApplyMask(mask, c *Matrix) (*Matrix, error) {
+	out, err := core.ApplyMask(mask.csr, c.csr)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out), nil
+}

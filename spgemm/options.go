@@ -1,0 +1,147 @@
+package spgemm
+
+import (
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/tiling"
+)
+
+// Iteration selects how the multiplication and mask are traversed
+// together — the paper's §III-B dimension.
+type Iteration int
+
+const (
+	// IterVanilla accumulates the full product, masking afterwards.
+	IterVanilla Iteration = iota
+	// IterMaskLoad loads the mask first and filters updates against it.
+	IterMaskLoad
+	// IterCoIter binary-searches B rows for the mask's columns.
+	IterCoIter
+	// IterHybrid switches per row-pair using the κ cost model — the
+	// paper's recommended push-pull strategy.
+	IterHybrid
+)
+
+// Accumulator selects the per-row accumulator family — §III-C.
+type Accumulator int
+
+const (
+	// AccHash is the open-addressing hash accumulator (space ∝ mask row).
+	AccHash Accumulator = iota
+	// AccDense is the size-n marker-vector accumulator.
+	AccDense
+)
+
+// TilingStrategy selects how output rows are split into tiles — §III-A.
+type TilingStrategy int
+
+const (
+	// TileFlopBalanced balances the Eq. 2 work estimate across tiles.
+	TileFlopBalanced TilingStrategy = iota
+	// TileUniform gives every tile the same number of rows.
+	TileUniform
+)
+
+// Schedule selects how tiles are assigned to workers.
+type Schedule int
+
+const (
+	// SchedDynamic lets workers claim tiles from a shared queue.
+	SchedDynamic Schedule = iota
+	// SchedStatic pre-assigns tiles round-robin.
+	SchedStatic
+)
+
+// Semiring selects the algebra of the multiplication.
+type Semiring int
+
+const (
+	// SRPlusTimes is ordinary (+, ×) arithmetic.
+	SRPlusTimes Semiring = iota
+	// SRPlusPair counts structural matches: x⊗y = 1.
+	SRPlusPair
+	// SROrAnd is the Boolean semiring over nonzero-is-true values.
+	SROrAnd
+)
+
+// Options is the kernel tuning surface. The zero value is NOT valid;
+// start from Defaults.
+type Options struct {
+	// Iteration space (§III-B). Default IterHybrid.
+	Iteration Iteration
+	// Kappa is the co-iteration factor κ for IterHybrid. Default 1.
+	Kappa float64
+	// Accumulator family (§III-C). Default AccHash.
+	Accumulator Accumulator
+	// MarkerBits is the accumulator reset-marker width: 8/16/32/64.
+	MarkerBits int
+	// Tiles is the number of row tiles. Default 2048.
+	Tiles int
+	// Tiling strategy (§III-A). Default TileFlopBalanced.
+	Tiling TilingStrategy
+	// Schedule policy. Default SchedDynamic.
+	Schedule Schedule
+	// Workers is the goroutine pool size; 0 = GOMAXPROCS.
+	Workers int
+	// Semiring is the multiplication algebra. Default SRPlusTimes.
+	Semiring Semiring
+	// ValuedMask switches the mask from structural semantics (any stored
+	// entry allows the position — GraphBLAS GrB_STRUCTURE, the paper's
+	// setting) to valued semantics (the stored value must be nonzero).
+	ValuedMask bool
+}
+
+// Defaults returns the paper's recommended configuration (§V): hybrid
+// iteration with κ=1, hash accumulator with 32-bit markers, 2048
+// FLOP-balanced tiles, dynamic scheduling.
+func Defaults() Options {
+	return Options{
+		Iteration:   IterHybrid,
+		Kappa:       1,
+		Accumulator: AccHash,
+		MarkerBits:  32,
+		Tiles:       2048,
+		Tiling:      TileFlopBalanced,
+		Schedule:    SchedDynamic,
+	}
+}
+
+// config translates Options to the internal kernel configuration.
+func (o Options) config() core.Config {
+	cfg := core.Config{
+		Kappa:      o.Kappa,
+		MarkerBits: o.MarkerBits,
+		Tiles:      o.Tiles,
+		Workers:    o.Workers,
+	}
+	switch o.Iteration {
+	case IterVanilla:
+		cfg.Iteration = core.Vanilla
+	case IterMaskLoad:
+		cfg.Iteration = core.MaskLoad
+	case IterCoIter:
+		cfg.Iteration = core.CoIter
+	default:
+		cfg.Iteration = core.Hybrid
+	}
+	switch o.Accumulator {
+	case AccDense:
+		cfg.Accumulator = accum.DenseKind
+	default:
+		cfg.Accumulator = accum.HashKind
+	}
+	switch o.Tiling {
+	case TileUniform:
+		cfg.Tiling = tiling.Uniform
+	default:
+		cfg.Tiling = tiling.FlopBalanced
+	}
+	switch o.Schedule {
+	case SchedStatic:
+		cfg.Schedule = sched.Static
+	default:
+		cfg.Schedule = sched.Dynamic
+	}
+	return cfg
+}

@@ -1,0 +1,50 @@
+package spgemm
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/tiling"
+)
+
+// TestOptionsConfigMapping pins the public-to-internal translation: a
+// silent mismapping here would make every public knob lie about what it
+// tunes.
+func TestOptionsConfigMapping(t *testing.T) {
+	o := Defaults()
+	cfg := o.config()
+	if cfg.Iteration != core.Hybrid || cfg.Accumulator != accum.HashKind ||
+		cfg.Tiling != tiling.FlopBalanced || cfg.Schedule != sched.Dynamic ||
+		cfg.Tiles != 2048 || cfg.MarkerBits != 32 || cfg.Kappa != 1 {
+		t.Errorf("defaults mapped wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		mutate func(*Options)
+		check  func(core.Config) bool
+		name   string
+	}{
+		{func(o *Options) { o.Iteration = IterVanilla }, func(c core.Config) bool { return c.Iteration == core.Vanilla }, "vanilla"},
+		{func(o *Options) { o.Iteration = IterMaskLoad }, func(c core.Config) bool { return c.Iteration == core.MaskLoad }, "maskload"},
+		{func(o *Options) { o.Iteration = IterCoIter }, func(c core.Config) bool { return c.Iteration == core.CoIter }, "coiter"},
+		{func(o *Options) { o.Accumulator = AccDense }, func(c core.Config) bool { return c.Accumulator == accum.DenseKind }, "dense"},
+		{func(o *Options) { o.Tiling = TileUniform }, func(c core.Config) bool { return c.Tiling == tiling.Uniform }, "uniform"},
+		{func(o *Options) { o.Schedule = SchedStatic }, func(c core.Config) bool { return c.Schedule == sched.Static }, "static"},
+		{func(o *Options) { o.Workers = 3 }, func(c core.Config) bool { return c.Workers == 3 }, "workers"},
+		{func(o *Options) { o.Kappa = 0.25 }, func(c core.Config) bool { return c.Kappa == 0.25 }, "kappa"},
+		{func(o *Options) { o.MarkerBits = 8 }, func(c core.Config) bool { return c.MarkerBits == 8 }, "marker"},
+		{func(o *Options) { o.Tiles = 77 }, func(c core.Config) bool { return c.Tiles == 77 }, "tiles"},
+	}
+	for _, c := range cases {
+		o := Defaults()
+		c.mutate(&o)
+		if !c.check(o.config()) {
+			t.Errorf("%s: option did not map", c.name)
+		}
+	}
+}
