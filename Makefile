@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race check bench-plan bench-sched
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The scheduler and kernel are the concurrency-bearing packages: run them
+# under the race detector with the Guided policy and parallel plan paths
+# exercised by their tests.
+race:
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/tiling/...
+
+check: vet race test
+
+bench-plan:
+	$(GO) run ./cmd/spgemm-bench -experiment plan -shift 3
+
+bench-sched:
+	$(GO) run ./cmd/spgemm-bench -experiment sched -shift 3

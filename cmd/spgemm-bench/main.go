@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|all [flags]
+//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|all [flags]
 //
 // Flags:
 //
-//	-shift N     halve graph sizes N times (default 0 = benchmark scale)
-//	-workers N   kernel worker goroutines (default GOMAXPROCS)
-//	-reps N      max timed repetitions per configuration (default 3)
-//	-budget D    per-configuration time budget (default 2s)
-//	-graphs CSV  restrict to named graphs (default all)
+//	-shift N         halve graph sizes N times (default 0 = benchmark scale)
+//	-workers N       kernel worker goroutines (default GOMAXPROCS)
+//	-plan-workers N  plan-construction/assembly goroutines (default = workers)
+//	-guided-chunk N  chunk floor for the Guided schedule (default 1)
+//	-reps N          max timed repetitions per configuration (default 3)
+//	-budget D        per-configuration time budget (default 2s)
+//	-graphs CSV      restrict to named graphs (default all)
 package main
 
 import (
@@ -29,6 +31,8 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	shift := flag.Int("shift", 0, "halve graph sizes this many times")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	planWorkers := flag.Int("plan-workers", 0, "plan-construction/assembly goroutines (0 = same as workers)")
+	guidedChunk := flag.Int("guided-chunk", 0, "chunk floor for the Guided schedule (0 = 1)")
 	reps := flag.Int("reps", 3, "max timed repetitions")
 	budget := flag.Duration("budget", 2*time.Second, "per-config time budget")
 	graphs := flag.String("graphs", "", "comma-separated graph names (default all)")
@@ -37,6 +41,8 @@ func main() {
 	o := bench.DefaultOptions()
 	o.Shift = *shift
 	o.Workers = *workers
+	o.PlanWorkers = *planWorkers
+	o.GuidedMinChunk = *guidedChunk
 	o.Method = bench.Methodology{Warmups: 1, MaxReps: *reps, Budget: *budget}
 	if *graphs != "" {
 		for _, g := range strings.Split(*graphs, ",") {
@@ -120,6 +126,14 @@ func main() {
 	}
 	if want("counters") {
 		run("counters", func() error { return bench.CountersReport(w, o) })
+		ran = true
+	}
+	if want("plan") {
+		run("plan", func() error { return bench.PlanBench(w, o) })
+		ran = true
+	}
+	if want("sched") {
+		run("sched", func() error { return bench.SchedSweep(w, o) })
 		ran = true
 	}
 	if !ran {

@@ -279,6 +279,32 @@ func TestExperimentsSmoke(t *testing.T) {
 	if !strings.Contains(buf.String(), "workers") {
 		t.Error("scaling missing header")
 	}
+
+	buf.Reset()
+	oPlan := o
+	oPlan.Graphs = []string{"GAP-road-sim"}
+	if err := PlanBench(&buf, oPlan); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	out = buf.String()
+	for _, phase := range []string{"RowWork", "PrefixSum", "BalancedTiles", "NewMultiplier", "Multiply"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("plan bench missing %s row", phase)
+		}
+	}
+
+	buf.Reset()
+	oSched := o
+	oSched.GuidedMinChunk = 2
+	if err := SchedSweep(&buf, oSched); err != nil {
+		t.Fatalf("sched: %v", err)
+	}
+	out = buf.String()
+	for _, policy := range []string{"Static", "Dynamic", "Guided"} {
+		if !strings.Contains(out, policy) {
+			t.Errorf("sched sweep missing %s row", policy)
+		}
+	}
 }
 
 func TestSparkline(t *testing.T) {

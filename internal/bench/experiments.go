@@ -19,6 +19,11 @@ type Options struct {
 	Shift int
 	// Workers is the kernel worker count (0 = GOMAXPROCS).
 	Workers int
+	// PlanWorkers is the plan-construction/assembly worker count
+	// (0 = same as Workers).
+	PlanWorkers int
+	// GuidedMinChunk is the chunk floor for the Guided schedule (0 = 1).
+	GuidedMinChunk int
 	// Method is the timing methodology.
 	Method Methodology
 	// TileCounts is the Fig. 10/11 sweep grid.
@@ -27,6 +32,14 @@ type Options struct {
 	Kappas []float64
 	// Graphs restricts the corpus (nil = all).
 	Graphs []string
+}
+
+// planify applies the plan-parallelism and guided-chunk knobs to a
+// kernel configuration, so every experiment path honors the CLI flags.
+func (o Options) planify(cfg core.Config) core.Config {
+	cfg.PlanWorkers = o.PlanWorkers
+	cfg.GuidedMinChunk = o.GuidedMinChunk
+	return cfg
 }
 
 // DefaultOptions mirrors the paper's sweep grids at laptop scale.
@@ -97,7 +110,7 @@ func Fig1(w io.Writer, o Options) error {
 			return fmt.Errorf("%s grb-like: %w", g.Name, err)
 		}
 
-		ours, err := TimeMasked(a, tunedConfig(o.Workers), o.Method)
+		ours, err := TimeMasked(a, o.planify(tunedConfig(o.Workers)), o.Method)
 		if err != nil {
 			return fmt.Errorf("%s tuned: %w", g.Name, err)
 		}
@@ -138,11 +151,11 @@ func TileSweep(w io.Writer, o Options) (*RelativeTable, error) {
 					fmt.Fprintf(w, "%-34s", label)
 					series := make([]float64, 0, len(o.TileCounts))
 					for _, tc := range o.TileCounts {
-						cfg := core.Config{
+						cfg := o.planify(core.Config{
 							Iteration: core.MaskLoad, Kappa: 1,
 							Accumulator: ak, MarkerBits: 32,
 							Tiles: tc, Tiling: ts, Schedule: sp, Workers: o.Workers,
-						}
+						})
 						meas, err := TimeMasked(a, cfg, o.Method)
 						if err != nil {
 							return nil, fmt.Errorf("%s %s tiles=%d: %w", g.Name, label, tc, err)
@@ -200,12 +213,12 @@ func Fig13(w io.Writer, o Options) error {
 		a := g.Build(o.Shift)
 		for _, ak := range []accum.Kind{accum.DenseKind, accum.HashKind} {
 			for _, bits := range []int{8, 16, 32, 64} {
-				cfg := core.Config{
+				cfg := o.planify(core.Config{
 					Iteration: core.Hybrid, Kappa: 1,
 					Accumulator: ak, MarkerBits: bits,
 					Tiles: 2048, Tiling: tiling.FlopBalanced,
 					Schedule: sched.Dynamic, Workers: o.Workers,
-				}
+				})
 				meas, err := TimeMasked(a, cfg, o.Method)
 				if err != nil {
 					return fmt.Errorf("%s %v/%d: %w", g.Name, ak, bits, err)
@@ -257,12 +270,12 @@ func Fig14(w io.Writer, o Options) error {
 			fmt.Fprintf(w, "%-8v", ak)
 			series := make([]float64, 0, len(o.Kappas))
 			for _, k := range o.Kappas {
-				cfg := core.Config{
+				cfg := o.planify(core.Config{
 					Iteration: core.Hybrid, Kappa: k,
 					Accumulator: ak, MarkerBits: 32,
 					Tiles: 2048, Tiling: tiling.FlopBalanced,
 					Schedule: sched.Dynamic, Workers: o.Workers,
-				}
+				})
 				meas, err := TimeMasked(a, cfg, o.Method)
 				if err != nil {
 					return fmt.Errorf("%s κ=%g: %w", g.Name, k, err)

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/tiling"
+)
+
+// planWorkerCounts is the worker sweep for the plan-construction
+// benchmark: serial, then doublings up to at least 8 (past GOMAXPROCS
+// the rows document that oversubscription is harmless, not helpful).
+func planWorkerCounts() []int {
+	maxW := runtime.GOMAXPROCS(0)
+	if maxW < 8 {
+		maxW = 8
+	}
+	var counts []int
+	for c := 1; c <= maxW; c *= 2 {
+		counts = append(counts, c)
+	}
+	return counts
+}
+
+// PlanBench measures the plan-construction phases serial vs parallel:
+// the Eq. 2 work estimation (RowWork), the prefix sum behind
+// FLOP-balanced tiling, the full plan build (NewMultiplier), and a
+// planned Multiply whose kernel worker count is pinned so that run-to-
+// run differences isolate the parallel CSR assembly. One row per phase,
+// one column per plan-worker count.
+func PlanBench(w io.Writer, o Options) error {
+	graphs := o.Graphs
+	if len(graphs) == 0 {
+		// One large social graph: skewed degrees, big nnz — the regime
+		// where serial O(nnz) plan passes dominate Amdahl's law.
+		graphs = []string{"com-LiveJournal-sim"}
+	}
+	counts := planWorkerCounts()
+	sr := semiring.PlusTimes[float64]{}
+	for _, name := range graphs {
+		g, ok := FindGraph(name)
+		if !ok {
+			return fmt.Errorf("unknown graph %q", name)
+		}
+		a := g.Build(o.Shift)
+		fmt.Fprintf(w, "%s (n=%d, nnz=%d): plan-phase runtime (ms) vs plan workers\n",
+			g.Name, a.Rows, a.NNZ())
+		fmt.Fprintf(w, "%-28s", "phase \\ plan workers")
+		for _, c := range counts {
+			fmt.Fprintf(w, "%10d", c)
+		}
+		fmt.Fprintln(w)
+
+		work := tiling.RowWork(a, a, a)
+		phases := []struct {
+			name string
+			run  func(p int) (int64, error)
+		}{
+			{"RowWork (Eq. 2)", func(p int) (int64, error) {
+				v := tiling.RowWorkParallel(a, a, a, p)
+				return v[len(v)-1], nil
+			}},
+			{"PrefixSum", func(p int) (int64, error) {
+				prefix := tiling.PrefixSum(work, p)
+				return prefix[len(prefix)-1], nil
+			}},
+			{"BalancedTiles", func(p int) (int64, error) {
+				tiles := tiling.BalancedTilesParallel(work, 2048, p)
+				return int64(len(tiles)), nil
+			}},
+			{"NewMultiplier (plan)", func(p int) (int64, error) {
+				cfg := o.planify(core.DefaultConfig())
+				cfg.Workers = o.Workers
+				cfg.PlanWorkers = p
+				mu, err := core.NewMultiplier[float64](sr, a, a, a, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return int64(mu.Tiles()), nil
+			}},
+			{"Multiply (kernel+asm)", nil}, // handled below: needs a reused plan
+		}
+		for _, ph := range phases[:len(phases)-1] {
+			fmt.Fprintf(w, "%-28s", ph.name)
+			for _, c := range counts {
+				c := c
+				meas, err := TimeFn(func() (int64, error) { return ph.run(c) }, o.Method)
+				if err != nil {
+					return fmt.Errorf("%s %s p=%d: %w", g.Name, ph.name, c, err)
+				}
+				fmt.Fprintf(w, "%10.3f", meas.Millis)
+			}
+			fmt.Fprintln(w)
+		}
+
+		// Multiply with the kernel worker count pinned: the only knob that
+		// varies across columns is PlanWorkers, so the column-to-column
+		// delta is the assembly (and plan reuse) phases.
+		fmt.Fprintf(w, "%-28s", phases[len(phases)-1].name)
+		for _, c := range counts {
+			cfg := o.planify(core.DefaultConfig())
+			cfg.Workers = o.Workers
+			cfg.PlanWorkers = c
+			mu, err := core.NewMultiplier[float64](sr, a, a, a, cfg)
+			if err != nil {
+				return fmt.Errorf("%s multiply p=%d: %w", g.Name, c, err)
+			}
+			meas, err := TimeFn(func() (int64, error) {
+				return mu.Multiply().NNZ(), nil
+			}, o.Method)
+			if err != nil {
+				return fmt.Errorf("%s multiply p=%d: %w", g.Name, c, err)
+			}
+			fmt.Fprintf(w, "%10.3f", meas.Millis)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// SchedSweep compares the three scheduling policies — Static, Dynamic,
+// Guided — across the paper's Fig. 11 tile-count grid (64…32768),
+// MaskLoad iteration with hash accumulators and FLOP-balanced tiles.
+// Guided targets the top of the grid: at 32768 tiles Dynamic pays one
+// atomic operation per tile while Guided claims shrinking chunks.
+func SchedSweep(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Scheduler sweep: runtime (ms) vs tile count; MaskLoad, hash, FLOP-balanced tiles, guided chunk floor %d\n",
+		maxInt(o.GuidedMinChunk, 1))
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		fmt.Fprintf(w, "\n%s (n=%d, nnz=%d)\n", g.Name, a.Rows, a.NNZ())
+		fmt.Fprintf(w, "%-10s", "policy")
+		for _, tc := range o.TileCounts {
+			fmt.Fprintf(w, "%10d", tc)
+		}
+		fmt.Fprintln(w)
+		for _, sp := range []sched.Policy{sched.Static, sched.Dynamic, sched.Guided} {
+			fmt.Fprintf(w, "%-10v", sp)
+			series := make([]float64, 0, len(o.TileCounts))
+			for _, tc := range o.TileCounts {
+				cfg := o.planify(core.Config{
+					Iteration: core.MaskLoad, Kappa: 1,
+					Accumulator: accum.HashKind, MarkerBits: 32,
+					Tiles: tc, Tiling: tiling.FlopBalanced,
+					Schedule: sp, Workers: o.Workers,
+				})
+				meas, err := TimeMasked(a, cfg, o.Method)
+				if err != nil {
+					return fmt.Errorf("%s %v tiles=%d: %w", g.Name, sp, tc, err)
+				}
+				series = append(series, meas.Millis)
+				fmt.Fprintf(w, "%10.2f", meas.Millis)
+			}
+			fmt.Fprintf(w, "  %s\n", sparkline(series))
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

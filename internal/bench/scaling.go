@@ -30,7 +30,7 @@ func Scaling(w io.Writer, o Options) error {
 		fmt.Fprintf(w, "%-22s", g.Name)
 		var base float64
 		for i, c := range counts {
-			cfg := tunedConfig(c)
+			cfg := o.planify(tunedConfig(c))
 			meas, err := TimeMasked(a, cfg, o.Method)
 			if err != nil {
 				return fmt.Errorf("%s w=%d: %w", g.Name, c, err)

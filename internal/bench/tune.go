@@ -28,11 +28,11 @@ func Tune(a *sparse.CSR[float64], o Options, log io.Writer) (core.Config, error)
 		for _, sp := range []sched.Policy{sched.Dynamic, sched.Static} {
 			for _, ak := range []accum.Kind{accum.DenseKind, accum.HashKind} {
 				for _, tc := range o.TileCounts {
-					cfg := core.Config{
+					cfg := o.planify(core.Config{
 						Iteration: core.MaskLoad, Kappa: 1,
 						Accumulator: ak, MarkerBits: 32,
 						Tiles: tc, Tiling: ts, Schedule: sp, Workers: o.Workers,
-					}
+					})
 					meas, err := TimeMasked(a, cfg, m)
 					if err != nil {
 						return core.Config{}, err

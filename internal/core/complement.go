@@ -35,7 +35,8 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 		return sparse.NewCSR[T](a.Rows, b.Cols, 0), nil
 	}
 
-	tiles := tiling.Make(cfg.Tiling, cfg.Tiles, a, b, m)
+	pw := cfg.planWorkers()
+	tiles := tiling.MakeParallel(cfg.Tiling, cfg.Tiles, pw, a, b, m)
 	workers := sched.Workers(cfg.Workers)
 	outs := make([]tileOutput[T], len(tiles))
 
@@ -47,11 +48,11 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 		}
 	}
 
-	sched.Run(cfg.Schedule, workers, len(tiles), func(worker, t int) {
+	sched.RunChunked(cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
 		runTileComp(sr, scratch[worker], m, a, b, tiles[t], &outs[t])
 	})
 
-	return assemble(a.Rows, b.Cols, tiles, outs), nil
+	return assemble(a.Rows, b.Cols, tiles, outs, pw), nil
 }
 
 // compScratch is the per-worker state of the complement kernel: value

@@ -84,10 +84,20 @@ type Config struct {
 	Tiles int
 	// Tiling selects uniform vs FLOP-balanced tile boundaries (§III-A).
 	Tiling tiling.Strategy
-	// Schedule selects static vs dynamic tile-to-worker assignment.
+	// Schedule selects static, dynamic or guided tile-to-worker
+	// assignment.
 	Schedule sched.Policy
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
 	Workers int
+	// PlanWorkers is the worker count for plan construction and result
+	// assembly — the O(nnz) passes around the numeric kernel (Eq. 2 work
+	// estimation, prefix-sum tile balancing, CSR stitching). 0 means use
+	// the kernel worker count.
+	PlanWorkers int
+	// GuidedMinChunk is the chunk floor for the Guided schedule: the
+	// smallest number of tiles a worker claims per atomic operation.
+	// 0 means 1. Ignored by Static and Dynamic.
+	GuidedMinChunk int
 }
 
 // DefaultConfig is the paper's recommended configuration (§V): 2048
@@ -124,13 +134,33 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown accumulator kind %d", c.Accumulator)
 	}
+	switch c.Schedule {
+	case sched.Static, sched.Dynamic, sched.Guided:
+	default:
+		return fmt.Errorf("core: unknown schedule policy %d", c.Schedule)
+	}
 	if c.Tiles < 1 {
 		return fmt.Errorf("core: tiles must be >= 1, got %d", c.Tiles)
 	}
 	if c.Iteration == Hybrid && !(c.Kappa > 0) {
 		return fmt.Errorf("core: hybrid iteration needs kappa > 0, got %v", c.Kappa)
 	}
+	if c.PlanWorkers < 0 {
+		return fmt.Errorf("core: plan workers must be >= 0, got %d", c.PlanWorkers)
+	}
+	if c.GuidedMinChunk < 0 {
+		return fmt.Errorf("core: guided chunk floor must be >= 0, got %d", c.GuidedMinChunk)
+	}
 	return nil
+}
+
+// planWorkers resolves the worker count for the plan-construction and
+// assembly phases: PlanWorkers when set, else the kernel worker count.
+func (c Config) planWorkers() int {
+	if c.PlanWorkers > 0 {
+		return c.PlanWorkers
+	}
+	return sched.Workers(c.Workers)
 }
 
 // String renders the configuration compactly for experiment logs.
@@ -139,6 +169,12 @@ func (c Config) String() string {
 		c.Iteration, c.Accumulator, c.MarkerBits, c.Tiles, c.Tiling, c.Schedule, c.Workers)
 	if c.Iteration == Hybrid {
 		s += fmt.Sprintf(" κ=%g", c.Kappa)
+	}
+	if c.PlanWorkers > 0 {
+		s += fmt.Sprintf(" pw=%d", c.PlanWorkers)
+	}
+	if c.Schedule == sched.Guided && c.GuidedMinChunk > 0 {
+		s += fmt.Sprintf(" chunk=%d", c.GuidedMinChunk)
 	}
 	return s
 }

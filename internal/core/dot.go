@@ -42,25 +42,28 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 	// Eq. 2 does not model the dot traversal; its analogue is the merge
 	// cost of each surviving dot product:
 	//   W[i] = Σ_{M[i,j]≠0} (nnz(A[i,:]) + nnz(B[:,j])).
+	pw := cfg.planWorkers()
 	var tiles []tiling.Tile
 	if cfg.Tiling == tiling.FlopBalanced {
 		work := make([]int64, m.Rows)
-		for i := 0; i < m.Rows; i++ {
-			na := a.RowNNZ(i)
-			var wi int64
-			for _, j := range m.RowCols(i) {
-				wi += na + bT.RowNNZ(int(j))
+		sched.Blocks(blockWorkers(pw, m.Rows), m.Rows, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				na := a.RowNNZ(i)
+				var wi int64
+				for _, j := range m.RowCols(i) {
+					wi += na + bT.RowNNZ(int(j))
+				}
+				work[i] = wi
 			}
-			work[i] = wi
-		}
-		tiles = tiling.BalancedTiles(work, cfg.Tiles)
+		})
+		tiles = tiling.BalancedTilesParallel(work, cfg.Tiles, pw)
 	} else {
 		tiles = tiling.UniformTiles(m.Rows, cfg.Tiles)
 	}
 	workers := sched.Workers(cfg.Workers)
 	outs := make([]tileOutput[T], len(tiles))
 
-	sched.Run(cfg.Schedule, workers, len(tiles), func(_, t int) {
+	sched.RunChunked(cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
 		tile := tiles[t]
 		out := &outs[t]
 		maskVol := m.RowPtr[tile.Hi] - m.RowPtr[tile.Lo]
@@ -81,7 +84,7 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 		}
 	})
 
-	return assemble(m.Rows, m.Cols, tiles, outs), nil
+	return assemble(m.Rows, m.Cols, tiles, outs, pw), nil
 }
 
 // sparseDot merges two sorted index lists and accumulates the products

@@ -64,16 +64,17 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 		return sparse.NewCSR[T](a.Rows, b.Cols, 0), nil
 	}
 
-	tiles := tiling.Make(cfg.Tiling, cfg.Tiles, a, b, m)
+	pw := cfg.planWorkers()
+	tiles := tiling.MakeParallel(cfg.Tiling, cfg.Tiles, pw, a, b, m)
 	workers := sched.Workers(cfg.Workers)
 
 	// Accumulator row capacity (§III-C): masked spaces can hold at most
 	// max_i nnz(M[i,:]) entries per row; the vanilla space populates the
 	// full unmasked product row, bounded by the per-row flop count and
 	// the column dimension.
-	rowCap := maxRowNNZ(m)
+	rowCap := maxRowNNZ(m, pw)
 	if cfg.Iteration == Vanilla {
-		_, maxFlops := tiling.FlopCount(a, b)
+		_, maxFlops := tiling.FlopCountParallel(a, b, pw)
 		rowCap = maxFlops
 		if rowCap > int64(b.Cols) {
 			rowCap = int64(b.Cols)
@@ -89,11 +90,11 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 		}
 	}
 
-	sched.Run(cfg.Schedule, workers, len(tiles), func(worker, t int) {
+	sched.RunChunked(cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
 		runTile(sr, accs[worker], m, a, b, cfg, tiles[t], &outs[t])
 	})
 
-	return assemble(a.Rows, b.Cols, tiles, outs), nil
+	return assemble(a.Rows, b.Cols, tiles, outs, pw), nil
 }
 
 // tileOutput holds one tile's slice of the result before assembly.
@@ -103,11 +104,47 @@ type tileOutput[T sparse.Number] struct {
 	vals   []T
 }
 
-func maxRowNNZ[T sparse.Number](m *sparse.CSR[T]) int64 {
+// planSerialCutoff is the row count below which the plan-construction
+// and assembly passes stay serial: goroutine fan-out costs more than a
+// short O(rows) loop. A variable so tests can lower it to exercise the
+// parallel paths on small inputs.
+var planSerialCutoff = 1 << 14
+
+// blockWorkers returns the worker count to use for an O(n) plan pass:
+// 1 below the crossover threshold, p otherwise.
+func blockWorkers(p, n int) int {
+	if n < planSerialCutoff {
+		return 1
+	}
+	return p
+}
+
+func maxRowNNZ[T sparse.Number](m *sparse.CSR[T], p int) int64 {
+	p = blockWorkers(p, m.Rows)
+	if p <= 1 {
+		var mx int64
+		for i := 0; i < m.Rows; i++ {
+			if n := m.RowNNZ(i); n > mx {
+				mx = n
+			}
+		}
+		return mx
+	}
+	p = sched.Workers(p)
+	maxes := make([]int64, p)
+	sched.Blocks(p, m.Rows, func(w, lo, hi int) {
+		var mx int64
+		for i := lo; i < hi; i++ {
+			if n := m.RowNNZ(i); n > mx {
+				mx = n
+			}
+		}
+		maxes[w] = mx
+	})
 	var mx int64
-	for i := 0; i < m.Rows; i++ {
-		if n := m.RowNNZ(i); n > mx {
-			mx = n
+	for _, v := range maxes {
+		if v > mx {
+			mx = v
 		}
 	}
 	return mx
@@ -225,27 +262,54 @@ func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
 	}
 }
 
-// assemble stitches the per-tile outputs into one CSR matrix.
+// assemble stitches the per-tile outputs into one CSR matrix on p
+// workers. The three passes — row-count scatter, row-pointer prefix
+// sum, and per-tile payload copy — each write disjoint regions (tiles
+// partition the rows, so their RowPtr slots and payload ranges never
+// overlap), making the parallel result bit-identical to the serial one.
+// Small results, or p <= 1, take the serial path unchanged.
 func assemble[T sparse.Number](
-	rows, cols int, tiles []tiling.Tile, outs []tileOutput[T],
+	rows, cols int, tiles []tiling.Tile, outs []tileOutput[T], p int,
 ) *sparse.CSR[T] {
 	c := &sparse.CSR[T]{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
-	var nnz int64
-	for t := range outs {
-		for r, n := range outs[t].rowNNZ {
-			c.RowPtr[tiles[t].Lo+r+1] = int64(n)
-			nnz += int64(n)
+	if p = blockWorkers(p, rows); p <= 1 {
+		var nnz int64
+		for t := range outs {
+			for r, n := range outs[t].rowNNZ {
+				c.RowPtr[tiles[t].Lo+r+1] = int64(n)
+				nnz += int64(n)
+			}
 		}
+		for i := 0; i < rows; i++ {
+			c.RowPtr[i+1] += c.RowPtr[i]
+		}
+		c.ColIdx = make([]sparse.Index, nnz)
+		c.Val = make([]T, nnz)
+		for t := range outs {
+			lo := c.RowPtr[tiles[t].Lo]
+			copy(c.ColIdx[lo:], outs[t].cols)
+			copy(c.Val[lo:], outs[t].vals)
+		}
+		return c
 	}
-	for i := 0; i < rows; i++ {
-		c.RowPtr[i+1] += c.RowPtr[i]
-	}
+	sched.Blocks(p, len(tiles), func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			base := tiles[t].Lo
+			for r, n := range outs[t].rowNNZ {
+				c.RowPtr[base+r+1] = int64(n)
+			}
+		}
+	})
+	tiling.InclusiveScan(c.RowPtr[1:], p)
+	nnz := c.RowPtr[rows]
 	c.ColIdx = make([]sparse.Index, nnz)
 	c.Val = make([]T, nnz)
-	for t := range outs {
-		lo := c.RowPtr[tiles[t].Lo]
-		copy(c.ColIdx[lo:], outs[t].cols)
-		copy(c.Val[lo:], outs[t].vals)
-	}
+	sched.Blocks(p, len(tiles), func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			off := c.RowPtr[tiles[t].Lo]
+			copy(c.ColIdx[off:], outs[t].cols)
+			copy(c.Val[off:], outs[t].vals)
+		}
+	})
 	return c
 }

@@ -56,6 +56,20 @@ func allConfigs() []Config {
 			Tiles: 5, Tiling: tiling.Uniform, Schedule: sched.Dynamic, Workers: 2,
 		})
 	}
+	for _, chunk := range []int{0, 1, 3, 100} {
+		out = append(out, Config{
+			Iteration: Hybrid, Kappa: 1, Accumulator: accum.HashKind, MarkerBits: 32,
+			Tiles: 9, Tiling: tiling.FlopBalanced, Schedule: sched.Guided, Workers: 3,
+			GuidedMinChunk: chunk,
+		})
+	}
+	for _, pw := range []int{1, 2, 4} {
+		out = append(out, Config{
+			Iteration: MaskLoad, Kappa: 1, Accumulator: accum.HashKind, MarkerBits: 32,
+			Tiles: 6, Tiling: tiling.FlopBalanced, Schedule: sched.Guided, Workers: 2,
+			PlanWorkers: pw,
+		})
+	}
 	return out
 }
 
@@ -128,10 +142,12 @@ func TestMaskedSpGEMMPropertyRandomShapes(t *testing.T) {
 			Kappa:       1,
 			Accumulator: accum.Kind(akRaw % 5),
 			MarkerBits:  32,
-			Tiles:       r.Intn(8) + 1,
-			Tiling:      tiling.Strategy(r.Intn(2)),
-			Schedule:    sched.Policy(r.Intn(2)),
-			Workers:     r.Intn(3) + 1,
+			Tiles:          r.Intn(8) + 1,
+			Tiling:         tiling.Strategy(r.Intn(2)),
+			Schedule:       sched.Policy(r.Intn(3)),
+			Workers:        r.Intn(3) + 1,
+			PlanWorkers:    r.Intn(3),
+			GuidedMinChunk: r.Intn(4),
 		}
 		got, err := MaskedSpGEMM[float64](semiring.PlusTimes[float64]{}, m, a, b, cfg)
 		if err != nil {
@@ -339,6 +355,21 @@ func TestMaskedSpGEMMEdgeCases(t *testing.T) {
 		bad.Kappa = 0
 		if _, err := MaskedSpGEMM[float64](sr, a, a, a, bad); err == nil {
 			t.Error("hybrid with kappa=0 not rejected")
+		}
+		bad = cfg
+		bad.Schedule = sched.Policy(99)
+		if _, err := MaskedSpGEMM[float64](sr, a, a, a, bad); err == nil {
+			t.Error("unknown schedule not rejected")
+		}
+		bad = cfg
+		bad.PlanWorkers = -1
+		if _, err := MaskedSpGEMM[float64](sr, a, a, a, bad); err == nil {
+			t.Error("negative plan workers not rejected")
+		}
+		bad = cfg
+		bad.GuidedMinChunk = -1
+		if _, err := MaskedSpGEMM[float64](sr, a, a, a, bad); err == nil {
+			t.Error("negative guided chunk not rejected")
 		}
 	})
 

@@ -24,13 +24,14 @@ import (
 // set of worker accumulators. The operand matrices must not be mutated
 // while the Multiplier is in use.
 type Multiplier[T sparse.Number, S semiring.Semiring[T]] struct {
-	sr      S
-	m, a, b *sparse.CSR[T]
-	cfg     Config
-	tiles   []tiling.Tile
-	workers int
-	accs    []accum.Accumulator[T]
-	outs    []tileOutput[T]
+	sr          S
+	m, a, b     *sparse.CSR[T]
+	cfg         Config
+	tiles       []tiling.Tile
+	workers     int
+	planWorkers int
+	accs        []accum.Accumulator[T]
+	outs        []tileOutput[T]
 }
 
 // NewMultiplier validates the problem and builds the execution plan.
@@ -46,12 +47,13 @@ func NewMultiplier[T sparse.Number, S semiring.Semiring[T]](
 	}
 	mu := &Multiplier[T, S]{sr: sr, m: m, a: a, b: b, cfg: cfg}
 	mu.workers = sched.Workers(cfg.Workers)
+	mu.planWorkers = cfg.planWorkers()
 	if a.Rows > 0 {
-		mu.tiles = tiling.Make(cfg.Tiling, cfg.Tiles, a, b, m)
+		mu.tiles = tiling.MakeParallel(cfg.Tiling, cfg.Tiles, mu.planWorkers, a, b, m)
 	}
-	rowCap := maxRowNNZ(m)
+	rowCap := maxRowNNZ(m, mu.planWorkers)
 	if cfg.Iteration == Vanilla {
-		_, maxFlops := tiling.FlopCount(a, b)
+		_, maxFlops := tiling.FlopCountParallel(a, b, mu.planWorkers)
 		rowCap = maxFlops
 		if rowCap > int64(b.Cols) {
 			rowCap = int64(b.Cols)
@@ -73,14 +75,14 @@ func (mu *Multiplier[T, S]) Multiply() *sparse.CSR[T] {
 	if mu.a.Rows == 0 {
 		return sparse.NewCSR[T](mu.a.Rows, mu.b.Cols, 0)
 	}
-	sched.Run(mu.cfg.Schedule, mu.workers, len(mu.tiles), func(worker, t int) {
+	sched.RunChunked(mu.cfg.Schedule, mu.workers, len(mu.tiles), mu.cfg.GuidedMinChunk, func(worker, t int) {
 		out := &mu.outs[t]
 		// Reuse the buffers from the previous run.
 		out.cols = out.cols[:0]
 		out.vals = out.vals[:0]
 		runTilePlanned(mu.sr, mu.accs[worker], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[t], out)
 	})
-	return assemble(mu.a.Rows, mu.b.Cols, mu.tiles, mu.outs)
+	return assemble(mu.a.Rows, mu.b.Cols, mu.tiles, mu.outs, mu.planWorkers)
 }
 
 // runTilePlanned is runTile with caller-owned (reused) buffers.

@@ -47,7 +47,8 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 		kPanels = a.Cols
 	}
 
-	tiles := tiling.Make(cfg.Tiling, cfg.Tiles, a, b, m)
+	pw := cfg.planWorkers()
+	tiles := tiling.MakeParallel(cfg.Tiling, cfg.Tiles, pw, a, b, m)
 	workers := sched.Workers(cfg.Workers)
 	outs := make([]tileOutput[T], len(tiles))
 
@@ -57,11 +58,11 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 		bounds[p] = sparse.Index(a.Cols * p / kPanels)
 	}
 
-	sched.Run(cfg.Schedule, workers, len(tiles), func(_, t int) {
+	sched.RunChunked(cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
 		runTile2D(sr, m, a, b, tiles[t], bounds, &outs[t])
 	})
 
-	return assemble(a.Rows, b.Cols, tiles, outs), nil
+	return assemble(a.Rows, b.Cols, tiles, outs, pw), nil
 }
 
 // runTile2D computes one row tile panel-major.

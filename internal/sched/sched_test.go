@@ -8,7 +8,7 @@ import (
 )
 
 func TestRunExecutesEveryTileOnce(t *testing.T) {
-	for _, policy := range []Policy{Static, Dynamic} {
+	for _, policy := range []Policy{Static, Dynamic, Guided} {
 		for _, workers := range []int{1, 2, 4, 7} {
 			const tiles = 103
 			var counts [tiles]atomic.Int32
@@ -25,7 +25,7 @@ func TestRunExecutesEveryTileOnce(t *testing.T) {
 }
 
 func TestRunWorkerIDsInRange(t *testing.T) {
-	for _, policy := range []Policy{Static, Dynamic} {
+	for _, policy := range []Policy{Static, Dynamic, Guided} {
 		const workers, tiles = 4, 50
 		var bad atomic.Int32
 		Run(policy, workers, tiles, func(w, _ int) {
@@ -91,7 +91,7 @@ func TestSingleWorkerRunsInline(t *testing.T) {
 }
 
 func TestRunZeroTiles(t *testing.T) {
-	for _, policy := range []Policy{Static, Dynamic} {
+	for _, policy := range []Policy{Static, Dynamic, Guided} {
 		ran := false
 		Run(policy, 4, 0, func(_, _ int) { ran = true })
 		if ran {
@@ -110,18 +110,138 @@ func TestWorkersDefault(t *testing.T) {
 }
 
 func TestRunPropertyAllPoliciesAllSizes(t *testing.T) {
-	f := func(pRaw, tRaw uint8, dynamic bool) bool {
+	f := func(pRaw, tRaw, polRaw, chunkRaw uint8) bool {
 		p := int(pRaw%8) + 1
 		tiles := int(tRaw % 64)
-		policy := Static
-		if dynamic {
-			policy = Dynamic
-		}
+		policy := Policy(polRaw % 3)
+		minChunk := int(chunkRaw % 9) // 0 exercises the default floor
 		var n atomic.Int64
-		Run(policy, p, tiles, func(_, _ int) { n.Add(1) })
+		RunChunked(policy, p, tiles, minChunk, func(_, _ int) { n.Add(1) })
 		return n.Load() == int64(tiles)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	names := map[Policy]string{Static: "Static", Dynamic: "Dynamic", Guided: "Guided", Policy(99): "Unknown"}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestGuidedEveryTileClaimedOnce(t *testing.T) {
+	// Non-atomic per-tile writes: a double claim is a data race the race
+	// detector flags, and a missed tile leaves a zero we assert on.
+	for _, workers := range []int{2, 4, 8} {
+		for _, minChunk := range []int{0, 1, 4, 100, 100000} {
+			const tiles = 5000
+			hits := make([]int64, tiles)
+			RunChunked(Guided, workers, tiles, minChunk, func(_, tile int) {
+				hits[tile]++
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("p=%d chunk=%d: tile %d ran %d times", workers, minChunk, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestGuidedScratchIsolation(t *testing.T) {
+	// Worker ids under Guided must be exclusive, like the other policies:
+	// per-worker non-atomic counters must not lose updates.
+	const workers, tiles = 4, 4096
+	scratch := make([]int64, workers)
+	RunChunked(Guided, workers, tiles, 3, func(w, _ int) {
+		scratch[w]++
+	})
+	var total int64
+	for _, s := range scratch {
+		total += s
+	}
+	if total != tiles {
+		t.Errorf("scratch total %d, want %d", total, tiles)
+	}
+}
+
+func TestGuidedChunkDecay(t *testing.T) {
+	// The claim size must be remaining/p, floored, clamped — geometric
+	// decay toward the floor.
+	if got := GuidedChunk(1000, 4, 1); got != 250 {
+		t.Errorf("GuidedChunk(1000,4,1) = %d, want 250", got)
+	}
+	if got := GuidedChunk(7, 4, 1); got != 1 {
+		t.Errorf("GuidedChunk(7,4,1) = %d, want 1 (integer division floor)", got)
+	}
+	if got := GuidedChunk(7, 4, 5); got != 5 {
+		t.Errorf("GuidedChunk(7,4,5) = %d, want 5 (chunk floor)", got)
+	}
+	if got := GuidedChunk(3, 4, 5); got != 3 {
+		t.Errorf("GuidedChunk(3,4,5) = %d, want 3 (clamped to remaining)", got)
+	}
+	if got := GuidedChunk(0, 4, 1); got != 0 {
+		t.Errorf("GuidedChunk(0,4,1) = %d, want 0", got)
+	}
+	if got := GuidedChunk(10, 2, 0); got != 5 {
+		t.Errorf("GuidedChunk(10,2,0) = %d, want 5 (floor defaults to 1)", got)
+	}
+	// Simulated drain: total tiles claimed must equal the supply, and
+	// chunk sizes must never grow as the supply shrinks.
+	rem, prev := 32768, 1<<62
+	for rem > 0 {
+		c := GuidedChunk(rem, 8, 4)
+		if c > prev {
+			t.Fatalf("chunk grew: %d after %d", c, prev)
+		}
+		prev = c
+		rem -= c
+	}
+	if rem != 0 {
+		t.Fatalf("drain overshot by %d", -rem)
+	}
+}
+
+func TestBlocksPartition(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			workers := map[int]bool{}
+			Blocks(p, n, func(w, lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if workers[w] {
+					t.Errorf("p=%d n=%d: worker %d ran two blocks", p, n, w)
+				}
+				workers[w] = true
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, s := range seen {
+				if s != 1 {
+					t.Fatalf("p=%d n=%d: index %d covered %d times", p, n, i, s)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksSingleWorkerInline(t *testing.T) {
+	// p=1 must run the single block on the calling goroutine.
+	ran := false
+	Blocks(1, 10, func(w, lo, hi int) {
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Errorf("inline block = (%d, %d, %d)", w, lo, hi)
+		}
+		ran = true // safe without sync iff inline
+	})
+	if !ran {
+		t.Error("block did not run")
 	}
 }

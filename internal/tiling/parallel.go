@@ -1,0 +1,136 @@
+package tiling
+
+import (
+	"fmt"
+
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/sparse"
+)
+
+// parallelCutoff is the input length below which the parallel plan
+// phases fall back to their serial loops: spawning goroutines for a few
+// thousand rows costs more than the pass itself. A variable so tests
+// can lower it and exercise the parallel paths on small inputs.
+var parallelCutoff = 1 << 14
+
+// SetParallelCutoffForTest overrides the serial crossover threshold and
+// returns the previous value, so tests in dependent packages can drive
+// the parallel paths with small inputs. Not for production use.
+func SetParallelCutoffForTest(n int) (old int) {
+	old = parallelCutoff
+	parallelCutoff = n
+	return old
+}
+
+// RowWorkParallel is RowWork computed over contiguous row blocks on p
+// workers. Rows are independent, so the result is bit-identical to the
+// serial estimator; inputs below the crossover threshold (or p <= 1)
+// take the serial path unchanged.
+func RowWorkParallel[T sparse.Number](a, b, m *sparse.CSR[T], p int) []int64 {
+	if p == 1 || a.Rows < parallelCutoff {
+		return RowWork(a, b, m)
+	}
+	w := make([]int64, a.Rows)
+	sched.Blocks(p, a.Rows, func(_, lo, hi int) {
+		rowWorkInto(w, a, b, m, lo, hi)
+	})
+	return w
+}
+
+// FlopCountParallel is FlopCount computed over contiguous row blocks on
+// p workers: per-block totals and maxima reduce to the same values the
+// serial pass produces (int64 addition and max are associative).
+func FlopCountParallel[T sparse.Number](a, b *sparse.CSR[T], p int) (total int64, maxRow int64) {
+	if p == 1 || a.Rows < parallelCutoff {
+		return FlopCount(a, b)
+	}
+	p = sched.Workers(p)
+	totals := make([]int64, p)
+	maxes := make([]int64, p)
+	sched.Blocks(p, a.Rows, func(w, lo, hi int) {
+		totals[w], maxes[w] = flopCountRange(a, b, lo, hi)
+	})
+	for w := 0; w < p; w++ {
+		total += totals[w]
+		if maxes[w] > maxRow {
+			maxRow = maxes[w]
+		}
+	}
+	return total, maxRow
+}
+
+// PrefixSum returns the prefix sum of work on p workers:
+// out[i] = Σ work[:i], with out[len(work)] the total. The serial path is
+// kept for small inputs behind the crossover threshold.
+func PrefixSum(work []int64, p int) []int64 {
+	prefix := make([]int64, len(work)+1)
+	copy(prefix[1:], work)
+	InclusiveScan(prefix[1:], p)
+	return prefix
+}
+
+// InclusiveScan replaces x with its inclusive prefix sum in place. Large
+// inputs scan in two block-parallel passes (per-block local scans, then
+// a block-offset fixup after a serial scan of the p block totals); small
+// inputs, or p <= 1, scan serially. Both orders sum the same int64 terms
+// left to right within each block, so the result is bit-identical.
+func InclusiveScan(x []int64, p int) {
+	n := len(x)
+	if p == 1 || n < parallelCutoff {
+		var run int64
+		for i := range x {
+			run += x[i]
+			x[i] = run
+		}
+		return
+	}
+	p = sched.Workers(p)
+	if p > n {
+		p = n
+	}
+	sums := make([]int64, p)
+	sched.Blocks(p, n, func(w, lo, hi int) {
+		var run int64
+		for i := lo; i < hi; i++ {
+			run += x[i]
+			x[i] = run
+		}
+		sums[w] = run
+	})
+	var off int64
+	for w := 0; w < p; w++ {
+		s := sums[w]
+		sums[w] = off
+		off += s
+	}
+	sched.Blocks(p, n, func(w, lo, hi int) {
+		d := sums[w]
+		if d == 0 {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			x[i] += d
+		}
+	})
+}
+
+// BalancedTilesParallel is BalancedTiles with the O(rows) prefix sum
+// spread over p workers. Tile boundaries are bit-identical to the serial
+// partitioner for any p.
+func BalancedTilesParallel(work []int64, n, p int) []Tile {
+	return balancedFromPrefix(PrefixSum(work, p), n)
+}
+
+// MakeParallel builds tiles for the given operands with the requested
+// strategy and tile count, running the work estimation and prefix sum on
+// p workers. Make is MakeParallel with p = 1.
+func MakeParallel[T sparse.Number](s Strategy, n, p int, a, b, m *sparse.CSR[T]) []Tile {
+	switch s {
+	case Uniform:
+		return UniformTiles(a.Rows, n)
+	case FlopBalanced:
+		return BalancedTilesParallel(RowWorkParallel(a, b, m, p), n, p)
+	default:
+		panic(fmt.Sprintf("tiling: unknown strategy %d", s))
+	}
+}

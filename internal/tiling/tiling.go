@@ -50,21 +50,33 @@ func (s Strategy) String() string {
 // computed in O(nnz(A) + rows) time using only CSR row pointers.
 func RowWork[T sparse.Number](a, b, m *sparse.CSR[T]) []int64 {
 	w := make([]int64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
+	rowWorkInto(w, a, b, m, 0, a.Rows)
+	return w
+}
+
+// rowWorkInto fills w[lo:hi] with the Eq. 2 estimate — the shared body
+// of the serial and block-parallel work estimators.
+func rowWorkInto[T sparse.Number](w []int64, a, b, m *sparse.CSR[T], lo, hi int) {
+	for i := lo; i < hi; i++ {
 		wi := m.RowNNZ(i)
 		for _, k := range a.RowCols(i) {
 			wi += b.RowNNZ(int(k))
 		}
 		w[i] = wi
 	}
-	return w
 }
 
 // FlopCount returns Σ_{A[i,k]≠0} nnz(B[k,:]) — the classical SpGEMM flop
 // count, without the mask term. GrB and SuiteSparse:GraphBLAS size their
 // accumulators from per-row maxima of this quantity.
 func FlopCount[T sparse.Number](a, b *sparse.CSR[T]) (total int64, maxRow int64) {
-	for i := 0; i < a.Rows; i++ {
+	return flopCountRange(a, b, 0, a.Rows)
+}
+
+// flopCountRange computes the flop total and per-row maximum over rows
+// [lo, hi) — the shared body of the serial and block-parallel counters.
+func flopCountRange[T sparse.Number](a, b *sparse.CSR[T], lo, hi int) (total int64, maxRow int64) {
+	for i := lo; i < hi; i++ {
 		var f int64
 		for _, k := range a.RowCols(i) {
 			f += b.RowNNZ(int(k))
@@ -103,16 +115,21 @@ func UniformTiles(rows, n int) []Tile {
 // (the row is the scheduling atom, as in the paper), so a tile can
 // exceed the ideal share when one row dominates.
 func BalancedTiles(work []int64, n int) []Tile {
-	rows := len(work)
+	return balancedFromPrefix(PrefixSum(work, 1), n)
+}
+
+// balancedFromPrefix places the tile boundaries given the ready prefix
+// sum of the work estimate (len(prefix) = rows+1). The boundary loop is
+// O(n log rows) and carries the previous boundary forward, so it stays
+// serial; the O(rows) prefix sum is where the construction time goes
+// and is what BalancedTilesParallel parallelizes.
+func balancedFromPrefix(prefix []int64, n int) []Tile {
+	rows := len(prefix) - 1
 	if n > rows {
 		n = rows
 	}
 	if n <= 0 {
 		n = 1
-	}
-	prefix := make([]int64, rows+1)
-	for i, w := range work {
-		prefix[i+1] = prefix[i] + w
 	}
 	total := prefix[rows]
 	tiles := make([]Tile, 0, n)
@@ -139,16 +156,10 @@ func BalancedTiles(work []int64, n int) []Tile {
 }
 
 // Make builds tiles for the given operands with the requested strategy
-// and tile count.
+// and tile count, serially; MakeParallel spreads the work estimation
+// over a worker pool.
 func Make[T sparse.Number](s Strategy, n int, a, b, m *sparse.CSR[T]) []Tile {
-	switch s {
-	case Uniform:
-		return UniformTiles(a.Rows, n)
-	case FlopBalanced:
-		return BalancedTiles(RowWork(a, b, m), n)
-	default:
-		panic(fmt.Sprintf("tiling: unknown strategy %d", s))
-	}
+	return MakeParallel(s, n, 1, a, b, m)
 }
 
 // CheckPartition verifies that tiles cover [0, rows) exactly once, in

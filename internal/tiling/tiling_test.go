@@ -142,6 +142,108 @@ func TestBalancedTilesSingleRowAtom(t *testing.T) {
 	}
 }
 
+func TestBalancedTilesBoundaryStepBack(t *testing.T) {
+	// prefix = [0,1,2,11,12], target for the first of two tiles is 6.
+	// The search lands after the heavy row (prefix 11), but the previous
+	// boundary (prefix 2) is strictly closer to the target, so the
+	// boundary must step back: tiles {0,2},{2,4}, not {0,3},{3,4}.
+	work := []int64{1, 1, 9, 1}
+	tiles := BalancedTiles(work, 2)
+	want := []Tile{{0, 2}, {2, 4}}
+	if len(tiles) != len(want) {
+		t.Fatalf("got %d tiles %v, want %v", len(tiles), tiles, want)
+	}
+	for i := range want {
+		if tiles[i] != want[i] {
+			t.Errorf("tile %d = %+v, want %+v", i, tiles[i], want[i])
+		}
+	}
+}
+
+func TestBalancedTilesNoStepBackWhenOvershootCloser(t *testing.T) {
+	// prefix = [0,9,10,11,12], target 6: the overshoot (9) is closer to
+	// the target than the previous boundary (0), so no step-back — and
+	// stepping back would also produce an empty tile.
+	work := []int64{9, 1, 1, 1}
+	tiles := BalancedTiles(work, 2)
+	want := []Tile{{0, 1}, {1, 4}}
+	if len(tiles) != len(want) {
+		t.Fatalf("got %d tiles %v, want %v", len(tiles), tiles, want)
+	}
+	for i := range want {
+		if tiles[i] != want[i] {
+			t.Errorf("tile %d = %+v, want %+v", i, tiles[i], want[i])
+		}
+	}
+}
+
+func TestBalancedTilesDominantRow(t *testing.T) {
+	// A single row carrying ~all the work: every requested tile count must
+	// still yield a valid partition, with the dominant row intact in one
+	// tile whose work is near the total.
+	for _, rows := range []int{1, 2, 10, 257} {
+		for _, hub := range []int{0, rows / 2, rows - 1} {
+			work := make([]int64, rows)
+			for i := range work {
+				work[i] = 1
+			}
+			work[hub] = 1 << 40
+			for _, n := range []int{1, 2, 7, rows, 3 * rows} {
+				tiles := BalancedTiles(work, n)
+				if err := CheckPartition(tiles, rows); err != nil {
+					t.Fatalf("rows=%d hub=%d n=%d: %v", rows, hub, n, err)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedTilesPartitionSweep(t *testing.T) {
+	// Deterministic sweep over (rows, n) with adversarial work shapes —
+	// complements the randomized property test with the exact boundary
+	// cases (n = rows, n > rows, all-zero work, front/back-loaded work).
+	shapes := map[string]func(rows int) []int64{
+		"uniform": func(rows int) []int64 {
+			w := make([]int64, rows)
+			for i := range w {
+				w[i] = 3
+			}
+			return w
+		},
+		"zero": func(rows int) []int64 { return make([]int64, rows) },
+		"front-loaded": func(rows int) []int64 {
+			w := make([]int64, rows)
+			for i := range w {
+				w[i] = int64(rows - i)
+			}
+			return w
+		},
+		"back-loaded": func(rows int) []int64 {
+			w := make([]int64, rows)
+			for i := range w {
+				w[i] = int64(i * i)
+			}
+			return w
+		},
+	}
+	for name, shape := range shapes {
+		for _, rows := range []int{1, 2, 3, 5, 64, 1000} {
+			for _, n := range []int{1, 2, rows - 1, rows, rows + 1, 4 * rows} {
+				if n < 1 {
+					continue
+				}
+				tiles := BalancedTiles(shape(rows), n)
+				if err := CheckPartition(tiles, rows); err != nil {
+					t.Errorf("%s rows=%d n=%d: %v", name, rows, n, err)
+				}
+				if len(tiles) > n {
+					t.Errorf("%s rows=%d n=%d: %d tiles exceed request", name, rows, n, len(tiles))
+				}
+			}
+		}
+	}
+}
+
 func TestTileCountClamping(t *testing.T) {
 	if got := len(UniformTiles(10, 100)); got != 10 {
 		t.Errorf("UniformTiles(10,100) made %d tiles, want 10", got)

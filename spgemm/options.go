@@ -51,6 +51,11 @@ const (
 	SchedDynamic Schedule = iota
 	// SchedStatic pre-assigns tiles round-robin.
 	SchedStatic
+	// SchedGuided lets workers claim geometrically shrinking chunks of
+	// tiles (remaining/P per claim, bounded below by GuidedMinChunk) —
+	// OpenMP's schedule(guided). At high tile counts it keeps dynamic
+	// balance while paying far fewer atomic operations than SchedDynamic.
+	SchedGuided
 )
 
 // Semiring selects the algebra of the multiplication.
@@ -84,6 +89,13 @@ type Options struct {
 	Schedule Schedule
 	// Workers is the goroutine pool size; 0 = GOMAXPROCS.
 	Workers int
+	// PlanWorkers is the goroutine count for plan construction and
+	// result assembly (work estimation, tile balancing, CSR stitching);
+	// 0 = same as Workers.
+	PlanWorkers int
+	// GuidedMinChunk is the smallest tile batch a worker claims under
+	// SchedGuided; 0 = 1. Ignored by the other schedules.
+	GuidedMinChunk int
 	// Semiring is the multiplication algebra. Default SRPlusTimes.
 	Semiring Semiring
 	// ValuedMask switches the mask from structural semantics (any stored
@@ -110,10 +122,12 @@ func Defaults() Options {
 // config translates Options to the internal kernel configuration.
 func (o Options) config() core.Config {
 	cfg := core.Config{
-		Kappa:      o.Kappa,
-		MarkerBits: o.MarkerBits,
-		Tiles:      o.Tiles,
-		Workers:    o.Workers,
+		Kappa:          o.Kappa,
+		MarkerBits:     o.MarkerBits,
+		Tiles:          o.Tiles,
+		Workers:        o.Workers,
+		PlanWorkers:    o.PlanWorkers,
+		GuidedMinChunk: o.GuidedMinChunk,
 	}
 	switch o.Iteration {
 	case IterVanilla:
@@ -140,6 +154,8 @@ func (o Options) config() core.Config {
 	switch o.Schedule {
 	case SchedStatic:
 		cfg.Schedule = sched.Static
+	case SchedGuided:
+		cfg.Schedule = sched.Guided
 	default:
 		cfg.Schedule = sched.Dynamic
 	}

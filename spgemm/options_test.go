@@ -35,6 +35,9 @@ func TestOptionsConfigMapping(t *testing.T) {
 		{func(o *Options) { o.Accumulator = AccDense }, func(c core.Config) bool { return c.Accumulator == accum.DenseKind }, "dense"},
 		{func(o *Options) { o.Tiling = TileUniform }, func(c core.Config) bool { return c.Tiling == tiling.Uniform }, "uniform"},
 		{func(o *Options) { o.Schedule = SchedStatic }, func(c core.Config) bool { return c.Schedule == sched.Static }, "static"},
+		{func(o *Options) { o.Schedule = SchedGuided }, func(c core.Config) bool { return c.Schedule == sched.Guided }, "guided"},
+		{func(o *Options) { o.PlanWorkers = 5 }, func(c core.Config) bool { return c.PlanWorkers == 5 }, "planworkers"},
+		{func(o *Options) { o.GuidedMinChunk = 9 }, func(c core.Config) bool { return c.GuidedMinChunk == 9 }, "guidedchunk"},
 		{func(o *Options) { o.Workers = 3 }, func(c core.Config) bool { return c.Workers == 3 }, "workers"},
 		{func(o *Options) { o.Kappa = 0.25 }, func(c core.Config) bool { return c.Kappa == 0.25 }, "kappa"},
 		{func(o *Options) { o.MarkerBits = 8 }, func(c core.Config) bool { return c.MarkerBits == 8 }, "marker"},
