@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-plan bench-sched
+.PHONY: build test vet race check fuzz bench-plan bench-sched
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,21 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The scheduler and kernel are the concurrency-bearing packages: run them
-# under the race detector with the Guided policy and parallel plan paths
-# exercised by their tests.
+# The scheduler, kernel and public facade are the concurrency-bearing
+# packages: run them under the race detector with the Guided policy,
+# panic containment, cancellation and parallel plan paths exercised by
+# their tests.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/tiling/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/tiling/... ./spgemm/...
 
 check: vet race test
+
+# Short fuzz passes over the hostile-input surface: the MatrixMarket
+# text parser and the binary CSR container.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test ./internal/mtx -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/mtx -fuzz='^FuzzReadBinary$$' -fuzztime=$(FUZZTIME)
 
 bench-plan:
 	$(GO) run ./cmd/spgemm-bench -experiment plan -shift 3

@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"maskedspgemm/internal/bench"
 	"maskedspgemm/internal/mtx"
@@ -30,6 +34,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM stop the generation loop at the next graph boundary
+	// and abort an in-progress write, removing its partial file so the
+	// output directory never holds a truncated matrix.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -44,9 +54,13 @@ func main() {
 		specs = []bench.GraphSpec{g}
 	}
 	for _, g := range specs {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen: interrupted; stopping before", g.Name)
+			os.Exit(1)
+		}
 		a := g.Build(*shift)
 		path := filepath.Join(*out, g.Name+"."+*format)
-		if err := writeMatrix(path, a, *pattern, *format); err != nil {
+		if err := writeMatrix(ctx, path, a, *pattern, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", g.Name, err)
 			os.Exit(1)
 		}
@@ -55,22 +69,43 @@ func main() {
 	}
 }
 
-func writeMatrix(path string, a *sparse.CSR[float64], pattern bool, format string) error {
+func writeMatrix(ctx context.Context, path string, a *sparse.CSR[float64], pattern bool, format string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	w := &ctxWriter{ctx: ctx, w: f}
 	switch {
 	case format == "bin":
-		err = mtx.WriteBinary(f, a)
+		err = mtx.WriteBinary(w, a)
 	case pattern:
-		err = mtx.WritePattern(f, a)
+		err = mtx.WritePattern(w, a)
 	default:
-		err = mtx.Write(f, a)
+		err = mtx.Write(w, a)
+	}
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
 	}
 	if err != nil {
+		// Never leave a truncated matrix behind.
+		os.Remove(path)
 		return err
 	}
-	return f.Close()
+	return nil
+}
+
+// ctxWriter aborts a long matrix serialization as soon as its context
+// is cancelled, surfacing the context error through the writer chain.
+type ctxWriter struct {
+	ctx context.Context
+	w   io.Writer
+}
+
+func (c *ctxWriter) Write(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, fmt.Errorf("write aborted: %w", err)
+	}
+	return c.w.Write(p)
 }

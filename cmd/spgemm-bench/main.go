@@ -18,13 +18,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"maskedspgemm/internal/bench"
+	"maskedspgemm/internal/core"
 )
 
 func main() {
@@ -38,12 +43,18 @@ func main() {
 	graphs := flag.String("graphs", "", "comma-separated graph names (default all)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the measurement loop between repetitions
+	// (and in-flight kernels that observe the context); already-printed
+	// experiment sections remain as flushed partial results.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	o := bench.DefaultOptions()
 	o.Shift = *shift
 	o.Workers = *workers
 	o.PlanWorkers = *planWorkers
 	o.GuidedMinChunk = *guidedChunk
-	o.Method = bench.Methodology{Warmups: 1, MaxReps: *reps, Budget: *budget}
+	o.Method = bench.Methodology{Warmups: 1, MaxReps: *reps, Budget: *budget, Context: ctx}
 	if *graphs != "" {
 		for _, g := range strings.Split(*graphs, ",") {
 			name := strings.TrimSpace(g)
@@ -61,7 +72,11 @@ func main() {
 		fmt.Fprintf(w, "=== %s ===\n", name)
 		start := time.Now()
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			if errors.Is(err, core.ErrCanceled) {
+				fmt.Fprintf(os.Stderr, "%s: interrupted: %v\n", name, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			}
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))

@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"maskedspgemm/internal/bench"
@@ -75,14 +79,24 @@ func main() {
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 
+	// SIGINT/SIGTERM cancel the in-flight multiplication cooperatively:
+	// workers drain, buffers stay consistent, and the process exits
+	// through the normal error path instead of a raw panic trace.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := core.DefaultConfig()
 	cfg.Tiles = *tiles
 	cfg.Workers = *workers
 	cfg.Kappa = *kappa
+	cfg.Context = ctx
 
 	start := time.Now()
 	count, err := graph.TriangleCount(a, m, cfg)
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			fatal(fmt.Errorf("interrupted: %w", err))
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(start)

@@ -4,8 +4,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"maskedspgemm/spgemm"
 )
@@ -57,4 +60,23 @@ func main() {
 		}
 		fmt.Printf("  iteration space %d -> %d triangles\n", it, n)
 	}
+
+	// Production hardening (docs/ERRORS.md): a context makes the multiply
+	// cancellable, and ValidateInputs vets untrusted operands up front —
+	// every failure mode comes back as a typed error, never a panic.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	hard := spgemm.Defaults()
+	hard.ValidateInputs = true
+	if _, err := spgemm.MxMContext(ctx, a, a, a, hard); err != nil {
+		switch {
+		case errors.Is(err, spgemm.ErrCanceled):
+			log.Fatal("timed out:", err)
+		case errors.Is(err, spgemm.ErrInvalidMatrix):
+			log.Fatal("bad operand:", err)
+		default:
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("validated, cancellable multiply: ok")
 }

@@ -111,7 +111,11 @@ func PlanBench(w io.Writer, o Options) error {
 				return fmt.Errorf("%s multiply p=%d: %w", g.Name, c, err)
 			}
 			meas, err := TimeFn(func() (int64, error) {
-				return mu.Multiply().NNZ(), nil
+				c, err := mu.Multiply()
+				if err != nil {
+					return 0, err
+				}
+				return c.NNZ(), nil
 			}, o.Method)
 			if err != nil {
 				return fmt.Errorf("%s multiply p=%d: %w", g.Name, c, err)

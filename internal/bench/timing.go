@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"maskedspgemm/internal/core"
@@ -20,6 +22,10 @@ type Methodology struct {
 	MaxReps int
 	// Budget caps the total measurement time.
 	Budget time.Duration
+	// Context, when non-nil, aborts the measurement loop between runs
+	// and cancels in-flight kernels (for kernels that observe it), so an
+	// interrupted benchmark exits promptly with partial results flushed.
+	Context context.Context
 }
 
 // DefaultMethodology measures with 1 warm-up, up to 5 reps, 2 s budget.
@@ -46,6 +52,9 @@ type Measurement struct {
 // (§IV-A: M and B are identical to A) — under the given configuration.
 func TimeMasked(a *sparse.CSR[float64], cfg core.Config, m Methodology) (Measurement, error) {
 	sr := semiring.PlusTimes[float64]{}
+	if m.Context != nil && cfg.Context == nil {
+		cfg.Context = m.Context
+	}
 	run := func() (int64, error) {
 		c, err := core.MaskedSpGEMM[float64](sr, a, a, a, cfg)
 		if err != nil {
@@ -64,6 +73,9 @@ func TimeFn(run func() (int64, error), m Methodology) (Measurement, error) {
 func measure(run func() (int64, error), m Methodology) (Measurement, error) {
 	var out Measurement
 	for w := 0; w < m.Warmups; w++ {
+		if err := methodErr(m); err != nil {
+			return out, err
+		}
 		nnz, err := run()
 		if err != nil {
 			return out, err
@@ -73,6 +85,9 @@ func measure(run func() (int64, error), m Methodology) (Measurement, error) {
 	deadline := time.Now().Add(m.Budget)
 	best := time.Duration(0)
 	for rep := 0; rep < m.MaxReps; rep++ {
+		if err := methodErr(m); err != nil {
+			return out, err
+		}
 		start := time.Now()
 		nnz, err := run()
 		elapsed := time.Since(start)
@@ -90,4 +105,16 @@ func measure(run func() (int64, error), m Methodology) (Measurement, error) {
 	}
 	out.Millis = float64(best) / float64(time.Millisecond)
 	return out, nil
+}
+
+// methodErr reports the methodology's context error, wrapped in the
+// kernel taxonomy's ErrCanceled so callers can dispatch uniformly.
+func methodErr(m Methodology) error {
+	if m.Context == nil {
+		return nil
+	}
+	if err := m.Context.Err(); err != nil {
+		return fmt.Errorf("%w: %w", core.ErrCanceled, err)
+	}
+	return nil
 }

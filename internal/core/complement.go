@@ -35,8 +35,12 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 		return sparse.NewCSR[T](a.Rows, b.Cols, 0), nil
 	}
 
+	ctx := cfg.Context
 	pw := cfg.planWorkers()
-	tiles := tiling.MakeParallel(cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	tiles, err := tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
 	workers := sched.Workers(cfg.Workers)
 	outs := make([]tileOutput[T], len(tiles))
 
@@ -48,11 +52,17 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 		}
 	}
 
-	sched.RunChunked(cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
+	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
 		runTileComp(sr, scratch[worker], m, a, b, tiles[t], &outs[t])
-	})
+	}); err != nil {
+		return nil, wrapRunErr(err)
+	}
 
-	return assemble(a.Rows, b.Cols, tiles, outs, pw), nil
+	c, err := assembleE(ctx, a.Rows, b.Cols, tiles, outs, pw)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
+	return c, nil
 }
 
 // compScratch is the per-worker state of the complement kernel: value

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -98,6 +99,12 @@ type Config struct {
 	// smallest number of tiles a worker claims per atomic operation.
 	// 0 means 1. Ignored by Static and Dynamic.
 	GuidedMinChunk int
+	// Context, when non-nil, cancels or deadline-bounds the
+	// multiplication: the scheduler observes it between tile claims and
+	// between plan blocks, and a cancelled run returns ErrCanceled
+	// (wrapping the context's error) instead of completing. A nil
+	// Context runs to completion with no cancellation machinery.
+	Context context.Context
 }
 
 // DefaultConfig is the paper's recommended configuration (§V): 2048
@@ -116,40 +123,53 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports whether the configuration is runnable.
+// Validate reports whether the configuration is runnable. Every
+// rejection wraps ErrConfig. Validate covers the full enum surface —
+// iteration space, accumulator kind, marker width, schedule policy and
+// tiling strategy — so the panic sites those enums would otherwise
+// reach deeper in the stack (sched, tiling, accum dispatch) are
+// unreachable for any Config that passed this check.
 func (c Config) Validate() error {
 	switch c.Iteration {
 	case Vanilla, MaskLoad, CoIter, Hybrid:
 	default:
-		return fmt.Errorf("core: unknown iteration space %d", c.Iteration)
+		return errConfig("unknown iteration space %d", c.Iteration)
 	}
 	switch c.Accumulator {
 	case accum.DenseKind, accum.HashKind:
 		switch c.MarkerBits {
 		case 8, 16, 32, 64:
 		default:
-			return fmt.Errorf("core: marker bits must be 8/16/32/64, got %d", c.MarkerBits)
+			return errConfig("marker bits must be 8/16/32/64, got %d", c.MarkerBits)
 		}
 	case accum.DenseExplicitKind, accum.HashExplicitKind, accum.SortListKind:
 	default:
-		return fmt.Errorf("core: unknown accumulator kind %d", c.Accumulator)
+		return errConfig("unknown accumulator kind %d", c.Accumulator)
 	}
 	switch c.Schedule {
 	case sched.Static, sched.Dynamic, sched.Guided:
 	default:
-		return fmt.Errorf("core: unknown schedule policy %d", c.Schedule)
+		return errConfig("unknown schedule policy %d", c.Schedule)
+	}
+	switch c.Tiling {
+	case tiling.Uniform, tiling.FlopBalanced:
+	default:
+		return errConfig("unknown tiling strategy %d", c.Tiling)
 	}
 	if c.Tiles < 1 {
-		return fmt.Errorf("core: tiles must be >= 1, got %d", c.Tiles)
+		return errConfig("tiles must be >= 1, got %d", c.Tiles)
 	}
 	if c.Iteration == Hybrid && !(c.Kappa > 0) {
-		return fmt.Errorf("core: hybrid iteration needs kappa > 0, got %v", c.Kappa)
+		return errConfig("hybrid iteration needs kappa > 0, got %v", c.Kappa)
+	}
+	if c.Workers < 0 {
+		return errConfig("workers must be >= 0, got %d", c.Workers)
 	}
 	if c.PlanWorkers < 0 {
-		return fmt.Errorf("core: plan workers must be >= 0, got %d", c.PlanWorkers)
+		return errConfig("plan workers must be >= 0, got %d", c.PlanWorkers)
 	}
 	if c.GuidedMinChunk < 0 {
-		return fmt.Errorf("core: guided chunk floor must be >= 0, got %d", c.GuidedMinChunk)
+		return errConfig("guided chunk floor must be >= 0, got %d", c.GuidedMinChunk)
 	}
 	return nil
 }

@@ -42,11 +42,12 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 	// Eq. 2 does not model the dot traversal; its analogue is the merge
 	// cost of each surviving dot product:
 	//   W[i] = Σ_{M[i,j]≠0} (nnz(A[i,:]) + nnz(B[:,j])).
+	ctx := cfg.Context
 	pw := cfg.planWorkers()
 	var tiles []tiling.Tile
 	if cfg.Tiling == tiling.FlopBalanced {
 		work := make([]int64, m.Rows)
-		sched.Blocks(blockWorkers(pw, m.Rows), m.Rows, func(_, lo, hi int) {
+		if err := sched.BlocksE(ctx, blockWorkers(pw, m.Rows), m.Rows, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				na := a.RowNNZ(i)
 				var wi int64
@@ -55,15 +56,21 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 				}
 				work[i] = wi
 			}
-		})
-		tiles = tiling.BalancedTilesParallel(work, cfg.Tiles, pw)
+		}); err != nil {
+			return nil, wrapRunErr(err)
+		}
+		var err error
+		tiles, err = tiling.BalancedTilesParallelE(ctx, work, cfg.Tiles, pw)
+		if err != nil {
+			return nil, wrapRunErr(err)
+		}
 	} else {
 		tiles = tiling.UniformTiles(m.Rows, cfg.Tiles)
 	}
 	workers := sched.Workers(cfg.Workers)
 	outs := make([]tileOutput[T], len(tiles))
 
-	sched.RunChunked(cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
+	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
 		tile := tiles[t]
 		out := &outs[t]
 		maskVol := m.RowPtr[tile.Hi] - m.RowPtr[tile.Lo]
@@ -82,9 +89,15 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 			}
 			out.rowNNZ[i-tile.Lo] = int32(len(out.cols) - before)
 		}
-	})
+	}); err != nil {
+		return nil, wrapRunErr(err)
+	}
 
-	return assemble(m.Rows, m.Cols, tiles, outs, pw), nil
+	c, err := assembleE(ctx, m.Rows, m.Cols, tiles, outs, pw)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
+	return c, nil
 }
 
 // sparseDot merges two sorted index lists and accumulates the products

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"maskedspgemm/internal/sched"
+)
+
+// The error taxonomy of the execution-hardening layer. Every failure a
+// kernel can produce maps onto exactly one of these sentinels (plus
+// sparse.ErrShape for dimension mismatches), so callers can dispatch
+// with errors.Is instead of string matching — the GraphBLAS contract of
+// error codes rather than aborts.
+var (
+	// ErrConfig marks a Config rejected by Validate: an unknown enum
+	// value, an out-of-range knob, or an inconsistent combination.
+	ErrConfig = errors.New("core: invalid configuration")
+
+	// ErrInvalidMatrix marks an operand that violates the CSR structural
+	// invariants (unsorted or duplicate columns, out-of-range indices,
+	// broken row pointers).
+	ErrInvalidMatrix = errors.New("core: invalid matrix")
+
+	// ErrCanceled marks a multiplication aborted by its context. It
+	// wraps the context's own error, so errors.Is also matches
+	// context.Canceled or context.DeadlineExceeded as appropriate.
+	ErrCanceled = errors.New("core: multiplication canceled")
+
+	// ErrPanic marks a panic recovered inside a kernel worker. It wraps
+	// a *sched.PanicError carrying the panic value and stack.
+	ErrPanic = errors.New("core: kernel panic")
+)
+
+// errConfig builds a Validate rejection wrapping ErrConfig.
+func errConfig(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrConfig, fmt.Sprintf(format, args...))
+}
+
+// wrapRunErr maps a scheduler/plan-phase error into the taxonomy:
+// worker panics become ErrPanic (still errors.As-able to
+// *sched.PanicError), context errors become ErrCanceled (still
+// errors.Is-able to the underlying context error), anything else passes
+// through unchanged.
+func wrapRunErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *sched.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("%w: %w", ErrPanic, pe)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}

@@ -91,7 +91,11 @@ func TestAllFormulationsAgreeOnAllFamilies(t *testing.T) {
 				t.Fatal(err)
 			}
 			for rep := 0; rep < 2; rep++ {
-				if !sparse.Equal(ref, mu.Multiply()) {
+				got, err := mu.Multiply()
+				if err != nil {
+					t.Fatalf("multiplier rep %d: %v", rep, err)
+				}
+				if !sparse.Equal(ref, got) {
 					t.Fatalf("multiplier rep %d differs", rep)
 				}
 			}

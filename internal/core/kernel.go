@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -64,17 +65,27 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 		return sparse.NewCSR[T](a.Rows, b.Cols, 0), nil
 	}
 
+	ctx := cfg.Context
 	pw := cfg.planWorkers()
-	tiles := tiling.MakeParallel(cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	tiles, err := tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
 	workers := sched.Workers(cfg.Workers)
 
 	// Accumulator row capacity (§III-C): masked spaces can hold at most
 	// max_i nnz(M[i,:]) entries per row; the vanilla space populates the
 	// full unmasked product row, bounded by the per-row flop count and
 	// the column dimension.
-	rowCap := maxRowNNZ(m, pw)
+	rowCap, err := maxRowNNZ(ctx, m, pw)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
 	if cfg.Iteration == Vanilla {
-		_, maxFlops := tiling.FlopCountParallel(a, b, pw)
+		_, maxFlops, err := tiling.FlopCountParallelE(ctx, a, b, pw)
+		if err != nil {
+			return nil, wrapRunErr(err)
+		}
 		rowCap = maxFlops
 		if rowCap > int64(b.Cols) {
 			rowCap = int64(b.Cols)
@@ -90,11 +101,17 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 		}
 	}
 
-	sched.RunChunked(cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
+	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
 		runTile(sr, accs[worker], m, a, b, cfg, tiles[t], &outs[t])
-	})
+	}); err != nil {
+		return nil, wrapRunErr(err)
+	}
 
-	return assemble(a.Rows, b.Cols, tiles, outs, pw), nil
+	c, err := assembleE(ctx, a.Rows, b.Cols, tiles, outs, pw)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
+	return c, nil
 }
 
 // tileOutput holds one tile's slice of the result before assembly.
@@ -119,7 +136,7 @@ func blockWorkers(p, n int) int {
 	return p
 }
 
-func maxRowNNZ[T sparse.Number](m *sparse.CSR[T], p int) int64 {
+func maxRowNNZ[T sparse.Number](ctx context.Context, m *sparse.CSR[T], p int) (int64, error) {
 	p = blockWorkers(p, m.Rows)
 	if p <= 1 {
 		var mx int64
@@ -128,11 +145,11 @@ func maxRowNNZ[T sparse.Number](m *sparse.CSR[T], p int) int64 {
 				mx = n
 			}
 		}
-		return mx
+		return mx, nil
 	}
 	p = sched.Workers(p)
 	maxes := make([]int64, p)
-	sched.Blocks(p, m.Rows, func(w, lo, hi int) {
+	if err := sched.BlocksE(ctx, p, m.Rows, func(w, lo, hi int) {
 		var mx int64
 		for i := lo; i < hi; i++ {
 			if n := m.RowNNZ(i); n > mx {
@@ -140,14 +157,16 @@ func maxRowNNZ[T sparse.Number](m *sparse.CSR[T], p int) int64 {
 			}
 		}
 		maxes[w] = mx
-	})
+	}); err != nil {
+		return 0, err
+	}
 	var mx int64
 	for _, v := range maxes {
 		if v > mx {
 			mx = v
 		}
 	}
-	return mx
+	return mx, nil
 }
 
 // runTile computes the output rows of one tile into out using the
@@ -263,14 +282,30 @@ func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
 }
 
 // assemble stitches the per-tile outputs into one CSR matrix on p
+// workers; it is assembleE without cancellation, kept for callers and
+// tests that cannot fail. See assembleE for the pass structure.
+func assemble[T sparse.Number](
+	rows, cols int, tiles []tiling.Tile, outs []tileOutput[T], p int,
+) *sparse.CSR[T] {
+	c, err := assembleE(nil, rows, cols, tiles, outs, p)
+	if err != nil {
+		// With a nil context the only failure mode is a worker panic on
+		// malformed tile outputs — an internal invariant violation.
+		panic(err)
+	}
+	return c
+}
+
+// assembleE stitches the per-tile outputs into one CSR matrix on p
 // workers. The three passes — row-count scatter, row-pointer prefix
 // sum, and per-tile payload copy — each write disjoint regions (tiles
 // partition the rows, so their RowPtr slots and payload ranges never
 // overlap), making the parallel result bit-identical to the serial one.
-// Small results, or p <= 1, take the serial path unchanged.
-func assemble[T sparse.Number](
-	rows, cols int, tiles []tiling.Tile, outs []tileOutput[T], p int,
-) *sparse.CSR[T] {
+// Small results, or p <= 1, take the serial path unchanged. ctx cancels
+// between passes and blocks; worker panics surface as errors.
+func assembleE[T sparse.Number](
+	ctx context.Context, rows, cols int, tiles []tiling.Tile, outs []tileOutput[T], p int,
+) (*sparse.CSR[T], error) {
 	c := &sparse.CSR[T]{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
 	if p = blockWorkers(p, rows); p <= 1 {
 		var nnz int64
@@ -290,26 +325,32 @@ func assemble[T sparse.Number](
 			copy(c.ColIdx[lo:], outs[t].cols)
 			copy(c.Val[lo:], outs[t].vals)
 		}
-		return c
+		return c, nil
 	}
-	sched.Blocks(p, len(tiles), func(_, lo, hi int) {
+	if err := sched.BlocksE(ctx, p, len(tiles), func(_, lo, hi int) {
 		for t := lo; t < hi; t++ {
 			base := tiles[t].Lo
 			for r, n := range outs[t].rowNNZ {
 				c.RowPtr[base+r+1] = int64(n)
 			}
 		}
-	})
-	tiling.InclusiveScan(c.RowPtr[1:], p)
+	}); err != nil {
+		return nil, err
+	}
+	if err := tiling.InclusiveScanE(ctx, c.RowPtr[1:], p); err != nil {
+		return nil, err
+	}
 	nnz := c.RowPtr[rows]
 	c.ColIdx = make([]sparse.Index, nnz)
 	c.Val = make([]T, nnz)
-	sched.Blocks(p, len(tiles), func(_, lo, hi int) {
+	if err := sched.BlocksE(ctx, p, len(tiles), func(_, lo, hi int) {
 		for t := lo; t < hi; t++ {
 			off := c.RowPtr[tiles[t].Lo]
 			copy(c.ColIdx[off:], outs[t].cols)
 			copy(c.Val[off:], outs[t].vals)
 		}
-	})
-	return c
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
 }

@@ -138,10 +138,10 @@ func TestMaskedSpGEMMPropertyRandomShapes(t *testing.T) {
 		b := randMatrix(inner, cols, 0.25, r)
 		m := randMatrix(rows, cols, 0.3, r)
 		cfg := Config{
-			Iteration:   IterationSpace(itRaw % 4),
-			Kappa:       1,
-			Accumulator: accum.Kind(akRaw % 5),
-			MarkerBits:  32,
+			Iteration:      IterationSpace(itRaw % 4),
+			Kappa:          1,
+			Accumulator:    accum.Kind(akRaw % 5),
+			MarkerBits:     32,
 			Tiles:          r.Intn(8) + 1,
 			Tiling:         tiling.Strategy(r.Intn(2)),
 			Schedule:       sched.Policy(r.Intn(3)),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"maskedspgemm/internal/accum"
@@ -45,15 +46,33 @@ func NewMultiplier[T sparse.Number, S semiring.Semiring[T]](
 		return nil, fmt.Errorf("%w: M %dx%d, A %dx%d, B %dx%d",
 			sparse.ErrShape, m.Rows, m.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
+	ctx := cfg.Context
+	// Small plans run serially below the parallel cutoffs, so check the
+	// context once up front rather than relying on the scheduler's check.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, wrapRunErr(err)
+		}
+	}
 	mu := &Multiplier[T, S]{sr: sr, m: m, a: a, b: b, cfg: cfg}
 	mu.workers = sched.Workers(cfg.Workers)
 	mu.planWorkers = cfg.planWorkers()
 	if a.Rows > 0 {
-		mu.tiles = tiling.MakeParallel(cfg.Tiling, cfg.Tiles, mu.planWorkers, a, b, m)
+		var err error
+		mu.tiles, err = tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, mu.planWorkers, a, b, m)
+		if err != nil {
+			return nil, wrapRunErr(err)
+		}
 	}
-	rowCap := maxRowNNZ(m, mu.planWorkers)
+	rowCap, err := maxRowNNZ(ctx, m, mu.planWorkers)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
 	if cfg.Iteration == Vanilla {
-		_, maxFlops := tiling.FlopCountParallel(a, b, mu.planWorkers)
+		_, maxFlops, err := tiling.FlopCountParallelE(ctx, a, b, mu.planWorkers)
+		if err != nil {
+			return nil, wrapRunErr(err)
+		}
 		rowCap = maxFlops
 		if rowCap > int64(b.Cols) {
 			rowCap = int64(b.Cols)
@@ -70,19 +89,39 @@ func NewMultiplier[T sparse.Number, S semiring.Semiring[T]](
 // Tiles returns the number of tiles in the plan.
 func (mu *Multiplier[T, S]) Tiles() int { return len(mu.tiles) }
 
-// Multiply executes the plan and returns a freshly assembled result.
-func (mu *Multiplier[T, S]) Multiply() *sparse.CSR[T] {
-	if mu.a.Rows == 0 {
-		return sparse.NewCSR[T](mu.a.Rows, mu.b.Cols, 0)
+// Multiply executes the plan and returns a freshly assembled result,
+// under the Config's Context (nil = run to completion).
+func (mu *Multiplier[T, S]) Multiply() (*sparse.CSR[T], error) {
+	return mu.MultiplyCtx(mu.cfg.Context)
+}
+
+// MultiplyCtx is Multiply under an explicit context, overriding the
+// Config's. A cancelled or panicked run returns ErrCanceled/ErrPanic
+// and leaves the plan intact: tiling, accumulators and output buffers
+// all remain valid, so a later Multiply call reuses them as if the
+// failed run had never happened. nil falls back to the Config's
+// Context.
+func (mu *Multiplier[T, S]) MultiplyCtx(ctx context.Context) (*sparse.CSR[T], error) {
+	if ctx == nil {
+		ctx = mu.cfg.Context
 	}
-	sched.RunChunked(mu.cfg.Schedule, mu.workers, len(mu.tiles), mu.cfg.GuidedMinChunk, func(worker, t int) {
+	if mu.a.Rows == 0 {
+		return sparse.NewCSR[T](mu.a.Rows, mu.b.Cols, 0), nil
+	}
+	if err := sched.RunChunkedE(ctx, mu.cfg.Schedule, mu.workers, len(mu.tiles), mu.cfg.GuidedMinChunk, func(worker, t int) {
 		out := &mu.outs[t]
 		// Reuse the buffers from the previous run.
 		out.cols = out.cols[:0]
 		out.vals = out.vals[:0]
 		runTilePlanned(mu.sr, mu.accs[worker], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[t], out)
-	})
-	return assemble(mu.a.Rows, mu.b.Cols, mu.tiles, mu.outs, mu.planWorkers)
+	}); err != nil {
+		return nil, wrapRunErr(err)
+	}
+	c, err := assembleE(ctx, mu.a.Rows, mu.b.Cols, mu.tiles, mu.outs, mu.planWorkers)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
+	return c, nil
 }
 
 // runTilePlanned is runTile with caller-owned (reused) buffers.

@@ -30,7 +30,10 @@ func TestMultiplierMatchesOneShot(t *testing.T) {
 			// Repeated multiplies must stay bit-identical: buffer reuse
 			// and marker state must not leak between runs.
 			for rep := 0; rep < 4; rep++ {
-				got := mu.Multiply()
+				got, err := mu.Multiply()
+				if err != nil {
+					t.Fatalf("%v/%v rep %d: %v", it, ak, rep, err)
+				}
 				if err := got.Check(); err != nil {
 					t.Fatalf("%v/%v rep %d: malformed: %v", it, ak, rep, err)
 				}
@@ -61,8 +64,8 @@ func TestMultiplierErrorsAndEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := mu.Multiply(); got.Rows != 0 || got.NNZ() != 0 {
-		t.Error("zero-row multiply wrong")
+	if got, err := mu.Multiply(); err != nil || got.Rows != 0 || got.NNZ() != 0 {
+		t.Errorf("zero-row multiply wrong (err=%v)", err)
 	}
 }
 
@@ -100,7 +103,9 @@ func BenchmarkMultiplierReuse(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			mu.Multiply()
+			if _, err := mu.Multiply(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -47,8 +47,12 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 		kPanels = a.Cols
 	}
 
+	ctx := cfg.Context
 	pw := cfg.planWorkers()
-	tiles := tiling.MakeParallel(cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	tiles, err := tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
 	workers := sched.Workers(cfg.Workers)
 	outs := make([]tileOutput[T], len(tiles))
 
@@ -58,11 +62,17 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 		bounds[p] = sparse.Index(a.Cols * p / kPanels)
 	}
 
-	sched.RunChunked(cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
+	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
 		runTile2D(sr, m, a, b, tiles[t], bounds, &outs[t])
-	})
+	}); err != nil {
+		return nil, wrapRunErr(err)
+	}
 
-	return assemble(a.Rows, b.Cols, tiles, outs, pw), nil
+	c, err := assembleE(ctx, a.Rows, b.Cols, tiles, outs, pw)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
+	return c, nil
 }
 
 // runTile2D computes one row tile panel-major.

@@ -31,6 +31,11 @@ func BFS(a *sparse.CSR[float64], src int, dir core.Direction) (*BFSResult, error
 	if src < 0 || src >= a.Rows {
 		return nil, fmt.Errorf("graph: source %d out of range [0,%d)", src, a.Rows)
 	}
+	switch dir {
+	case core.Push, core.Pull, core.Auto:
+	default:
+		return nil, fmt.Errorf("graph: unknown direction %d", dir)
+	}
 	res := &BFSResult{Level: make([]int32, a.Rows)}
 	for i := range res.Level {
 		res.Level[i] = -1

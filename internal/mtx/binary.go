@@ -77,28 +77,23 @@ func ReadBinary(r io.Reader) (*sparse.CSR[float64], error) {
 	if version != binaryVersion {
 		return nil, fmt.Errorf("mtx: unsupported binary version %d", version)
 	}
-	const maxDim = 1 << 31
+	const maxDim = math.MaxInt32
 	if rows < 0 || cols < 0 || rows > maxDim || cols > maxDim || nnz < 0 {
 		return nil, fmt.Errorf("mtx: implausible header %dx%d nnz=%d", rows, cols, nnz)
 	}
-	if nnz > (rows+1)*cols && rows > 0 {
-		return nil, fmt.Errorf("mtx: nnz %d exceeds matrix capacity", nnz)
+	if nnz > rows*cols {
+		return nil, fmt.Errorf("mtx: nnz %d exceeds %dx%d matrix capacity", nnz, rows, cols)
 	}
-	m := &sparse.CSR[float64]{
-		Rows:   int(rows),
-		Cols:   int(cols),
-		RowPtr: make([]int64, rows+1),
-		ColIdx: make([]sparse.Index, nnz),
-		Val:    make([]float64, nnz),
+	m := &sparse.CSR[float64]{Rows: int(rows), Cols: int(cols)}
+	var err error
+	if m.RowPtr, err = readChunked[int64](br, rows+1, "rowptr"); err != nil {
+		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, m.RowPtr); err != nil {
-		return nil, fmt.Errorf("mtx: read rowptr: %w", err)
+	if m.ColIdx, err = readChunked[sparse.Index](br, nnz, "colidx"); err != nil {
+		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, m.ColIdx); err != nil {
-		return nil, fmt.Errorf("mtx: read colidx: %w", err)
-	}
-	if err := binary.Read(br, binary.LittleEndian, m.Val); err != nil {
-		return nil, fmt.Errorf("mtx: read vals: %w", err)
+	if m.Val, err = readChunked[float64](br, nnz, "vals"); err != nil {
+		return nil, err
 	}
 	var got uint64
 	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
@@ -120,6 +115,35 @@ func ReadBinary(r io.Reader) (*sparse.CSR[float64], error) {
 		return nil, fmt.Errorf("mtx: binary payload malformed: %w", err)
 	}
 	return m, nil
+}
+
+// readChunked reads n little-endian elements without trusting n for an
+// up-front allocation: the slice grows in bounded chunks as data
+// actually arrives, so a header lying about its size fails with a read
+// error when the stream runs dry instead of panicking (or OOMing) on an
+// impossible allocation.
+func readChunked[E ~int64 | ~int32 | ~float64](r io.Reader, n int64, what string) ([]E, error) {
+	const chunkElems = 1 << 16
+	if n < 0 {
+		return nil, fmt.Errorf("mtx: read %s: negative length %d", what, n)
+	}
+	capHint := n
+	if capHint > chunkElems {
+		capHint = chunkElems
+	}
+	out := make([]E, 0, capHint)
+	for int64(len(out)) < n {
+		c := n - int64(len(out))
+		if c > chunkElems {
+			c = chunkElems
+		}
+		buf := make([]E, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("mtx: read %s: %w", what, err)
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
 }
 
 // recomputePayloadCRC hashes the canonical serialization of m, which by

@@ -2,8 +2,11 @@ package mtx
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
+
+	"maskedspgemm/internal/sparse"
 )
 
 // FuzzRead checks the MatrixMarket parser never panics and that every
@@ -18,6 +21,19 @@ func FuzzRead(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9\n1 1 1\n")
 	f.Add("garbage\n1 2 3\n")
+	// Hostile seeds: every header-lie and index-attack class the parser
+	// must reject without panicking.
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-2 -2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 4611686018427387904\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n4294967296 4294967296 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 0 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n-1 -1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n99999999999999999999 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2.5 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1 junk\n1 1 1\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		m, err := Read(strings.NewReader(input))
 		if err != nil {
@@ -36,6 +52,47 @@ func FuzzRead(f *testing.F) {
 		}
 		if back.NNZ() != m.NNZ() || back.Rows != m.Rows || back.Cols != m.Cols {
 			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary CSR container parser never panics —
+// in particular that lying headers cannot force huge allocations or
+// out-of-range slicing — and that anything it accepts is a valid CSR.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid container plus targeted corruptions of its
+	// header fields (version, dims, nnz) and payload truncations.
+	valid := func() []byte {
+		m := sparse.NewCSR[float64](3, 3, 4)
+		m.AppendRow(0, []sparse.Index{0, 2}, []float64{1, 2})
+		m.AppendRow(1, nil, nil)
+		m.AppendRow(2, []sparse.Index{1}, []float64{3})
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:4])
+	f.Add([]byte("CSRB"))
+	f.Add([]byte("junk"))
+	for _, off := range []int{4, 12, 20, 28} {
+		mut := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint64(mut[off:], 1<<60)
+		f.Add(mut)
+		mut = append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint64(mut[off:], ^uint64(0)) // -1
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		m, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("accepted malformed matrix: %v", err)
 		}
 	})
 }

@@ -1,0 +1,133 @@
+package mtx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc64"
+	"strings"
+	"testing"
+
+	"maskedspgemm/internal/sparse"
+)
+
+// TestReadHostile feeds the text parser inputs crafted to trigger the
+// classic parser failure modes — overflowing dimensions, lying entry
+// counts, out-of-range indices — and requires a clean error (never a
+// panic, never a silently wrong matrix) for each.
+func TestReadHostile(t *testing.T) {
+	banner := "%%MatrixMarket matrix coordinate real general\n"
+	cases := []struct {
+		name  string
+		input string
+		want  string // substring the error must contain
+	}{
+		{"negative nnz", banner + "2 2 -1\n", "implausible nnz"},
+		{"negative rows", banner + "-2 2 1\n1 1 1\n", "implausible dimensions"},
+		{"zero rows with entries", banner + "0 5 1\n1 1 1\n", "implausible dimensions"},
+		{"rows over int32", banner + "4294967296 2 1\n1 1 1\n", "implausible dimensions"},
+		{"cols over int32", banner + "2 9999999999 1\n1 1 1\n", "implausible dimensions"},
+		{"nnz over capacity", banner + "2 2 5\n1 1 1\n1 2 1\n2 1 1\n2 2 1\n1 1 1\n", "implausible nnz"},
+		{"huge nnz small body", banner + "2 2 4611686018427387904\n1 1 1\n", "implausible nnz"},
+		{"size line extra field", banner + "2 2 1 7\n1 1 1\n", "bad size line"},
+		{"size line float", banner + "2.5 2 1\n1 1 1\n", "bad size field"},
+		{"size line overflow", banner + "99999999999999999999 2 1\n", "bad size field"},
+		{"row index zero", banner + "2 2 1\n0 1 1\n", "out of bounds"},
+		{"row index negative", banner + "2 2 1\n-1 1 1\n", "out of bounds"},
+		{"col index past cols", banner + "2 2 1\n1 3 1\n", "out of bounds"},
+		{"index overflows int", banner + "2 2 1\n99999999999999999999 1 1\n", "bad row index"},
+		{"non-numeric value", banner + "2 2 1\n1 1 abc\n", "bad value"},
+		{"missing value field", banner + "2 2 1\n1 1\n", "bad entry line"},
+		{"truncated body", banner + "2 2 2\n1 1 1\n", "got 1 entries"},
+		{"trailing entries", banner + "2 2 1\n1 1 1\n2 2 5\n", "trailing entry"},
+		{"no size line", banner + "% only comments\n", "missing size line"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("hostile input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadErrorLineNumbers checks that body-level parse errors name the
+// 1-based line the offense is on.
+func TestReadErrorLineNumbers(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n% a comment\n2 2 2\n1 1 1\n1 bogus 1\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error %q does not carry line 5", err)
+	}
+}
+
+// corruptHeader rewrites the (rows, cols, nnz) header of a valid binary
+// stream and refreshes the trailing checksum so only the structural
+// validation can catch the lie.
+func corruptHeader(t *testing.T, blob []byte, rows, cols, nnz int64) []byte {
+	t.Helper()
+	out := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(out[12:], uint64(rows))
+	binary.LittleEndian.PutUint64(out[20:], uint64(cols))
+	binary.LittleEndian.PutUint64(out[28:], uint64(nnz))
+	payload := out[:len(out)-8]
+	sum := crc64.Checksum(payload, crc64.MakeTable(crc64.ECMA))
+	binary.LittleEndian.PutUint64(out[len(out)-8:], sum)
+	return out
+}
+
+// TestReadBinaryHostile attacks the binary container header: a lying
+// nnz or dimension field must produce an error, not an allocation of
+// the claimed size or an index-out-of-range panic downstream.
+func TestReadBinaryHostile(t *testing.T) {
+	m := sparse.NewCSR[float64](2, 2, 2)
+	m.AppendRow(0, []sparse.Index{0, 1}, []float64{1, 2})
+	m.AppendRow(1, []sparse.Index{1}, []float64{3})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	cases := []struct {
+		name            string
+		rows, cols, nnz int64
+	}{
+		{"huge nnz", 2, 2, 1 << 60},
+		{"negative nnz", 2, 2, -1},
+		{"nnz over capacity", 2, 2, 5},
+		{"huge rows", 1 << 40, 2, 3},
+		{"negative rows", -2, 2, 3},
+		{"huge cols", 2, 1 << 40, 3},
+		{"zero rows nonzero nnz", 0, 2, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hostile := corruptHeader(t, blob, tc.rows, tc.cols, tc.nnz)
+			if _, err := ReadBinary(bytes.NewReader(hostile)); err == nil {
+				t.Fatal("hostile binary header accepted")
+			}
+		})
+	}
+
+	t.Run("truncated stream", func(t *testing.T) {
+		if _, err := ReadBinary(bytes.NewReader(blob[:len(blob)/2])); err == nil {
+			t.Fatal("truncated stream accepted")
+		}
+	})
+	t.Run("valid baseline still reads", func(t *testing.T) {
+		got, err := ReadBinary(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.Equal(m, got) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}

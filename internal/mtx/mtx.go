@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -48,14 +49,47 @@ func parseHeader(line string) (header, error) {
 	return h, nil
 }
 
+// maxReadDim bounds the dimensions a text stream may declare: indices
+// are stored as int32, so anything above MaxInt32 would silently
+// truncate on conversion. The allocation hint is separately clamped so
+// a lying header cannot force a huge up-front allocation.
+const (
+	maxReadDim = math.MaxInt32
+	maxCapHint = 1 << 20
+	maxErrLine = 80 // quoted-line truncation in error messages
+)
+
+// trunc shortens a hostile line before it is quoted in an error.
+func trunc(s string) string {
+	if len(s) > maxErrLine {
+		return s[:maxErrLine] + "..."
+	}
+	return s
+}
+
 // Read parses a MatrixMarket coordinate stream into CSR. Symmetric
 // inputs are expanded (both triangles stored); pattern inputs get unit
 // values. Duplicate entries sum, matching common collection tooling.
+//
+// Read is safe on hostile input: every structural violation — bad
+// banner, malformed or implausible size line (non-positive or >2³¹-1
+// dimensions, negative or over-capacity nnz), out-of-range or
+// non-integer indices, too few or trailing entries — is reported as an
+// error carrying the 1-based line number, never a panic or an
+// unbounded allocation.
 func Read(r io.Reader) (*sparse.CSR[float64], error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	scan := func() bool {
+		if sc.Scan() {
+			lineNo++
+			return true
+		}
+		return false
+	}
 
-	if !sc.Scan() {
+	if !scan() {
 		return nil, fmt.Errorf("mtx: empty input")
 	}
 	h, err := parseHeader(sc.Text())
@@ -63,33 +97,59 @@ func Read(r io.Reader) (*sparse.CSR[float64], error) {
 		return nil, err
 	}
 
-	// Skip comments, find the size line.
-	var rows, cols int
-	var nnz int64
-	for sc.Scan() {
+	// Skip comments, find the size line. The size line must have exactly
+	// three integer fields: rows, cols, nnz.
+	var rows, cols, nnz int64
+	sized := false
+	for scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("mtx: bad size line %q: %v", line, err)
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("mtx: line %d: bad size line %q: want \"rows cols nnz\"", lineNo, trunc(line))
 		}
+		dims := make([]int64, 3)
+		for k, f := range fields {
+			dims[k], err = strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mtx: line %d: bad size field %q: %v", lineNo, trunc(f), err)
+			}
+		}
+		rows, cols, nnz = dims[0], dims[1], dims[2]
+		sized = true
 		break
 	}
-	if rows <= 0 || cols <= 0 {
-		return nil, fmt.Errorf("mtx: missing or invalid size line")
+	if !sized {
+		return nil, fmt.Errorf("mtx: missing size line")
+	}
+	if rows <= 0 || cols <= 0 || rows > maxReadDim || cols > maxReadDim {
+		return nil, fmt.Errorf("mtx: implausible dimensions %dx%d (want 1..%d)", rows, cols, int64(maxReadDim))
+	}
+	if nnz < 0 || nnz > rows*cols {
+		return nil, fmt.Errorf("mtx: implausible nnz %d for %dx%d matrix", nnz, rows, cols)
 	}
 
+	// The hint only pre-sizes buffers; COO grows by append, so clamping
+	// it cannot lose entries — it just stops a lying header from forcing
+	// a giant allocation before any data has been seen.
 	capHint := nnz
 	if h.symmetry != "general" {
 		capHint *= 2
 	}
-	coo := sparse.NewCOO[float64](rows, cols, capHint)
+	if capHint > maxCapHint {
+		capHint = maxCapHint
+	}
+	coo := sparse.NewCOO[float64](int(rows), int(cols), capHint)
 	var count int64
-	for sc.Scan() && count < nnz {
+	for scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
+		}
+		if count >= nnz {
+			return nil, fmt.Errorf("mtx: line %d: trailing entry %q after the %d promised by the header", lineNo, trunc(line), nnz)
 		}
 		fields := strings.Fields(line)
 		want := 3
@@ -97,24 +157,24 @@ func Read(r io.Reader) (*sparse.CSR[float64], error) {
 			want = 2
 		}
 		if len(fields) < want {
-			return nil, fmt.Errorf("mtx: bad entry line %q", line)
+			return nil, fmt.Errorf("mtx: line %d: bad entry line %q", lineNo, trunc(line))
 		}
-		i, err := strconv.Atoi(fields[0])
+		i, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mtx: bad row index %q: %v", fields[0], err)
+			return nil, fmt.Errorf("mtx: line %d: bad row index %q: %v", lineNo, trunc(fields[0]), err)
 		}
-		j, err := strconv.Atoi(fields[1])
+		j, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mtx: bad column index %q: %v", fields[1], err)
+			return nil, fmt.Errorf("mtx: line %d: bad column index %q: %v", lineNo, trunc(fields[1]), err)
 		}
 		if i < 1 || i > rows || j < 1 || j > cols {
-			return nil, fmt.Errorf("mtx: entry (%d,%d) out of bounds %dx%d", i, j, rows, cols)
+			return nil, fmt.Errorf("mtx: line %d: entry (%d,%d) out of bounds %dx%d", lineNo, i, j, rows, cols)
 		}
 		v := 1.0
 		if h.field != "pattern" {
 			v, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("mtx: bad value %q: %v", fields[2], err)
+				return nil, fmt.Errorf("mtx: line %d: bad value %q: %v", lineNo, trunc(fields[2]), err)
 			}
 		}
 		ri, cj := sparse.Index(i-1), sparse.Index(j-1)
@@ -129,7 +189,7 @@ func Read(r io.Reader) (*sparse.CSR[float64], error) {
 		count++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("mtx: read: %w", err)
+		return nil, fmt.Errorf("mtx: line %d: read: %w", lineNo, err)
 	}
 	if count != nnz {
 		return nil, fmt.Errorf("mtx: got %d entries, header promised %d", count, nnz)

@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides the error-returning variants of Run/RunChunked/
+// Blocks that the serving-oriented callers use: every worker recovers
+// panics, the first panic (value + stack) is captured into a PanicError,
+// and an optional context cancels the run between tile claims. The
+// legacy panic-propagating entry points above remain for callers that
+// have already validated their inputs and want zero extra machinery.
+//
+// Cost on the uncancelled path: one relaxed atomic load per tile, one
+// deferred recover frame per worker goroutine (not per tile), and a
+// single watcher goroutine per run — and the watcher is only spawned
+// when the context is non-nil and cancellable. The context itself
+// (ctx.Err takes a lock in the standard library) is never polled by
+// workers; the watcher mirrors cancellation into an atomic flag once.
+
+// PanicError is a panic recovered inside a scheduler worker, carrying
+// the original panic value and the stack of the panicking goroutine.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted stack trace of the panicking worker.
+	Stack []byte
+	// Worker is the worker id that panicked.
+	Worker int
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: worker %d panicked: %v\n%s", e.Worker, e.Value, e.Stack)
+}
+
+// runState is the shared control block of one fault-contained run.
+type runState struct {
+	// stop is set on cancellation or first panic; workers observe it
+	// between tile claims and drain without starting new work.
+	stop atomic.Bool
+	mu   sync.Mutex
+	pe   *PanicError
+}
+
+// capture records the first panic and tells every worker to drain.
+func (st *runState) capture(w int, v any, stack []byte) {
+	st.mu.Lock()
+	if st.pe == nil {
+		st.pe = &PanicError{Value: v, Stack: stack, Worker: w}
+	}
+	st.mu.Unlock()
+	st.stop.Store(true)
+}
+
+// watch mirrors ctx cancellation into the stop flag from a side
+// goroutine, so workers never touch the context's lock. The returned
+// function must be called to release the watcher.
+func (st *runState) watch(ctx context.Context) (finish func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			st.stop.Store(true)
+		case <-quit:
+		}
+	}()
+	return func() { close(quit) }
+}
+
+// err resolves the run's outcome: a worker panic wins over
+// cancellation; a cancelled context is reported even if it raced with
+// completion (matching the context package's own convention).
+func (st *runState) err(ctx context.Context) error {
+	st.mu.Lock()
+	pe := st.pe
+	st.mu.Unlock()
+	if pe != nil {
+		return pe
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// guard runs loop with a recover frame, capturing any panic into st.
+func (st *runState) guard(w int, loop func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.capture(w, r, debug.Stack())
+		}
+	}()
+	loop()
+}
+
+// RunE is Run with panic containment and cooperative cancellation: it
+// executes fn(worker, tile) for every tile in [0, tiles) unless ctx is
+// cancelled or a worker panics, in which case the remaining workers
+// drain (no new tiles are started) and the first failure is returned —
+// a *PanicError for panics, ctx.Err() for cancellation. ctx may be nil.
+func RunE(ctx context.Context, policy Policy, p, tiles int, fn func(worker, tile int)) error {
+	return RunChunkedE(ctx, policy, p, tiles, 1, fn)
+}
+
+// RunChunkedE is RunE with an explicit chunk floor for the Guided
+// policy (see RunChunked). Cancellation is observed between individual
+// tiles on every policy, so a cancel or deadline stops the run within
+// one tile's latency plus the watcher's wakeup.
+func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn func(worker, tile int)) error {
+	switch policy {
+	case Static, Dynamic, Guided:
+	default:
+		return fmt.Errorf("sched: unknown policy %d", policy)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	p = Workers(p)
+	if p > tiles {
+		p = tiles
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	var st runState
+	defer st.watch(ctx)()
+
+	if p <= 1 {
+		st.guard(0, func() {
+			for t := 0; t < tiles; t++ {
+				if st.stop.Load() {
+					return
+				}
+				fn(0, t)
+			}
+		})
+		return st.err(ctx)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(p)
+	spawn := func(w int, loop func()) {
+		go func() {
+			defer wg.Done()
+			st.guard(w, loop)
+		}()
+	}
+	switch policy {
+	case Static:
+		for w := 0; w < p; w++ {
+			w := w
+			spawn(w, func() {
+				for t := w; t < tiles; t += p {
+					if st.stop.Load() {
+						return
+					}
+					fn(w, t)
+				}
+			})
+		}
+	case Dynamic:
+		var next atomic.Int64
+		for w := 0; w < p; w++ {
+			w := w
+			spawn(w, func() {
+				for {
+					if st.stop.Load() {
+						return
+					}
+					t := int(next.Add(1)) - 1
+					if t >= tiles {
+						return
+					}
+					fn(w, t)
+				}
+			})
+		}
+	case Guided:
+		var next atomic.Int64
+		for w := 0; w < p; w++ {
+			w := w
+			spawn(w, func() {
+				for {
+					if st.stop.Load() {
+						return
+					}
+					lo, hi := claimGuided(&next, tiles, p, minChunk)
+					if lo >= hi {
+						return
+					}
+					for t := lo; t < hi; t++ {
+						if st.stop.Load() {
+							return
+						}
+						fn(w, t)
+					}
+				}
+			})
+		}
+	}
+	wg.Wait()
+	return st.err(ctx)
+}
+
+// BlocksE is Blocks with panic containment and cooperative
+// cancellation: each worker checks for cancellation before starting its
+// block, and a panic inside any block is returned as a *PanicError
+// instead of crashing the process. ctx may be nil.
+func BlocksE(ctx context.Context, p, n int, fn func(worker, lo, hi int)) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	p = Workers(p)
+	if p > n {
+		p = n
+	}
+	var st runState
+	defer st.watch(ctx)()
+
+	if p <= 1 {
+		if n > 0 {
+			st.guard(0, func() { fn(0, 0, n) })
+		}
+		return st.err(ctx)
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			st.guard(w, func() {
+				if st.stop.Load() {
+					return
+				}
+				fn(w, n*w/p, n*(w+1)/p)
+			})
+		}(w)
+	}
+	wg.Wait()
+	return st.err(ctx)
+}

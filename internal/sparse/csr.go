@@ -1,6 +1,9 @@
 package sparse
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // CSR is a sparse matrix in Compressed Sparse Row format.
 //
@@ -125,8 +128,54 @@ func (s *rowSorter[T]) Swap(a, b int) {
 }
 
 // Check validates every CSR invariant: pointer monotonicity, index
-// bounds, sorted duplicate-free rows, and slice length consistency.
+// bounds, sorted duplicate-free rows, and slice length consistency. It
+// never panics, even on arbitrarily corrupted input: pointers are
+// bounds-checked against nnz before any row is sliced.
 func (m *CSR[T]) Check() error {
+	if err := m.checkHeader(); err != nil {
+		return err
+	}
+	return m.checkRows(0, m.Rows)
+}
+
+// CheckParallel is Check with the per-row validation split across p
+// goroutines. It reports the same deterministic first error (lowest
+// offending row) as Check regardless of p. p ≤ 1, or a matrix below the
+// parallel cutoff, runs serially.
+func (m *CSR[T]) CheckParallel(p int) error {
+	if err := m.checkHeader(); err != nil {
+		return err
+	}
+	const cutoff = 1 << 14
+	if p > m.Rows {
+		p = m.Rows
+	}
+	if p <= 1 || m.Rows < cutoff {
+		return m.checkRows(0, m.Rows)
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo := m.Rows * w / p
+		hi := m.Rows * (w + 1) / p
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = m.checkRows(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkHeader validates the shape-level invariants that the per-row
+// checks rely on to be panic-free.
+func (m *CSR[T]) checkHeader() error {
 	if m.Rows < 0 || m.Cols < 0 {
 		return malformed("negative dimensions %dx%d", m.Rows, m.Cols)
 	}
@@ -137,13 +186,27 @@ func (m *CSR[T]) Check() error {
 		return malformed("RowPtr[0]=%d, want 0", m.RowPtr[0])
 	}
 	nnz := m.RowPtr[m.Rows]
+	if nnz < 0 {
+		return malformed("negative nnz %d", nnz)
+	}
 	if int64(len(m.ColIdx)) != nnz || int64(len(m.Val)) != nnz {
 		return malformed("len(ColIdx)=%d len(Val)=%d, want nnz=%d",
 			len(m.ColIdx), len(m.Val), nnz)
 	}
-	for i := 0; i < m.Rows; i++ {
-		if m.RowPtr[i] > m.RowPtr[i+1] {
-			return malformed("RowPtr not monotone at row %d", i)
+	return nil
+}
+
+// checkRows validates rows [lo, hi). The header must already have been
+// validated.
+func (m *CSR[T]) checkRows(lo, hi int) error {
+	nnz := m.RowPtr[m.Rows]
+	for i := lo; i < hi; i++ {
+		// Full bounds check before slicing: a monotone-looking prefix can
+		// still point past nnz (e.g. RowPtr = [0, 100, 5] with nnz = 5),
+		// which would make RowCols panic.
+		if m.RowPtr[i] < 0 || m.RowPtr[i] > m.RowPtr[i+1] || m.RowPtr[i+1] > nnz {
+			return malformed("RowPtr not monotone in [0,nnz] at row %d: [%d,%d], nnz=%d",
+				i, m.RowPtr[i], m.RowPtr[i+1], nnz)
 		}
 		cols := m.RowCols(i)
 		for k, c := range cols {

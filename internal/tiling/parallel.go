@@ -1,6 +1,7 @@
 package tiling
 
 import (
+	"context"
 	"fmt"
 
 	"maskedspgemm/internal/sched"
@@ -132,5 +133,134 @@ func MakeParallel[T sparse.Number](s Strategy, n, p int, a, b, m *sparse.CSR[T])
 		return BalancedTilesParallel(RowWorkParallel(a, b, m, p), n, p)
 	default:
 		panic(fmt.Sprintf("tiling: unknown strategy %d", s))
+	}
+}
+
+// The E variants below are the fault-contained, cancellable versions of
+// the plan-construction passes: they run their block-parallel loops via
+// sched.BlocksE, so a panic inside a worker (a malformed operand, say)
+// comes back as a *sched.PanicError and a cancelled context aborts the
+// plan between blocks. Serial fallbacks below the crossover threshold
+// run on the caller's goroutine, where the caller's own recover applies.
+
+// RowWorkParallelE is RowWorkParallel with panic containment and
+// cooperative cancellation. ctx may be nil.
+func RowWorkParallelE[T sparse.Number](ctx context.Context, a, b, m *sparse.CSR[T], p int) ([]int64, error) {
+	if p == 1 || a.Rows < parallelCutoff {
+		return RowWork(a, b, m), nil
+	}
+	w := make([]int64, a.Rows)
+	if err := sched.BlocksE(ctx, p, a.Rows, func(_, lo, hi int) {
+		rowWorkInto(w, a, b, m, lo, hi)
+	}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// FlopCountParallelE is FlopCountParallel with panic containment and
+// cooperative cancellation. ctx may be nil.
+func FlopCountParallelE[T sparse.Number](ctx context.Context, a, b *sparse.CSR[T], p int) (total int64, maxRow int64, err error) {
+	if p == 1 || a.Rows < parallelCutoff {
+		total, maxRow = FlopCount(a, b)
+		return total, maxRow, nil
+	}
+	p = sched.Workers(p)
+	totals := make([]int64, p)
+	maxes := make([]int64, p)
+	if err := sched.BlocksE(ctx, p, a.Rows, func(w, lo, hi int) {
+		totals[w], maxes[w] = flopCountRange(a, b, lo, hi)
+	}); err != nil {
+		return 0, 0, err
+	}
+	for w := 0; w < p; w++ {
+		total += totals[w]
+		if maxes[w] > maxRow {
+			maxRow = maxes[w]
+		}
+	}
+	return total, maxRow, nil
+}
+
+// InclusiveScanE is InclusiveScan with panic containment and
+// cooperative cancellation between the two parallel passes. ctx may be
+// nil.
+func InclusiveScanE(ctx context.Context, x []int64, p int) error {
+	n := len(x)
+	if p == 1 || n < parallelCutoff {
+		var run int64
+		for i := range x {
+			run += x[i]
+			x[i] = run
+		}
+		return nil
+	}
+	p = sched.Workers(p)
+	if p > n {
+		p = n
+	}
+	sums := make([]int64, p)
+	if err := sched.BlocksE(ctx, p, n, func(w, lo, hi int) {
+		var run int64
+		for i := lo; i < hi; i++ {
+			run += x[i]
+			x[i] = run
+		}
+		sums[w] = run
+	}); err != nil {
+		return err
+	}
+	var off int64
+	for w := 0; w < p; w++ {
+		s := sums[w]
+		sums[w] = off
+		off += s
+	}
+	return sched.BlocksE(ctx, p, n, func(w, lo, hi int) {
+		d := sums[w]
+		if d == 0 {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			x[i] += d
+		}
+	})
+}
+
+// PrefixSumE is PrefixSum with panic containment and cancellation.
+func PrefixSumE(ctx context.Context, work []int64, p int) ([]int64, error) {
+	prefix := make([]int64, len(work)+1)
+	copy(prefix[1:], work)
+	if err := InclusiveScanE(ctx, prefix[1:], p); err != nil {
+		return nil, err
+	}
+	return prefix, nil
+}
+
+// BalancedTilesParallelE is BalancedTilesParallel with panic
+// containment and cancellation.
+func BalancedTilesParallelE(ctx context.Context, work []int64, n, p int) ([]Tile, error) {
+	prefix, err := PrefixSumE(ctx, work, p)
+	if err != nil {
+		return nil, err
+	}
+	return balancedFromPrefix(prefix, n), nil
+}
+
+// MakeParallelE is MakeParallel with panic containment, cooperative
+// cancellation, and an error (instead of a panic) for unknown
+// strategies. ctx may be nil.
+func MakeParallelE[T sparse.Number](ctx context.Context, s Strategy, n, p int, a, b, m *sparse.CSR[T]) ([]Tile, error) {
+	switch s {
+	case Uniform:
+		return UniformTiles(a.Rows, n), nil
+	case FlopBalanced:
+		work, err := RowWorkParallelE(ctx, a, b, m, p)
+		if err != nil {
+			return nil, err
+		}
+		return BalancedTilesParallelE(ctx, work, n, p)
+	default:
+		return nil, fmt.Errorf("tiling: unknown strategy %d", s)
 	}
 }

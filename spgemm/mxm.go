@@ -1,22 +1,40 @@
 package spgemm
 
 import (
+	"context"
+
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
+
+// planP resolves the worker count used for input validation, matching
+// the kernel's plan-phase parallelism.
+func (o Options) planP() int {
+	if o.PlanWorkers > 0 {
+		return sched.Workers(o.PlanWorkers)
+	}
+	return sched.Workers(o.Workers)
+}
 
 // MxM computes C = mask ⊙ (a × b): the masked sparse matrix-matrix
 // product over the semiring selected in opts. The mask is structural.
 //
 // Shape requirements: a is m×k, b is k×n, mask is m×n.
-func MxM(mask, a, b *Matrix, opts Options) (*Matrix, error) {
+func MxM(mask, a, b *Matrix, opts Options) (_ *Matrix, err error) {
+	defer recoverAsError(&err)
+	if opts.ValidateInputs {
+		if err := validateInputs(opts.planP(),
+			namedOperand{"mask", mask}, namedOperand{"a", a}, namedOperand{"b", b}); err != nil {
+			return nil, err
+		}
+	}
 	cfg := opts.config()
 	if opts.ValuedMask {
 		mask = wrap(sparse.PruneZeros(mask.csr))
 	}
 	var c *sparse.CSR[float64]
-	var err error
 	switch opts.Semiring {
 	case SRPlusPair:
 		c, err = core.MaskedSpGEMM[float64](semiring.PlusPair[float64]{}, mask.csr, a.csr, b.csr, cfg)
@@ -31,14 +49,28 @@ func MxM(mask, a, b *Matrix, opts Options) (*Matrix, error) {
 	return wrap(c), nil
 }
 
+// MxMContext is MxM under an explicit context: the multiplication is
+// cooperatively cancelled when ctx is done, returning an error matching
+// ErrCanceled. A non-nil opts.Context is overridden by ctx.
+func MxMContext(ctx context.Context, mask, a, b *Matrix, opts Options) (*Matrix, error) {
+	opts.Context = ctx
+	return MxM(mask, a, b, opts)
+}
+
 // MxMComplement computes C = ¬mask ⊙ (a × b): the product restricted to
 // positions the mask does NOT store — GraphBLAS's complemented
 // structural mask. Note the output is bounded by the product structure,
 // not by the mask, so this kernel always pays the full multiplication.
-func MxMComplement(mask, a, b *Matrix, opts Options) (*Matrix, error) {
+func MxMComplement(mask, a, b *Matrix, opts Options) (_ *Matrix, err error) {
+	defer recoverAsError(&err)
+	if opts.ValidateInputs {
+		if err := validateInputs(opts.planP(),
+			namedOperand{"mask", mask}, namedOperand{"a", a}, namedOperand{"b", b}); err != nil {
+			return nil, err
+		}
+	}
 	cfg := opts.config()
 	var c *sparse.CSR[float64]
-	var err error
 	switch opts.Semiring {
 	case SRPlusPair:
 		c, err = core.MaskedSpGEMMComp[float64](semiring.PlusPair[float64]{}, mask.csr, a.csr, b.csr, cfg)
@@ -56,9 +88,15 @@ func MxMComplement(mask, a, b *Matrix, opts Options) (*Matrix, error) {
 // MxMUnmasked computes the plain sparse product C = a × b (no mask).
 // It is single-threaded and intended for correctness checks and small
 // problems; the masked kernel is the optimized path.
-func MxMUnmasked(a, b *Matrix, opts Options) (*Matrix, error) {
+func MxMUnmasked(a, b *Matrix, opts Options) (_ *Matrix, err error) {
+	defer recoverAsError(&err)
+	if opts.ValidateInputs {
+		if err := validateInputs(opts.planP(),
+			namedOperand{"a", a}, namedOperand{"b", b}); err != nil {
+			return nil, err
+		}
+	}
 	var c *sparse.CSR[float64]
-	var err error
 	switch opts.Semiring {
 	case SRPlusPair:
 		c, err = core.SpGEMM[float64](semiring.PlusPair[float64]{}, a.csr, b.csr)
@@ -78,12 +116,23 @@ func MxMUnmasked(a, b *Matrix, opts Options) (*Matrix, error) {
 // every Multiply call. Iterative algorithms over a fixed graph and
 // benchmark loops should prefer it over repeated MxM calls. Not safe
 // for concurrent Multiply calls.
+//
+// A Multiply call that fails (ErrCanceled, ErrPanic) leaves the plan
+// intact: the same Multiplier can run again once the cause is resolved.
 type Multiplier struct {
-	run func() (*sparse.CSR[float64], error)
+	run func(ctx context.Context) (*sparse.CSR[float64], error)
 }
 
-// NewMultiplier builds a reusable plan for C = mask ⊙ (a × b).
-func NewMultiplier(mask, a, b *Matrix, opts Options) (*Multiplier, error) {
+// NewMultiplier builds a reusable plan for C = mask ⊙ (a × b). Plan
+// construction itself observes opts.Context.
+func NewMultiplier(mask, a, b *Matrix, opts Options) (_ *Multiplier, err error) {
+	defer recoverAsError(&err)
+	if opts.ValidateInputs {
+		if err := validateInputs(opts.planP(),
+			namedOperand{"mask", mask}, namedOperand{"a", a}, namedOperand{"b", b}); err != nil {
+			return nil, err
+		}
+	}
 	cfg := opts.config()
 	switch opts.Semiring {
 	case SRPlusPair:
@@ -91,25 +140,42 @@ func NewMultiplier(mask, a, b *Matrix, opts Options) (*Multiplier, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Multiplier{run: func() (*sparse.CSR[float64], error) { return mu.Multiply(), nil }}, nil
+		return &Multiplier{run: mu.MultiplyCtx}, nil
 	case SROrAnd:
 		mu, err := core.NewMultiplier[float64](semiring.OrAnd[float64]{}, mask.csr, a.csr, b.csr, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return &Multiplier{run: func() (*sparse.CSR[float64], error) { return mu.Multiply(), nil }}, nil
+		return &Multiplier{run: mu.MultiplyCtx}, nil
 	default:
 		mu, err := core.NewMultiplier[float64](semiring.PlusTimes[float64]{}, mask.csr, a.csr, b.csr, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return &Multiplier{run: func() (*sparse.CSR[float64], error) { return mu.Multiply(), nil }}, nil
+		return &Multiplier{run: mu.MultiplyCtx}, nil
 	}
 }
 
-// Multiply executes the plan and returns a fresh result matrix.
+// NewMultiplierContext is NewMultiplier under an explicit context,
+// which also becomes the default context of every Multiply call on the
+// returned plan. A non-nil opts.Context is overridden by ctx.
+func NewMultiplierContext(ctx context.Context, mask, a, b *Matrix, opts Options) (*Multiplier, error) {
+	opts.Context = ctx
+	return NewMultiplier(mask, a, b, opts)
+}
+
+// Multiply executes the plan and returns a fresh result matrix, under
+// the context the plan was built with (nil = run to completion).
 func (mu *Multiplier) Multiply() (*Matrix, error) {
-	c, err := mu.run()
+	return mu.MultiplyContext(nil)
+}
+
+// MultiplyContext executes the plan under ctx, overriding the plan's
+// own context. A cancelled or panicked run returns ErrCanceled/ErrPanic
+// and leaves the plan reusable. nil falls back to the plan's context.
+func (mu *Multiplier) MultiplyContext(ctx context.Context) (_ *Matrix, err error) {
+	defer recoverAsError(&err)
+	c, err := mu.run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -119,9 +185,9 @@ func (mu *Multiplier) Multiply() (*Matrix, error) {
 // EWiseAdd returns the element-wise union a ⊕ b: coinciding entries
 // combine with the semiring's additive operation, entries present in
 // only one operand carry over unchanged.
-func EWiseAdd(a, b *Matrix, opts Options) (*Matrix, error) {
+func EWiseAdd(a, b *Matrix, opts Options) (_ *Matrix, err error) {
+	defer recoverAsError(&err)
 	var c *sparse.CSR[float64]
-	var err error
 	switch opts.Semiring {
 	case SROrAnd:
 		c, err = core.EWiseAdd[float64](semiring.OrAnd[float64]{}, a.csr, b.csr)
@@ -137,9 +203,9 @@ func EWiseAdd(a, b *Matrix, opts Options) (*Matrix, error) {
 // EWiseMult returns the element-wise intersection a ⊗ b: only
 // coinciding entries survive, combined with the semiring's
 // multiplicative operation (Hadamard product under SRPlusTimes).
-func EWiseMult(a, b *Matrix, opts Options) (*Matrix, error) {
+func EWiseMult(a, b *Matrix, opts Options) (_ *Matrix, err error) {
+	defer recoverAsError(&err)
 	var c *sparse.CSR[float64]
-	var err error
 	switch opts.Semiring {
 	case SROrAnd:
 		c, err = core.EWiseMult[float64](semiring.OrAnd[float64]{}, a.csr, b.csr)
@@ -162,7 +228,8 @@ func ReduceRows(m *Matrix) ([]int32, []float64) {
 // ApplyMask returns mask ⊙ c: the entries of c at positions stored in
 // mask. Together with MxMUnmasked it forms the two-step computation the
 // fused MxM is measured against.
-func ApplyMask(mask, c *Matrix) (*Matrix, error) {
+func ApplyMask(mask, c *Matrix) (_ *Matrix, err error) {
+	defer recoverAsError(&err)
 	out, err := core.ApplyMask(mask.csr, c.csr)
 	if err != nil {
 		return nil, err

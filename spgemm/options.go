@@ -1,6 +1,8 @@
 package spgemm
 
 import (
+	"context"
+
 	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/core"
 	"maskedspgemm/internal/sched"
@@ -102,6 +104,20 @@ type Options struct {
 	// entry allows the position — GraphBLAS GrB_STRUCTURE, the paper's
 	// setting) to valued semantics (the stored value must be nonzero).
 	ValuedMask bool
+	// Context, when non-nil, makes the multiplication cooperatively
+	// cancellable: workers observe cancellation between tile claims and
+	// the call returns an error matching ErrCanceled (and the context's
+	// own error). nil runs to completion. Cancellation checks are
+	// amortized per scheduling chunk, so an uncancelled run with a
+	// context costs the same as one without.
+	Context context.Context
+	// ValidateInputs runs the full CSR invariant check (sorted
+	// duplicate-free rows, in-range indices, monotone row pointers) on
+	// every operand before multiplying, returning ErrInvalidMatrix on
+	// violation. The check is O(nnz) and parallelized over PlanWorkers;
+	// enable it at trust boundaries (user-supplied files), skip it in
+	// inner loops over matrices this package built itself.
+	ValidateInputs bool
 }
 
 // Defaults returns the paper's recommended configuration (§V): hybrid
@@ -128,6 +144,7 @@ func (o Options) config() core.Config {
 		Workers:        o.Workers,
 		PlanWorkers:    o.PlanWorkers,
 		GuidedMinChunk: o.GuidedMinChunk,
+		Context:        o.Context,
 	}
 	switch o.Iteration {
 	case IterVanilla:
