@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz bench-plan bench-sched
+.PHONY: build test vet staticcheck race check fuzz bench-plan bench-sched bench-smoke bench-stats
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,15 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling: run it when installed, skip silently
+# when the host doesn't have it (no network installs in CI containers).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 # The scheduler, kernel and public facade are the concurrency-bearing
 # packages: run them under the race detector with the Guided policy,
 # panic containment, cancellation and parallel plan paths exercised by
@@ -18,7 +27,7 @@ vet:
 race:
 	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/tiling/... ./spgemm/...
 
-check: vet race test
+check: vet staticcheck race test
 
 # Short fuzz passes over the hostile-input surface: the MatrixMarket
 # text parser and the binary CSR container.
@@ -32,3 +41,14 @@ bench-plan:
 
 bench-sched:
 	$(GO) run ./cmd/spgemm-bench -experiment sched -shift 3
+
+# bench-smoke pushes a tiny graph through the full stats pipeline: the
+# tool writes BENCH_stats.json and self-validates that the document
+# strictly round-trips through its declared schema before exiting 0.
+bench-smoke:
+	$(GO) run ./cmd/spgemm-bench -experiment stats -shift 6 \
+		-graphs GAP-road-sim -reps 2 -budget 1s -stats-json
+	@rm -f BENCH_stats.json
+
+bench-stats:
+	$(GO) run ./cmd/spgemm-bench -experiment stats -shift 3 -stats-json

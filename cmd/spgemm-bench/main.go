@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|all [flags]
+//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|all [flags]
 //
 // Flags:
 //
@@ -15,6 +15,15 @@
 //	-reps N          max timed repetitions per configuration (default 3)
 //	-budget D        per-configuration time budget (default 2s)
 //	-graphs CSV      restrict to named graphs (default all)
+//	-stats           run the kernel observability experiment (human table)
+//	-stats-json      also write the stats report to BENCH_stats.json
+//	-json            write each run's measurements to results_<experiment>.json
+//
+// The stats experiment times the tuned configuration on every corpus
+// graph with a live recorder: per-phase wall times, exact per-worker
+// tile/row/FLOP counters with load-imbalance summaries, hybrid Eq. 3
+// decision counts, and accumulator statistics. It can also be selected
+// directly with -experiment stats.
 package main
 
 import (
@@ -41,6 +50,9 @@ func main() {
 	reps := flag.Int("reps", 3, "max timed repetitions")
 	budget := flag.Duration("budget", 2*time.Second, "per-config time budget")
 	graphs := flag.String("graphs", "", "comma-separated graph names (default all)")
+	statsFlag := flag.Bool("stats", false, "run the kernel observability experiment (human table)")
+	statsJSON := flag.Bool("stats-json", false, "write the stats report to BENCH_stats.json (implies -stats)")
+	jsonOut := flag.Bool("json", false, "write measurements to results_<experiment>.json")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the measurement loop between repetitions
@@ -65,6 +77,9 @@ func main() {
 			}
 			o.Graphs = append(o.Graphs, name)
 		}
+	}
+	if *jsonOut {
+		o.Log = &bench.ResultLog{}
 	}
 
 	w := os.Stdout
@@ -151,8 +166,62 @@ func main() {
 		run("sched", func() error { return bench.SchedSweep(w, o) })
 		ran = true
 	}
+	// The stats experiment never runs under "all" implicitly — it repeats
+	// the tuned timing — but either stats flag or -experiment stats
+	// selects it.
+	if *experiment == "stats" || *statsFlag || *statsJSON {
+		run("stats", func() error {
+			report, err := bench.CollectStats(o)
+			if err != nil {
+				return err
+			}
+			report.WriteTable(w)
+			if *statsJSON {
+				return writeValidated("BENCH_stats.json",
+					func(f *os.File) error { return report.WriteJSON(f) },
+					bench.ValidateStatsReportJSON)
+			}
+			return nil
+		})
+		ran = true
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+	if o.Log.Len() > 0 {
+		name := fmt.Sprintf("results_%s.json", *experiment)
+		if err := writeValidated(name,
+			func(f *os.File) error { return o.Log.WriteJSON(f, *experiment) },
+			bench.ValidateResultJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeValidated writes a JSON document to path, reads it back, and
+// checks it strictly round-trips through its declared schema — so a
+// file the tool emits is a file its consumers can parse.
+func writeValidated(path string, write func(*os.File) error, validate func([]byte) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := validate(data); err != nil {
+		return fmt.Errorf("self-validation of %s failed: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes, schema validated)\n", path, len(data))
+	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"maskedspgemm/internal/core"
 	"maskedspgemm/internal/graph"
 	"maskedspgemm/internal/mtx"
+	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sparse"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	tiles := flag.Int("tiles", 2048, "tile count")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	kappa := flag.Float64("kappa", 1, "co-iteration factor")
+	statsFlag := flag.Bool("stats", false, "print kernel observability stats after counting")
+	statsJSON := flag.String("stats-json", "", "write kernel observability stats to this JSON file")
 	flag.Parse()
 
 	var a *sparse.CSR[float64]
@@ -90,6 +93,9 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Kappa = *kappa
 	cfg.Context = ctx
+	if *statsFlag || *statsJSON != "" {
+		cfg.Recorder = obs.NewRecorder()
+	}
 
 	start := time.Now()
 	count, err := graph.TriangleCount(a, m, cfg)
@@ -102,6 +108,27 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Printf("vertices: %d\nedges:    %d\ntriangles: %d\nmethod: %s  config: %v\ntime: %s\n",
 		a.Rows, a.NNZ()/2, count, *method, cfg, elapsed.Round(time.Microsecond))
+
+	if cfg.Recorder != nil {
+		st := cfg.Recorder.Stats()
+		if *statsFlag {
+			fmt.Println("kernel stats:")
+			st.WriteTable(os.Stdout)
+		}
+		if *statsJSON != "" {
+			data, err := obs.MarshalJSONBytes(st)
+			if err != nil {
+				fatal(err)
+			}
+			if err := obs.ValidateStatsJSON(data); err != nil {
+				fatal(fmt.Errorf("stats self-validation: %w", err))
+			}
+			if err := os.WriteFile(*statsJSON, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes, schema validated)\n", *statsJSON, len(data))
+		}
+	}
 }
 
 func fatal(err error) {

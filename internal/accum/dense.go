@@ -103,7 +103,16 @@ func (d *Dense[T, S, M]) Gather(
 	return cols, vals
 }
 
+// EnableStats is a no-op: the dense accumulator has no probe loop, and
+// its only gated-worthy counter (Clears) is already counted for free.
+func (d *Dense[T, S, M]) EnableStats() {}
+
+// AccumStats returns the marker-overflow count; a dense table has no
+// hash probes or grows.
+func (d *Dense[T, S, M]) AccumStats() Stats { return Stats{Clears: d.Clears} }
+
 var _ Accumulator[float64] = (*Dense[float64, semiring.PlusTimes[float64], uint32])(nil)
+var _ Instrumented = (*Dense[float64, semiring.PlusTimes[float64], uint32])(nil)
 
 // DenseExplicit is the dense accumulator with GrB's reset strategy:
 // per-slot booleans cleared explicitly after every row instead of a
@@ -187,4 +196,11 @@ func (d *DenseExplicit[T, S]) Gather(
 	return cols, vals
 }
 
+// EnableStats is a no-op: explicit reset has no markers and no probes.
+func (d *DenseExplicit[T, S]) EnableStats() {}
+
+// AccumStats reports zeros — nothing this family does is counted.
+func (d *DenseExplicit[T, S]) AccumStats() Stats { return Stats{} }
+
 var _ Accumulator[float64] = (*DenseExplicit[float64, semiring.PlusTimes[float64]])(nil)
+var _ Instrumented = (*DenseExplicit[float64, semiring.PlusTimes[float64]])(nil)

@@ -32,6 +32,10 @@ type Hash[T sparse.Number, S semiring.Semiring[T], M Marker] struct {
 	// doublings. Both are observability hooks for tests and ablations.
 	Clears int64
 	Grows  int64
+	// stats, when non-nil, receives per-probe counts (EnableStats). Kept
+	// behind a pointer so the disabled hot path is one predictable
+	// nil-check per probe sequence.
+	stats *Stats
 }
 
 // NewHash returns a hash accumulator able to hold rowCap entries per row
@@ -62,6 +66,9 @@ func (h *Hash[T, S, M]) probe(j sparse.Index) (slot int, found bool) {
 	entry := h.mask + 1
 	capMask := len(h.keys) - 1
 	slot = h.slotOf(j)
+	if h.stats != nil {
+		return h.probeCounted(j, entry, capMask, slot)
+	}
 	for {
 		st := h.state[slot]
 		if st != h.mask && st != entry {
@@ -72,6 +79,40 @@ func (h *Hash[T, S, M]) probe(j sparse.Index) (slot int, found bool) {
 		}
 		slot = (slot + 1) & capMask
 	}
+}
+
+// probeCounted is probe with per-step accounting, split out so the
+// disabled path's loop stays increment-free.
+func (h *Hash[T, S, M]) probeCounted(j sparse.Index, entry M, capMask, slot int) (int, bool) {
+	h.stats.Probes++
+	for {
+		st := h.state[slot]
+		if st != h.mask && st != entry {
+			return slot, false
+		}
+		if h.keys[slot] == j {
+			return slot, true
+		}
+		slot = (slot + 1) & capMask
+		h.stats.Collisions++
+	}
+}
+
+// EnableStats turns on probe/collision counting for this accumulator.
+func (h *Hash[T, S, M]) EnableStats() {
+	if h.stats == nil {
+		h.stats = new(Stats)
+	}
+}
+
+// AccumStats returns the cumulative observability counters.
+func (h *Hash[T, S, M]) AccumStats() Stats {
+	s := Stats{Clears: h.Clears, Grows: h.Grows}
+	if h.stats != nil {
+		s.Probes = h.stats.Probes
+		s.Collisions = h.stats.Collisions
+	}
+	return s
 }
 
 // BeginRow advances the marker pair, clearing the table only on wrap.
@@ -268,4 +309,13 @@ func (h *HashExplicit[T, S]) Gather(
 	return h.inner.Gather(maskCols, cols, vals)
 }
 
+// EnableStats turns on probe/collision counting on the inner table.
+func (h *HashExplicit[T, S]) EnableStats() { h.inner.EnableStats() }
+
+// AccumStats returns the inner table's cumulative counters. Clears stays
+// zero by construction — explicit reset never overflows a marker.
+func (h *HashExplicit[T, S]) AccumStats() Stats { return h.inner.AccumStats() }
+
 var _ Accumulator[float64] = (*HashExplicit[float64, semiring.PlusTimes[float64]])(nil)
+var _ Instrumented = (*HashExplicit[float64, semiring.PlusTimes[float64]])(nil)
+var _ Instrumented = (*Hash[float64, semiring.PlusTimes[float64], uint32])(nil)

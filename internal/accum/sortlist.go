@@ -108,4 +108,12 @@ func (l *logSorter[T]) Swap(a, b int) {
 	l.vals[a], l.vals[b] = l.vals[b], l.vals[a]
 }
 
+// EnableStats is a no-op: the log accumulator has no per-column state,
+// so there is nothing probe-like to count.
+func (s *SortList[T, S]) EnableStats() {}
+
+// AccumStats reports zeros — reset is free and nothing overflows.
+func (s *SortList[T, S]) AccumStats() Stats { return Stats{} }
+
 var _ Accumulator[float64] = (*SortList[float64, semiring.PlusTimes[float64]])(nil)
+var _ Instrumented = (*SortList[float64, semiring.PlusTimes[float64]])(nil)

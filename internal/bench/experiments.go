@@ -32,6 +32,10 @@ type Options struct {
 	Kappas []float64
 	// Graphs restricts the corpus (nil = all).
 	Graphs []string
+	// Log, when non-nil, collects every individual measurement an
+	// experiment takes, so the text table gains a machine-readable JSON
+	// twin (the -json flag). nil discards.
+	Log *ResultLog
 }
 
 // planify applies the plan-parallelism and guided-chunk knobs to a
@@ -117,6 +121,9 @@ func Fig1(w io.Writer, o Options) error {
 		if ss.OutputNNZ != grb.OutputNNZ || ss.OutputNNZ != ours.OutputNNZ {
 			return fmt.Errorf("%s: implementations disagree on output nnz", g.Name)
 		}
+		o.Log.Add("fig1", g.Name, "suitesparse-like", ss)
+		o.Log.Add("fig1", g.Name, "grb-like", grb)
+		o.Log.Add("fig1", g.Name, "tuned", ours)
 		fmt.Fprintf(w, "%-22s %14.2f %14.2f %14.2f\n", g.Name, ss.Millis, grb.Millis, ours.Millis)
 	}
 	return nil
@@ -161,6 +168,7 @@ func TileSweep(w io.Writer, o Options) (*RelativeTable, error) {
 							return nil, fmt.Errorf("%s %s tiles=%d: %w", g.Name, label, tc, err)
 						}
 						rel.Add(fmt.Sprintf("%s@%d", label, tc), g.Name, meas.Millis)
+						o.Log.Add("tiles", g.Name, fmt.Sprintf("%s@%d", label, tc), meas)
 						series = append(series, meas.Millis)
 						fmt.Fprintf(w, "%10.2f", meas.Millis)
 					}
@@ -224,6 +232,7 @@ func Fig13(w io.Writer, o Options) error {
 					return fmt.Errorf("%s %v/%d: %w", g.Name, ak, bits, err)
 				}
 				rel.Add(fmt.Sprintf("%v@%d", ak, bits), g.Name, meas.Millis)
+				o.Log.Add("markers", g.Name, fmt.Sprintf("%v@%d", ak, bits), meas)
 			}
 		}
 	}
@@ -280,6 +289,7 @@ func Fig14(w io.Writer, o Options) error {
 				if err != nil {
 					return fmt.Errorf("%s κ=%g: %w", g.Name, k, err)
 				}
+				o.Log.Add("kappa", g.Name, fmt.Sprintf("%v@%g", ak, k), meas)
 				series = append(series, meas.Millis)
 				fmt.Fprintf(w, "%10.2f", meas.Millis)
 			}
@@ -294,6 +304,7 @@ func Fig14(w io.Writer, o Options) error {
 			if err != nil {
 				return fmt.Errorf("%s no-coiter: %w", g.Name, err)
 			}
+			o.Log.Add("kappa", g.Name, fmt.Sprintf("%v@no-coiter", ak), meas)
 			fmt.Fprintf(w, "%12.2f  %s\n", meas.Millis, sparkline(series))
 		}
 	}

@@ -157,6 +157,7 @@ func SchedSweep(w io.Writer, o Options) error {
 				if err != nil {
 					return fmt.Errorf("%s %v tiles=%d: %w", g.Name, sp, tc, err)
 				}
+				o.Log.Add("sched", g.Name, fmt.Sprintf("%v@%d", sp, tc), meas)
 				series = append(series, meas.Millis)
 				fmt.Fprintf(w, "%10.2f", meas.Millis)
 			}

@@ -38,6 +38,7 @@ func Scaling(w io.Writer, o Options) error {
 			if i == 0 {
 				base = meas.Millis
 			}
+			o.Log.Add("scaling", g.Name, fmt.Sprintf("workers=%d", c), meas)
 			fmt.Fprintf(w, "%10.2f", meas.Millis)
 			_ = base
 		}

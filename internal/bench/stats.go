@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"maskedspgemm/internal/obs"
+)
+
+// ResultSchema identifies the JSON layout of a ResultReport — the
+// machine-readable twin of an experiment's text table.
+const ResultSchema = "maskedspgemm/bench-results/v1"
+
+// StatsReportSchema identifies the JSON layout of a StatsReport — the
+// stats experiment's per-graph kernel observability dump.
+const StatsReportSchema = "maskedspgemm/bench-stats/v1"
+
+// ResultEntry is one timed (experiment, graph, config) data point.
+type ResultEntry struct {
+	Experiment string `json:"experiment"`
+	Graph      string `json:"graph"`
+	Config     string `json:"config"`
+	Measurement
+}
+
+// ResultLog collects the individual measurements behind an experiment's
+// text table, so the run can also be emitted as JSON. A nil *ResultLog
+// discards everything, letting experiment code log unconditionally.
+type ResultLog struct {
+	entries []ResultEntry
+}
+
+// Add records one measurement. Nil-safe.
+func (l *ResultLog) Add(experiment, graph, config string, m Measurement) {
+	if l == nil {
+		return
+	}
+	l.entries = append(l.entries, ResultEntry{
+		Experiment: experiment, Graph: graph, Config: config, Measurement: m,
+	})
+}
+
+// Len reports the number of recorded entries (0 for nil).
+func (l *ResultLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.entries)
+}
+
+// ResultReport is the JSON document a ResultLog renders to.
+type ResultReport struct {
+	Schema     string        `json:"schema"`
+	Experiment string        `json:"experiment"`
+	Results    []ResultEntry `json:"results"`
+}
+
+// Report packages the log under the given experiment name.
+func (l *ResultLog) Report(experiment string) ResultReport {
+	r := ResultReport{Schema: ResultSchema, Experiment: experiment}
+	if l != nil {
+		r.Results = l.entries
+	}
+	return r
+}
+
+// WriteJSON emits the log as a schema-tagged JSON document.
+func (l *ResultLog) WriteJSON(w io.Writer, experiment string) error {
+	return obs.WriteJSON(w, l.Report(experiment))
+}
+
+// ValidateResultJSON checks that data is a schema-conforming
+// ResultReport document (strict round-trip plus schema tag).
+func ValidateResultJSON(data []byte) error {
+	var r ResultReport
+	if err := obs.RoundTrip(data, &r); err != nil {
+		return err
+	}
+	if r.Schema != ResultSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, ResultSchema)
+	}
+	return nil
+}
+
+// StatsEntry is one graph's timed run with its full kernel
+// observability snapshot.
+type StatsEntry struct {
+	Graph  string `json:"graph"`
+	Config string `json:"config"`
+	Measurement
+	Stats obs.Stats `json:"stats"`
+}
+
+// StatsReport is the stats experiment's document: the tuned kernel run
+// on every corpus graph with phase times, per-worker counters and
+// accumulator statistics.
+type StatsReport struct {
+	Schema  string       `json:"schema"`
+	Entries []StatsEntry `json:"entries"`
+}
+
+// CollectStats runs the tuned configuration over the corpus with a live
+// recorder and returns the per-graph observability report. Each graph
+// gets a fresh recorder, so an entry's Stats covers exactly that
+// graph's timed repetitions (plus warm-ups — they exercise the same
+// kernel and are part of the recorded activity; Measurement.Reps says
+// how many runs were timed).
+func CollectStats(o Options) (*StatsReport, error) {
+	report := &StatsReport{Schema: StatsReportSchema}
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		cfg := o.planify(tunedConfig(o.Workers))
+		cfg.Recorder = obs.NewRecorder()
+		meas, err := TimeMasked(a, cfg, o.Method)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", g.Name, err)
+		}
+		report.Entries = append(report.Entries, StatsEntry{
+			Graph:       g.Name,
+			Config:      cfg.String(),
+			Measurement: meas,
+			Stats:       cfg.Recorder.Stats(),
+		})
+	}
+	return report, nil
+}
+
+// WriteTable renders the report as the human-readable stats tables
+// behind the -stats flag.
+func (r *StatsReport) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Kernel observability: tuned configuration, per graph")
+	for _, e := range r.Entries {
+		fmt.Fprintf(w, "\n%s (%s)\n", e.Graph, e.Config)
+		fmt.Fprintf(w, "  min/mean/p50 ms: %.2f/%.2f/%.2f (stddev %.2f, %d reps, nnz %d)\n",
+			e.Millis, e.MeanMillis, e.P50Millis, e.StddevMillis, e.Reps, e.OutputNNZ)
+		e.Stats.WriteTable(w)
+	}
+}
+
+// WriteJSON emits the report as a schema-tagged JSON document.
+func (r *StatsReport) WriteJSON(w io.Writer) error {
+	return obs.WriteJSON(w, r)
+}
+
+// ValidateStatsReportJSON checks that data is a schema-conforming
+// StatsReport document (strict round-trip plus schema tag) — the check
+// behind `make bench-smoke`.
+func ValidateStatsReportJSON(data []byte) error {
+	var r StatsReport
+	if err := obs.RoundTrip(data, &r); err != nil {
+		return err
+	}
+	if r.Schema != StatsReportSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, StatsReportSchema)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smokeOptions restricts the corpus to one small graph for fast runs.
+func smokeOptions() Options {
+	o := DefaultOptions()
+	o.Shift = 6
+	o.Graphs = []string{"GAP-road-sim"}
+	o.Method = QuickMethodology()
+	return o
+}
+
+// TestCollectStatsRoundTrip runs the stats experiment on a tiny graph
+// and checks both renderings: the table mentions the phases, and the
+// JSON strictly round-trips through its declared schema.
+func TestCollectStatsRoundTrip(t *testing.T) {
+	report, err := CollectStats(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(report.Entries))
+	}
+	e := report.Entries[0]
+	if e.Stats.Totals.Rows == 0 || e.Stats.Totals.Gathered != e.OutputNNZ {
+		t.Fatalf("stats totals inconsistent with measurement: %+v vs nnz %d",
+			e.Stats.Totals, e.OutputNNZ)
+	}
+	var table bytes.Buffer
+	report.WriteTable(&table)
+	if !strings.Contains(table.String(), "exec.kernel") {
+		t.Fatalf("table missing phases:\n%s", table.String())
+	}
+	var doc bytes.Buffer
+	if err := report.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateStatsReportJSON(doc.Bytes()); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if err := ValidateStatsReportJSON([]byte(`{"schema":"wrong"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestResultLogJSON exercises the nil-safe log and its JSON twin.
+func TestResultLogJSON(t *testing.T) {
+	var nilLog *ResultLog
+	nilLog.Add("x", "g", "c", Measurement{}) // must not panic
+	if nilLog.Len() != 0 {
+		t.Fatal("nil log reported entries")
+	}
+
+	log := &ResultLog{}
+	log.Add("fig1", "g1", "tuned", Measurement{Millis: 1.5, Reps: 2, OutputNNZ: 10})
+	log.Add("fig1", "g2", "tuned", Measurement{Millis: 2.5, Reps: 2, OutputNNZ: 20})
+	if log.Len() != 2 {
+		t.Fatalf("len = %d, want 2", log.Len())
+	}
+	var doc bytes.Buffer
+	if err := log.WriteJSON(&doc, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateResultJSON(doc.Bytes()); err != nil {
+		t.Fatalf("log does not round-trip: %v", err)
+	}
+	if !strings.Contains(doc.String(), `"min_millis": 1.5`) {
+		t.Fatalf("missing measurement fields:\n%s", doc.String())
+	}
+}
+
+// TestExperimentsPopulateLog checks the experiment hooks actually feed
+// the log when one is attached.
+func TestExperimentsPopulateLog(t *testing.T) {
+	o := smokeOptions()
+	o.Log = &ResultLog{}
+	var sink bytes.Buffer
+	if err := Fig1(&sink, o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Log.Len() != 3 {
+		t.Fatalf("fig1 logged %d entries, want 3", o.Log.Len())
+	}
+}
+
+// TestMeasurementStatistics checks the new summary fields directly.
+func TestMeasurementStatistics(t *testing.T) {
+	var m Measurement
+	m.fillFrom([]float64{3, 1, 2})
+	if m.Millis != 1 || m.P50Millis != 2 || m.MeanMillis != 2 {
+		t.Fatalf("min/p50/mean = %v/%v/%v", m.Millis, m.P50Millis, m.MeanMillis)
+	}
+	if m.StddevMillis <= 0.8 || m.StddevMillis >= 0.9 { // √(2/3) ≈ 0.816
+		t.Fatalf("stddev = %v, want ≈0.816", m.StddevMillis)
+	}
+	var even Measurement
+	even.fillFrom([]float64{4, 2})
+	if even.P50Millis != 3 {
+		t.Fatalf("even-count median = %v, want 3", even.P50Millis)
+	}
+	var single Measurement
+	single.fillFrom([]float64{5})
+	if single.Millis != 5 || single.StddevMillis != 0 {
+		t.Fatalf("single sample: %+v", single)
+	}
+}

@@ -3,6 +3,8 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"maskedspgemm/internal/core"
@@ -38,14 +40,24 @@ func QuickMethodology() Methodology {
 	return Methodology{Warmups: 0, MaxReps: 1, Budget: time.Hour}
 }
 
-// Measurement is one timed kernel execution summary.
+// Measurement is one timed kernel execution summary. Millis (the
+// minimum) remains the headline number the paper's methodology reports;
+// the mean, median and standard deviation expose run-to-run variance
+// for the machine-readable outputs.
 type Measurement struct {
 	// Millis is the minimum observed wall time in milliseconds.
-	Millis float64
+	Millis float64 `json:"min_millis"`
+	// MeanMillis is the arithmetic mean over the timed repetitions.
+	MeanMillis float64 `json:"mean_millis"`
+	// P50Millis is the median repetition time.
+	P50Millis float64 `json:"p50_millis"`
+	// StddevMillis is the population standard deviation of the
+	// repetition times (0 for a single rep).
+	StddevMillis float64 `json:"stddev_millis"`
 	// Reps is how many timed repetitions were taken.
-	Reps int
+	Reps int `json:"reps"`
 	// OutputNNZ is the result size, kept as a cross-run checksum.
-	OutputNNZ int64
+	OutputNNZ int64 `json:"output_nnz"`
 }
 
 // TimeMasked measures C = A ⊙ (A×A) — the paper's benchmark kernel
@@ -83,8 +95,15 @@ func measure(run func() (int64, error), m Methodology) (Measurement, error) {
 		out.OutputNNZ = nnz
 	}
 	deadline := time.Now().Add(m.Budget)
-	best := time.Duration(0)
+	samples := make([]float64, 0, m.MaxReps)
 	for rep := 0; rep < m.MaxReps; rep++ {
+		// The budget gates *starting* a repetition, not just finishing
+		// one: once a rep has consumed the budget, the next would overrun
+		// it by a whole kernel run. The first rep always runs so every
+		// measurement has at least one sample.
+		if rep > 0 && !time.Now().Before(deadline) {
+			break
+		}
 		if err := methodErr(m); err != nil {
 			return out, err
 		}
@@ -96,15 +115,37 @@ func measure(run func() (int64, error), m Methodology) (Measurement, error) {
 		}
 		out.OutputNNZ = nnz
 		out.Reps++
-		if best == 0 || elapsed < best {
-			best = elapsed
-		}
-		if time.Now().After(deadline) {
-			break
-		}
+		samples = append(samples, float64(elapsed)/float64(time.Millisecond))
 	}
-	out.Millis = float64(best) / float64(time.Millisecond)
+	out.fillFrom(samples)
 	return out, nil
+}
+
+// fillFrom computes the summary statistics from the per-rep times.
+func (out *Measurement) fillFrom(samples []float64) {
+	if len(samples) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	out.Millis = sorted[0]
+	n := len(sorted)
+	if n%2 == 1 {
+		out.P50Millis = sorted[n/2]
+	} else {
+		out.P50Millis = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var sum float64
+	for _, s := range sorted {
+		sum += s
+	}
+	out.MeanMillis = sum / float64(n)
+	var sq float64
+	for _, s := range sorted {
+		d := s - out.MeanMillis
+		sq += d * d
+	}
+	out.StddevMillis = math.Sqrt(sq / float64(n))
 }
 
 // methodErr reports the methodology's context error, wrapped in the

@@ -24,6 +24,7 @@ import (
 	"math/bits"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/tiling"
 )
@@ -105,6 +106,15 @@ type Config struct {
 	// (wrapping the context's error) instead of completing. A nil
 	// Context runs to completion with no cancellation machinery.
 	Context context.Context
+	// Recorder, when non-nil, collects observability data for every run
+	// under this configuration: phase spans (plan row-work/prefix-sum/
+	// tile-build/row-cap, exec kernel/assembly), exact per-worker
+	// counters (tiles, rows, Eq. 2 FLOPs, hybrid co-iterate vs linear
+	// picks, gathered entries), accumulator statistics (marker
+	// overflows, hash probe traffic), plus pprof phase labels and
+	// runtime/trace tile regions. A nil Recorder disables all of it; the
+	// disabled path is a nil-check and allocates nothing.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig is the paper's recommended configuration (§V): 2048

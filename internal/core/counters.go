@@ -65,6 +65,24 @@ func (c *countingAccumulator[T]) Gather(
 	return cols, vals
 }
 
+// EnableStats and AccumStats pass the accum.Instrumented surface
+// through to the decorated accumulator, so observability recording and
+// operation counting compose in the instrumented entry point.
+func (c *countingAccumulator[T]) EnableStats() {
+	if in, ok := c.inner.(accum.Instrumented); ok {
+		in.EnableStats()
+	}
+}
+
+func (c *countingAccumulator[T]) AccumStats() accum.Stats {
+	if in, ok := c.inner.(accum.Instrumented); ok {
+		return in.AccumStats()
+	}
+	return accum.Stats{}
+}
+
+var _ accum.Instrumented = (*countingAccumulator[float64])(nil)
+
 // flushInto adds the local counts into the shared atomic totals.
 func (c *countingAccumulator[T]) flushInto(t *atomicCounters) {
 	t.rows.Add(c.local.Rows)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -67,7 +68,7 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
-	tiles, err := tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	tiles, err := makeTiles(ctx, cfg, pw, a, b, m)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -77,19 +78,9 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 	// max_i nnz(M[i,:]) entries per row; the vanilla space populates the
 	// full unmasked product row, bounded by the per-row flop count and
 	// the column dimension.
-	rowCap, err := maxRowNNZ(ctx, m, pw)
+	rowCap, err := rowCapacity(ctx, cfg, pw, a, b, m)
 	if err != nil {
 		return nil, wrapRunErr(err)
-	}
-	if cfg.Iteration == Vanilla {
-		_, maxFlops, err := tiling.FlopCountParallelE(ctx, a, b, pw)
-		if err != nil {
-			return nil, wrapRunErr(err)
-		}
-		rowCap = maxFlops
-		if rowCap > int64(b.Cols) {
-			rowCap = int64(b.Cols)
-		}
 	}
 
 	outs := make([]tileOutput[T], len(tiles))
@@ -100,17 +91,19 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 			accs[w] = wrap(accs[w])
 		}
 	}
+	prior := snapshotAccumStats(accs, cfg.Recorder)
 
-	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
-		runTile(sr, accs[worker], m, a, b, cfg, tiles[t], &outs[t])
+	if err := runKernelSpanned(ctx, cfg, workers, len(tiles), func(worker, t int, wc *obs.WorkerCounters) {
+		runTile(sr, accs[worker], m, a, b, cfg, tiles[t], &outs[t], wc)
 	}); err != nil {
 		return nil, wrapRunErr(err)
 	}
 
-	c, err := assembleE(ctx, a.Rows, b.Cols, tiles, outs, pw)
+	c, err := assembleSpanned(ctx, cfg, a.Rows, b.Cols, tiles, outs, pw)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
+	recordAccumDeltas(accs, prior, cfg.Recorder)
 	return c, nil
 }
 
@@ -171,15 +164,17 @@ func maxRowNNZ[T sparse.Number](ctx context.Context, m *sparse.CSR[T], p int) (i
 
 // runTile computes the output rows of one tile into out using the
 // worker-local accumulator, pre-sizing the buffers by the tile's mask
-// volume (output ⊆ mask).
+// volume (output ⊆ mask). wc, when non-nil, receives the worker's exact
+// operation counts.
 func runTile[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T],
 	m, a, b *sparse.CSR[T], cfg Config, tile tiling.Tile, out *tileOutput[T],
+	wc *obs.WorkerCounters,
 ) {
 	maskVol := m.RowPtr[tile.Hi] - m.RowPtr[tile.Lo]
 	out.cols = make([]sparse.Index, 0, maskVol)
 	out.vals = make([]T, 0, maskVol)
-	runTilePlanned(sr, acc, m, a, b, cfg, tile, out)
+	runTilePlanned(sr, acc, m, a, b, cfg, tile, out, wc)
 }
 
 // rowVanilla is the Fig. 3 algorithm: accumulate the full product row,
@@ -187,12 +182,16 @@ func runTile[T sparse.Number, S semiring.Semiring[T]](
 // point — this is the cost the better iteration spaces avoid.
 func rowVanilla[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int,
+	wc *obs.WorkerCounters,
 ) {
 	acc.BeginRow()
 	aCols, aVals := a.Row(i)
 	for kk, k := range aCols {
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
+		if wc != nil {
+			wc.Flops += int64(len(bCols))
+		}
 		for jj, j := range bCols {
 			acc.Update(j, sr.Times(aik, bVals[jj]))
 		}
@@ -204,6 +203,7 @@ func rowVanilla[T sparse.Number, S semiring.Semiring[T]](
 // miss the mask.
 func rowMaskLoad[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int, maskCols []sparse.Index,
+	wc *obs.WorkerCounters,
 ) {
 	acc.BeginRow()
 	acc.LoadMask(maskCols)
@@ -211,6 +211,9 @@ func rowMaskLoad[T sparse.Number, S semiring.Semiring[T]](
 	for kk, k := range aCols {
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
+		if wc != nil {
+			wc.Flops += int64(len(bCols))
+		}
 		for jj, j := range bCols {
 			acc.UpdateMasked(j, sr.Times(aik, bVals[jj]))
 		}
@@ -222,12 +225,19 @@ func rowMaskLoad[T sparse.Number, S semiring.Semiring[T]](
 // output positions.
 func rowCoIter[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int, maskCols []sparse.Index,
+	wc *obs.WorkerCounters,
 ) {
 	acc.BeginRow()
 	aCols, aVals := a.Row(i)
 	for kk, k := range aCols {
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
+		// Flops stays the Eq. 2 volume Σ nnz(B[k,:]) even though CoIter
+		// touches fewer entries, so the counter is comparable across
+		// iteration spaces and matches the planner's estimate exactly.
+		if wc != nil {
+			wc.Flops += int64(len(bCols))
+		}
 		coIterate(sr, acc, aik, maskCols, bCols, bVals)
 	}
 }
@@ -262,7 +272,7 @@ func coIterate[T sparse.Number, S semiring.Semiring[T]](
 // strategies the Eq. 3 cost model predicts is cheaper.
 func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int,
-	maskCols []sparse.Index, kappa float64,
+	maskCols []sparse.Index, kappa float64, wc *obs.WorkerCounters,
 ) {
 	acc.BeginRow()
 	acc.LoadMask(maskCols)
@@ -271,9 +281,18 @@ func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
 	for kk, k := range aCols {
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
+		if wc != nil {
+			wc.Flops += int64(len(bCols))
+		}
 		if coIterCheaper(nnzM, len(bCols), kappa) {
+			if wc != nil {
+				wc.CoIterPicks++
+			}
 			coIterate(sr, acc, aik, maskCols, bCols, bVals)
 		} else {
+			if wc != nil {
+				wc.LinearPicks++
+			}
 			for jj, j := range bCols {
 				acc.UpdateMasked(j, sr.Times(aik, bVals[jj]))
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -59,24 +60,14 @@ func NewMultiplier[T sparse.Number, S semiring.Semiring[T]](
 	mu.planWorkers = cfg.planWorkers()
 	if a.Rows > 0 {
 		var err error
-		mu.tiles, err = tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, mu.planWorkers, a, b, m)
+		mu.tiles, err = makeTiles(ctx, cfg, mu.planWorkers, a, b, m)
 		if err != nil {
 			return nil, wrapRunErr(err)
 		}
 	}
-	rowCap, err := maxRowNNZ(ctx, m, mu.planWorkers)
+	rowCap, err := rowCapacity(ctx, cfg, mu.planWorkers, a, b, m)
 	if err != nil {
 		return nil, wrapRunErr(err)
-	}
-	if cfg.Iteration == Vanilla {
-		_, maxFlops, err := tiling.FlopCountParallelE(ctx, a, b, mu.planWorkers)
-		if err != nil {
-			return nil, wrapRunErr(err)
-		}
-		rowCap = maxFlops
-		if rowCap > int64(b.Cols) {
-			rowCap = int64(b.Cols)
-		}
 	}
 	mu.accs = make([]accum.Accumulator[T], mu.workers)
 	for w := range mu.accs {
@@ -108,26 +99,33 @@ func (mu *Multiplier[T, S]) MultiplyCtx(ctx context.Context) (*sparse.CSR[T], er
 	if mu.a.Rows == 0 {
 		return sparse.NewCSR[T](mu.a.Rows, mu.b.Cols, 0), nil
 	}
-	if err := sched.RunChunkedE(ctx, mu.cfg.Schedule, mu.workers, len(mu.tiles), mu.cfg.GuidedMinChunk, func(worker, t int) {
+	// The accumulators persist across runs, so deltas against a per-run
+	// snapshot keep each run's counts exact.
+	prior := snapshotAccumStats(mu.accs, mu.cfg.Recorder)
+	if err := runKernelSpanned(ctx, mu.cfg, mu.workers, len(mu.tiles), func(worker, t int, wc *obs.WorkerCounters) {
 		out := &mu.outs[t]
 		// Reuse the buffers from the previous run.
 		out.cols = out.cols[:0]
 		out.vals = out.vals[:0]
-		runTilePlanned(mu.sr, mu.accs[worker], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[t], out)
+		runTilePlanned(mu.sr, mu.accs[worker], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[t], out, wc)
 	}); err != nil {
 		return nil, wrapRunErr(err)
 	}
-	c, err := assembleE(ctx, mu.a.Rows, mu.b.Cols, mu.tiles, mu.outs, mu.planWorkers)
+	c, err := assembleSpanned(ctx, mu.cfg, mu.a.Rows, mu.b.Cols, mu.tiles, mu.outs, mu.planWorkers)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
+	recordAccumDeltas(mu.accs, prior, mu.cfg.Recorder)
 	return c, nil
 }
 
-// runTilePlanned is runTile with caller-owned (reused) buffers.
+// runTilePlanned is runTile with caller-owned (reused) buffers. wc,
+// when non-nil, accumulates the tile's rows, FLOPs, hybrid picks and
+// gathered entries into the worker's counter block.
 func runTilePlanned[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T],
 	m, a, b *sparse.CSR[T], cfg Config, tile tiling.Tile, out *tileOutput[T],
+	wc *obs.WorkerCounters,
 ) {
 	if cap(out.rowNNZ) < tile.Rows() {
 		out.rowNNZ = make([]int32, tile.Rows())
@@ -139,16 +137,22 @@ func runTilePlanned[T sparse.Number, S semiring.Semiring[T]](
 		if len(maskCols) > 0 || cfg.Iteration == Vanilla {
 			switch cfg.Iteration {
 			case Vanilla:
-				rowVanilla(sr, acc, a, b, i)
+				rowVanilla(sr, acc, a, b, i, wc)
 			case MaskLoad:
-				rowMaskLoad(sr, acc, a, b, i, maskCols)
+				rowMaskLoad(sr, acc, a, b, i, maskCols, wc)
 			case CoIter:
-				rowCoIter(sr, acc, a, b, i, maskCols)
+				rowCoIter(sr, acc, a, b, i, maskCols, wc)
 			case Hybrid:
-				rowHybrid(sr, acc, a, b, i, maskCols, cfg.Kappa)
+				rowHybrid(sr, acc, a, b, i, maskCols, cfg.Kappa, wc)
 			}
 			out.cols, out.vals = acc.Gather(maskCols, out.cols, out.vals)
 		}
 		out.rowNNZ[i-tile.Lo] = int32(len(out.cols) - before)
+	}
+	if wc != nil {
+		wc.Rows += int64(tile.Rows())
+		// out.cols starts empty in both entry paths, so its final length
+		// is exactly this tile's emitted entry count.
+		wc.Gathered += int64(len(out.cols))
 	}
 }

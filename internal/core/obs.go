@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/obs"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// schedRun dispatches tiles to workers under the configured policy.
+func schedRun(ctx context.Context, cfg Config, workers, tiles int, fn func(worker, t int)) error {
+	return sched.RunChunkedE(ctx, cfg.Schedule, workers, tiles, cfg.GuidedMinChunk, fn)
+}
+
+// This file is the glue between the kernel pipeline and the obs
+// recorder: phase-spanned plan construction, per-run accumulator
+// counter deltas, and the spanned/labelled wrappers around the numeric
+// kernel and the assembly. Everything here nil-checks the recorder, so
+// the uninstrumented pipeline takes the exact pre-observability paths.
+
+// makeTiles builds the tile partition. Without a recorder it defers to
+// tiling.MakeParallelE unchanged; with one, the FLOP-balanced pipeline
+// is unrolled so each plan phase — Eq. 2 row-work estimation, prefix
+// sum, boundary placement — runs under its own span and pprof label.
+func makeTiles[T sparse.Number](
+	ctx context.Context, cfg Config, pw int, a, b, m *sparse.CSR[T],
+) ([]tiling.Tile, error) {
+	rec := cfg.Recorder
+	if rec == nil {
+		return tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	}
+	switch cfg.Tiling {
+	case tiling.Uniform:
+		defer rec.Span(obs.PhasePlanTileBuild)()
+		return tiling.UniformTiles(a.Rows, cfg.Tiles), nil
+	case tiling.FlopBalanced:
+		var work, prefix []int64
+		var err error
+		end := rec.Span(obs.PhasePlanRowWork)
+		rec.Do(ctx, obs.PhasePlanRowWork, func() {
+			work, err = tiling.RowWorkParallelE(ctx, a, b, m, pw)
+		})
+		end()
+		if err != nil {
+			return nil, err
+		}
+		end = rec.Span(obs.PhasePlanPrefixSum)
+		rec.Do(ctx, obs.PhasePlanPrefixSum, func() {
+			prefix, err = tiling.PrefixSumE(ctx, work, pw)
+		})
+		end()
+		if err != nil {
+			return nil, err
+		}
+		defer rec.Span(obs.PhasePlanTileBuild)()
+		return tiling.BalancedFromPrefix(prefix, cfg.Tiles), nil
+	default:
+		return tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	}
+}
+
+// rowCapacity computes the accumulator row-entry bound (§III-C sizing)
+// under the plan.row_cap span: max nnz of a mask row, or the flop upper
+// bound for the vanilla space.
+func rowCapacity[T sparse.Number](
+	ctx context.Context, cfg Config, pw int, a, b, m *sparse.CSR[T],
+) (int64, error) {
+	defer cfg.Recorder.Span(obs.PhasePlanRowCap)()
+	rowCap, err := maxRowNNZ(ctx, m, pw)
+	if err != nil {
+		return 0, err
+	}
+	if cfg.Iteration == Vanilla {
+		_, maxFlops, err := tiling.FlopCountParallelE(ctx, a, b, pw)
+		if err != nil {
+			return 0, err
+		}
+		rowCap = maxFlops
+		if rowCap > int64(b.Cols) {
+			rowCap = int64(b.Cols)
+		}
+	}
+	return rowCap, nil
+}
+
+// snapshotAccumStats enables the gated accumulator counters and returns
+// their current values, so the post-run delta isolates this run even
+// when the accumulators are reused (Multiplier). Nil recorder → nil.
+func snapshotAccumStats[T sparse.Number](accs []accum.Accumulator[T], rec *obs.Recorder) []accum.Stats {
+	if rec == nil {
+		return nil
+	}
+	prior := make([]accum.Stats, len(accs))
+	for w, ac := range accs {
+		if in, ok := ac.(accum.Instrumented); ok {
+			in.EnableStats()
+			prior[w] = in.AccumStats()
+		}
+	}
+	return prior
+}
+
+// recordAccumDeltas folds each accumulator's counter delta since prior
+// into the recorder and marks the run complete.
+func recordAccumDeltas[T sparse.Number](accs []accum.Accumulator[T], prior []accum.Stats, rec *obs.Recorder) {
+	if rec == nil || prior == nil {
+		return
+	}
+	var delta accum.Stats
+	for w, ac := range accs {
+		if in, ok := ac.(accum.Instrumented); ok {
+			delta.Add(in.AccumStats().Sub(prior[w]))
+		}
+	}
+	rec.AddAccum(obs.AccumCounters{
+		MarkerClears:   delta.Clears,
+		TableGrows:     delta.Grows,
+		HashProbes:     delta.Probes,
+		HashCollisions: delta.Collisions,
+	})
+	rec.AddRun()
+}
+
+// runKernelSpanned executes the tile scheduler under the exec.kernel
+// span and pprof label. run receives the worker's counter block (nil
+// when disabled) and is also bracketed by a runtime/trace region per
+// tile batch while tracing is active.
+func runKernelSpanned(
+	ctx context.Context, cfg Config, workers, tiles int,
+	run func(worker, t int, wc *obs.WorkerCounters),
+) error {
+	rec := cfg.Recorder
+	if rec == nil {
+		return schedRun(ctx, cfg, workers, tiles, func(worker, t int) {
+			run(worker, t, nil)
+		})
+	}
+	slots := rec.WorkerSlots(workers)
+	defer rec.Span(obs.PhaseExecKernel)()
+	var err error
+	rec.Do(ctx, obs.PhaseExecKernel, func() {
+		err = schedRun(ctx, cfg, workers, tiles, func(worker, t int) {
+			endRegion := rec.TileRegion(ctx)
+			wc := &slots[worker]
+			wc.Tiles++
+			run(worker, t, wc)
+			endRegion()
+		})
+	})
+	return err
+}
+
+// assembleSpanned is assembleE under the exec.assemble span and label.
+func assembleSpanned[T sparse.Number](
+	ctx context.Context, cfg Config, rows, cols int,
+	tiles []tiling.Tile, outs []tileOutput[T], p int,
+) (*sparse.CSR[T], error) {
+	rec := cfg.Recorder
+	if rec == nil {
+		return assembleE(ctx, rows, cols, tiles, outs, p)
+	}
+	defer rec.Span(obs.PhaseExecAssemble)()
+	var c *sparse.CSR[T]
+	var err error
+	rec.Do(ctx, obs.PhaseExecAssemble, func() {
+		c, err = assembleE(ctx, rows, cols, tiles, outs, p)
+	})
+	return c, err
+}

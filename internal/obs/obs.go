@@ -1,0 +1,248 @@
+// Package obs is the kernel-wide observability subsystem: phase spans,
+// per-worker counters and accumulator statistics collected during a
+// masked-SpGEMM run, exposed as a machine-readable Stats snapshot.
+//
+// The paper's whole argument is about *where* masked-SpGEMM time goes —
+// tiling balance (Eq. 2), iteration-space choice (Eq. 3), accumulator
+// resets — so the kernel records exactly those quantities: wall time per
+// plan/exec phase, tiles/rows/FLOPs per worker (load imbalance from the
+// tiling policy becomes a min/max/mean over workers), co-iterate vs
+// linear-scan picks from the Eq. 3 cost model, and marker overflows and
+// hash probe traffic from the accumulators.
+//
+// A nil *Recorder is the disabled state: every method nil-checks and
+// returns immediately, allocating nothing, so the kernel can thread a
+// recorder unconditionally and pay (close to) nothing when observability
+// is off. Counters are exact, not sampled — a counter-parity test in
+// internal/core asserts they equal values computed independently from
+// the inputs.
+//
+// A Recorder accumulates across runs until Reset; Stats snapshots can be
+// subtracted (Stats.Sub) to isolate a single run.
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync"
+	"time"
+)
+
+// Phase identifies one span of the kernel pipeline.
+type Phase int
+
+const (
+	// PhasePlanRowWork is the Eq. 2 per-row work estimation.
+	PhasePlanRowWork Phase = iota
+	// PhasePlanPrefixSum is the prefix sum behind FLOP-balanced tiling.
+	PhasePlanPrefixSum
+	// PhasePlanTileBuild is the tile-boundary placement.
+	PhasePlanTileBuild
+	// PhasePlanRowCap is the accumulator row-capacity scan (max nnz of a
+	// mask row; plus the flop bound under vanilla iteration).
+	PhasePlanRowCap
+	// PhaseExecKernel is the numeric kernel: the tile loop itself.
+	PhaseExecKernel
+	// PhaseExecAssemble is the CSR stitching of per-tile outputs.
+	PhaseExecAssemble
+	numPhases
+)
+
+// phaseNames are the stable identifiers used in the JSON schema and in
+// pprof labels; changing one is a schema break.
+var phaseNames = [numPhases]string{
+	"plan.row_work",
+	"plan.prefix_sum",
+	"plan.tile_build",
+	"plan.row_cap",
+	"exec.kernel",
+	"exec.assemble",
+}
+
+func (p Phase) String() string {
+	if p < 0 || p >= numPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// WorkerCounters is one worker's counter block. Each worker owns one
+// block for the duration of a run and increments it without any
+// synchronization; blocks are padded to two cache lines so neighboring
+// workers never false-share (the adjacent-line prefetcher pulls pairs).
+type WorkerCounters struct {
+	// Tiles is the number of tiles this worker claimed and executed.
+	Tiles int64
+	// Rows is the number of output rows this worker iterated.
+	Rows int64
+	// Flops is the Eq. 2 flop volume Σ nnz(B[k,:]) over the A entries of
+	// the rows this worker processed — the same estimate the FLOP-balanced
+	// tiler splits on, so per-worker Flops measures how well the tiling
+	// policy actually balanced the work.
+	Flops int64
+	// CoIterPicks and LinearPicks count the hybrid iteration space's
+	// per-(i,k) Eq. 3 decisions: co-iterate (binary search) vs linear scan.
+	CoIterPicks int64
+	// LinearPicks counts the linear-scan side of the hybrid decision.
+	LinearPicks int64
+	// Gathered is the number of output entries this worker emitted.
+	Gathered int64
+	_        [128 - 6*8]byte // pad to 2 cache lines
+}
+
+func (c *WorkerCounters) add(o *WorkerCounters) {
+	c.Tiles += o.Tiles
+	c.Rows += o.Rows
+	c.Flops += o.Flops
+	c.CoIterPicks += o.CoIterPicks
+	c.LinearPicks += o.LinearPicks
+	c.Gathered += o.Gathered
+}
+
+// AccumCounters are the accumulator-side statistics, aggregated over
+// all worker accumulators (see internal/accum.Stats).
+type AccumCounters struct {
+	// MarkerClears counts full state resets forced by marker overflow —
+	// the Fig. 13 bit-width trade-off made visible.
+	MarkerClears int64 `json:"marker_clears"`
+	// TableGrows counts hash-table doublings (a row exceeded the mask
+	// bound the table was sized by).
+	TableGrows int64 `json:"table_grows"`
+	// HashProbes counts hash-table probe sequences (one per lookup).
+	HashProbes int64 `json:"hash_probes"`
+	// HashCollisions counts extra probe steps past the home slot.
+	HashCollisions int64 `json:"hash_collisions"`
+}
+
+// Recorder collects phase spans, per-worker counters and accumulator
+// statistics for one kernel (or a sequence of runs of the same kernel).
+// A nil *Recorder disables all collection: every method is nil-safe and
+// the nil paths allocate nothing. A Recorder must not be shared by
+// concurrent kernel runs — like core.Multiplier, it assumes one run at
+// a time (workers within a run write disjoint counter blocks, which is
+// safe).
+type Recorder struct {
+	mu      sync.Mutex
+	spans   [numPhases]time.Duration
+	counts  [numPhases]int64
+	workers []WorkerCounters
+	accum   AccumCounters
+	runs    int64
+}
+
+// NewRecorder returns an empty enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether the recorder collects anything (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Reset discards everything recorded so far.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = [numPhases]time.Duration{}
+	r.counts = [numPhases]int64{}
+	for i := range r.workers {
+		r.workers[i] = WorkerCounters{}
+	}
+	r.accum = AccumCounters{}
+	r.runs = 0
+}
+
+// nop is the shared no-op span closer: the nil fast path returns it
+// instead of allocating a closure.
+var nop = func() {}
+
+// Span starts a phase span and returns its closer. The closer adds the
+// elapsed wall time to the phase's total. Nil recorders return a shared
+// no-op without allocating; spans are per run, not per tile, so the
+// enabled path's closure allocation is negligible.
+func (r *Recorder) Span(p Phase) func() {
+	if r == nil {
+		return nop
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		r.mu.Lock()
+		r.spans[p] += d
+		r.counts[p]++
+		r.mu.Unlock()
+	}
+}
+
+// Do runs f under a pprof label marking the phase, so CPU samples taken
+// during f — including on goroutines f spawns, which inherit labels —
+// are attributed to the phase in pprof output. Nil recorders call f
+// directly.
+func (r *Recorder) Do(ctx context.Context, p Phase, f func()) {
+	if r == nil {
+		f()
+		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels("spgemm_phase", p.String()), func(context.Context) { f() })
+}
+
+// TileRegion opens a runtime/trace region covering one tile batch and
+// returns its closer. Regions appear in `go tool trace` under the task
+// timeline, attributing execution-trace slices to individual batches.
+// The region is only created while tracing is active; otherwise (and on
+// nil recorders) the shared no-op is returned.
+func (r *Recorder) TileRegion(ctx context.Context) func() {
+	if r == nil || !trace.IsEnabled() {
+		return nop
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return trace.StartRegion(ctx, "spgemm.tile_batch").End
+}
+
+// WorkerSlots returns n per-worker counter blocks, growing the backing
+// array if needed. Worker w increments slot[w] freely during the run;
+// the scheduler's completion barrier publishes the writes before Stats
+// reads them. Returns nil on a nil recorder.
+func (r *Recorder) WorkerSlots(n int) []WorkerCounters {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.workers) < n {
+		grown := make([]WorkerCounters, n)
+		copy(grown, r.workers)
+		r.workers = grown
+	}
+	return r.workers[:n]
+}
+
+// AddAccum folds accumulator statistics (typically a per-run delta)
+// into the totals.
+func (r *Recorder) AddAccum(a AccumCounters) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.accum.MarkerClears += a.MarkerClears
+	r.accum.TableGrows += a.TableGrows
+	r.accum.HashProbes += a.HashProbes
+	r.accum.HashCollisions += a.HashCollisions
+	r.mu.Unlock()
+}
+
+// AddRun marks the completion of one kernel run.
+func (r *Recorder) AddRun() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.runs++
+	r.mu.Unlock()
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderNoAllocs is the disabled-path guard: every method on a
+// nil Recorder must complete without allocating, so threading a recorder
+// through the kernel costs nothing when observability is off.
+func TestNilRecorderNoAllocs(t *testing.T) {
+	var r *Recorder
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		if r.Enabled() {
+			t.Fatal("nil recorder reports enabled")
+		}
+		end := r.Span(PhaseExecKernel)
+		end()
+		r.Do(ctx, PhaseExecKernel, func() {})
+		r.TileRegion(ctx)()
+		_ = r.WorkerSlots(8)
+		r.AddAccum(AccumCounters{MarkerClears: 1})
+		r.AddRun()
+		r.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f times per call set, want 0", allocs)
+	}
+}
+
+func TestNilRecorderStats(t *testing.T) {
+	var r *Recorder
+	s := r.Stats()
+	if s.Schema != StatsSchema {
+		t.Fatalf("schema = %q, want %q", s.Schema, StatsSchema)
+	}
+	if s.Runs != 0 || len(s.Phases) != 0 || len(s.Workers) != 0 {
+		t.Fatalf("nil recorder stats not empty: %+v", s)
+	}
+	if s.TileDist.Imbalance != 1 || s.FlopDist.Imbalance != 1 {
+		t.Fatalf("empty dist imbalance should be 1, got %+v", s)
+	}
+}
+
+func TestSpanAccounting(t *testing.T) {
+	r := NewRecorder()
+	end := r.Span(PhaseExecKernel)
+	time.Sleep(2 * time.Millisecond)
+	end()
+	end = r.Span(PhaseExecKernel)
+	end()
+	r.Span(PhasePlanRowWork)()
+	s := r.Stats()
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases = %+v, want 2 entries", s.Phases)
+	}
+	// Pipeline order: plan before exec.
+	if s.Phases[0].Phase != "plan.row_work" || s.Phases[1].Phase != "exec.kernel" {
+		t.Fatalf("phase order = %+v", s.Phases)
+	}
+	if s.Phases[1].Count != 2 {
+		t.Fatalf("exec.kernel count = %d, want 2", s.Phases[1].Count)
+	}
+	if s.Phases[1].Millis < 1 {
+		t.Fatalf("exec.kernel millis = %v, want >= 1", s.Phases[1].Millis)
+	}
+}
+
+func TestWorkerSlotsAndDists(t *testing.T) {
+	r := NewRecorder()
+	slots := r.WorkerSlots(3)
+	slots[0].Tiles, slots[0].Flops = 4, 400
+	slots[1].Tiles, slots[1].Flops = 2, 100
+	slots[2].Tiles, slots[2].Flops = 2, 100
+	// Growing keeps earlier counts.
+	slots = r.WorkerSlots(4)
+	slots[3].Tiles, slots[3].Flops = 0, 0
+	s := r.Stats()
+	if s.Totals.Tiles != 8 || s.Totals.Flops != 600 {
+		t.Fatalf("totals = %+v", s.Totals)
+	}
+	if s.TileDist.Min != 0 || s.TileDist.Max != 4 || s.TileDist.Mean != 2 {
+		t.Fatalf("tile dist = %+v", s.TileDist)
+	}
+	if s.TileDist.Imbalance != 2 {
+		t.Fatalf("tile imbalance = %v, want 2", s.TileDist.Imbalance)
+	}
+	if s.FlopDist.Max != 400 || s.FlopDist.Mean != 150 {
+		t.Fatalf("flop dist = %+v", s.FlopDist)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	r := NewRecorder()
+	slots := r.WorkerSlots(2)
+	slots[0].Rows = 10
+	slots[1].Rows = 20
+	r.Span(PhaseExecKernel)()
+	r.AddAccum(AccumCounters{HashProbes: 100})
+	r.AddRun()
+	before := r.Stats()
+
+	slots[0].Rows += 5
+	slots[1].Rows += 7
+	r.Span(PhaseExecKernel)()
+	r.AddAccum(AccumCounters{HashProbes: 50, MarkerClears: 1})
+	r.AddRun()
+
+	delta := r.Stats().Sub(before)
+	if delta.Runs != 1 {
+		t.Fatalf("delta runs = %d", delta.Runs)
+	}
+	if delta.Totals.Rows != 12 {
+		t.Fatalf("delta rows = %d, want 12", delta.Totals.Rows)
+	}
+	if delta.Accum.HashProbes != 50 || delta.Accum.MarkerClears != 1 {
+		t.Fatalf("delta accum = %+v", delta.Accum)
+	}
+	if len(delta.Phases) != 1 || delta.Phases[0].Count != 1 {
+		t.Fatalf("delta phases = %+v", delta.Phases)
+	}
+}
+
+func TestResetAndReuse(t *testing.T) {
+	r := NewRecorder()
+	r.WorkerSlots(2)[1].Tiles = 7
+	r.AddRun()
+	r.Reset()
+	s := r.Stats()
+	if s.Runs != 0 || s.Totals.Tiles != 0 {
+		t.Fatalf("reset did not clear: %+v", s)
+	}
+	// Slots survive reset (zeroed), so a reused recorder keeps its arena.
+	if len(s.Workers) != 2 {
+		t.Fatalf("worker slots after reset = %d, want 2", len(s.Workers))
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	slots := r.WorkerSlots(2)
+	slots[0] = WorkerCounters{Tiles: 3, Rows: 30, Flops: 900, CoIterPicks: 5, LinearPicks: 7, Gathered: 12}
+	slots[1] = WorkerCounters{Tiles: 1, Rows: 10, Flops: 300}
+	r.Span(PhaseExecKernel)()
+	r.Span(PhaseExecAssemble)()
+	r.AddAccum(AccumCounters{MarkerClears: 2, HashProbes: 40, HashCollisions: 3})
+	r.AddRun()
+
+	data, err := MarshalJSONBytes(r.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateStatsJSON(data); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, data)
+	}
+	for _, want := range []string{`"schema"`, `"co_iter_picks"`, `"imbalance"`, `"marker_clears"`, `"exec.kernel"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Fatalf("JSON missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestValidateStatsJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"schema":"` + StatsSchema + `","bogus":1}`,
+		"wrong schema":  `{"schema":"other/v9"}`,
+		"not json":      `]]]`,
+	}
+	for name, doc := range cases {
+		if err := ValidateStatsJSON([]byte(doc)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < numPhases; p++ {
+		name := p.String()
+		if name == "unknown" || seen[name] {
+			t.Fatalf("phase %d has bad/duplicate name %q", p, name)
+		}
+		if !strings.Contains(name, ".") {
+			t.Fatalf("phase name %q not namespaced", name)
+		}
+		seen[name] = true
+	}
+	if Phase(-1).String() != "unknown" || Phase(99).String() != "unknown" {
+		t.Fatal("out-of-range phases should stringify to unknown")
+	}
+}

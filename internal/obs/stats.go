@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StatsSchema identifies the JSON layout of a Stats document. Bump the
+// version only on breaking changes; additive fields keep v1.
+const StatsSchema = "maskedspgemm/stats/v1"
+
+// PhaseStats is one pipeline phase's accumulated wall time.
+type PhaseStats struct {
+	// Phase is the stable phase identifier (e.g. "exec.kernel").
+	Phase string `json:"phase"`
+	// Millis is the total wall time spent in the phase.
+	Millis float64 `json:"millis"`
+	// Count is the number of spans folded into Millis.
+	Count int64 `json:"count"`
+}
+
+// CounterSet is one set of kernel counters — either a single worker's
+// or the totals across workers. Field meanings match WorkerCounters.
+type CounterSet struct {
+	Tiles       int64 `json:"tiles"`
+	Rows        int64 `json:"rows"`
+	Flops       int64 `json:"flops"`
+	CoIterPicks int64 `json:"co_iter_picks"`
+	LinearPicks int64 `json:"linear_picks"`
+	Gathered    int64 `json:"gathered"`
+}
+
+func (c *CounterSet) add(o CounterSet) {
+	c.Tiles += o.Tiles
+	c.Rows += o.Rows
+	c.Flops += o.Flops
+	c.CoIterPicks += o.CoIterPicks
+	c.LinearPicks += o.LinearPicks
+	c.Gathered += o.Gathered
+}
+
+func (c *CounterSet) sub(o CounterSet) {
+	c.Tiles -= o.Tiles
+	c.Rows -= o.Rows
+	c.Flops -= o.Flops
+	c.CoIterPicks -= o.CoIterPicks
+	c.LinearPicks -= o.LinearPicks
+	c.Gathered -= o.Gathered
+}
+
+// WorkerStats is one worker's counters in a Stats snapshot.
+type WorkerStats struct {
+	Worker int `json:"worker"`
+	CounterSet
+}
+
+// Dist summarizes a per-worker quantity: min/max/mean over workers and
+// the imbalance ratio max/mean (1.0 = perfect balance — the same metric
+// tiling.Imbalance reports for tiles).
+type Dist struct {
+	Min       int64   `json:"min"`
+	Max       int64   `json:"max"`
+	Mean      float64 `json:"mean"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+func distOf(values []int64) Dist {
+	if len(values) == 0 {
+		return Dist{Imbalance: 1}
+	}
+	d := Dist{Min: values[0], Max: values[0]}
+	var total int64
+	for _, v := range values {
+		if v < d.Min {
+			d.Min = v
+		}
+		if v > d.Max {
+			d.Max = v
+		}
+		total += v
+	}
+	d.Mean = float64(total) / float64(len(values))
+	if d.Mean > 0 {
+		d.Imbalance = float64(d.Max) / d.Mean
+	} else {
+		d.Imbalance = 1
+	}
+	return d
+}
+
+// Stats is an immutable snapshot of a Recorder — the machine-readable
+// observability report. Phases appear in pipeline order (only phases
+// that recorded at least one span); workers appear in id order.
+type Stats struct {
+	// Schema is always StatsSchema.
+	Schema string `json:"schema"`
+	// Runs is the number of kernel runs folded into the snapshot.
+	Runs int64 `json:"runs"`
+	// Phases is the per-phase wall-time breakdown.
+	Phases []PhaseStats `json:"phases"`
+	// Workers is the per-worker counter breakdown.
+	Workers []WorkerStats `json:"workers"`
+	// Totals is the sum of Workers.
+	Totals CounterSet `json:"totals"`
+	// TileDist and FlopDist summarize per-worker load balance.
+	TileDist Dist `json:"tile_dist"`
+	FlopDist Dist `json:"flop_dist"`
+	// Accum is the accumulator-side statistics.
+	Accum AccumCounters `json:"accum"`
+}
+
+// Stats snapshots the recorder. Nil recorders return a zero snapshot
+// (Schema still set, everything else empty).
+func (r *Recorder) Stats() Stats {
+	s := Stats{Schema: StatsSchema}
+	if r == nil {
+		s.finalize()
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Runs = r.runs
+	for p := Phase(0); p < numPhases; p++ {
+		if r.counts[p] == 0 {
+			continue
+		}
+		s.Phases = append(s.Phases, PhaseStats{
+			Phase:  p.String(),
+			Millis: float64(r.spans[p]) / float64(time.Millisecond),
+			Count:  r.counts[p],
+		})
+	}
+	for w := range r.workers {
+		c := &r.workers[w]
+		s.Workers = append(s.Workers, WorkerStats{
+			Worker: w,
+			CounterSet: CounterSet{
+				Tiles:       c.Tiles,
+				Rows:        c.Rows,
+				Flops:       c.Flops,
+				CoIterPicks: c.CoIterPicks,
+				LinearPicks: c.LinearPicks,
+				Gathered:    c.Gathered,
+			},
+		})
+	}
+	s.Accum = r.accum
+	s.finalize()
+	return s
+}
+
+// finalize recomputes the derived fields (Totals and the distributions)
+// from the Workers list.
+func (s *Stats) finalize() {
+	s.Totals = CounterSet{}
+	tiles := make([]int64, 0, len(s.Workers))
+	flops := make([]int64, 0, len(s.Workers))
+	for _, w := range s.Workers {
+		s.Totals.add(w.CounterSet)
+		tiles = append(tiles, w.Tiles)
+		flops = append(flops, w.Flops)
+	}
+	s.TileDist = distOf(tiles)
+	s.FlopDist = distOf(flops)
+}
+
+// Sub returns the difference s − prev: the activity recorded between
+// the two snapshots of the same recorder (e.g. one Multiply call).
+// Phases are matched by name, workers by id; entries absent from prev
+// carry over unchanged.
+func (s Stats) Sub(prev Stats) Stats {
+	out := Stats{Schema: s.Schema, Runs: s.Runs - prev.Runs}
+	prevPhase := make(map[string]PhaseStats, len(prev.Phases))
+	for _, p := range prev.Phases {
+		prevPhase[p.Phase] = p
+	}
+	for _, p := range s.Phases {
+		if q, ok := prevPhase[p.Phase]; ok {
+			p.Millis -= q.Millis
+			p.Count -= q.Count
+		}
+		if p.Count > 0 {
+			out.Phases = append(out.Phases, p)
+		}
+	}
+	prevWorker := make(map[int]CounterSet, len(prev.Workers))
+	for _, w := range prev.Workers {
+		prevWorker[w.Worker] = w.CounterSet
+	}
+	for _, w := range s.Workers {
+		if q, ok := prevWorker[w.Worker]; ok {
+			w.CounterSet.sub(q)
+		}
+		out.Workers = append(out.Workers, w)
+	}
+	out.Accum = AccumCounters{
+		MarkerClears:   s.Accum.MarkerClears - prev.Accum.MarkerClears,
+		TableGrows:     s.Accum.TableGrows - prev.Accum.TableGrows,
+		HashProbes:     s.Accum.HashProbes - prev.Accum.HashProbes,
+		HashCollisions: s.Accum.HashCollisions - prev.Accum.HashCollisions,
+	}
+	out.finalize()
+	return out
+}
+
+// WriteTable renders the snapshot as an indented human-readable block.
+func (s Stats) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "  runs: %d\n", s.Runs)
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(w, "  %-18s %12s %8s\n", "phase", "millis", "spans")
+		for _, p := range s.Phases {
+			fmt.Fprintf(w, "  %-18s %12.3f %8d\n", p.Phase, p.Millis, p.Count)
+		}
+	}
+	t := s.Totals
+	fmt.Fprintf(w, "  totals: tiles=%d rows=%d flops=%d gathered=%d\n",
+		t.Tiles, t.Rows, t.Flops, t.Gathered)
+	if t.CoIterPicks+t.LinearPicks > 0 {
+		fmt.Fprintf(w, "  hybrid picks: co-iterate=%d linear=%d (%.1f%% co-iterate)\n",
+			t.CoIterPicks, t.LinearPicks,
+			100*float64(t.CoIterPicks)/float64(t.CoIterPicks+t.LinearPicks))
+	}
+	if len(s.Workers) > 1 {
+		fmt.Fprintf(w, "  workers: %d  tiles min/mean/max %d/%.1f/%d (imb %.2f)  flops min/mean/max %d/%.1f/%d (imb %.2f)\n",
+			len(s.Workers),
+			s.TileDist.Min, s.TileDist.Mean, s.TileDist.Max, s.TileDist.Imbalance,
+			s.FlopDist.Min, s.FlopDist.Mean, s.FlopDist.Max, s.FlopDist.Imbalance)
+	}
+	a := s.Accum
+	fmt.Fprintf(w, "  accum: marker-clears=%d table-grows=%d hash-probes=%d hash-collisions=%d\n",
+		a.MarkerClears, a.TableGrows, a.HashProbes, a.HashCollisions)
+}

@@ -119,7 +119,7 @@ func InclusiveScan(x []int64, p int) {
 // spread over p workers. Tile boundaries are bit-identical to the serial
 // partitioner for any p.
 func BalancedTilesParallel(work []int64, n, p int) []Tile {
-	return balancedFromPrefix(PrefixSum(work, p), n)
+	return BalancedFromPrefix(PrefixSum(work, p), n)
 }
 
 // MakeParallel builds tiles for the given operands with the requested
@@ -244,7 +244,7 @@ func BalancedTilesParallelE(ctx context.Context, work []int64, n, p int) ([]Tile
 	if err != nil {
 		return nil, err
 	}
-	return balancedFromPrefix(prefix, n), nil
+	return BalancedFromPrefix(prefix, n), nil
 }
 
 // MakeParallelE is MakeParallel with panic containment, cooperative

@@ -115,15 +115,17 @@ func UniformTiles(rows, n int) []Tile {
 // (the row is the scheduling atom, as in the paper), so a tile can
 // exceed the ideal share when one row dominates.
 func BalancedTiles(work []int64, n int) []Tile {
-	return balancedFromPrefix(PrefixSum(work, 1), n)
+	return BalancedFromPrefix(PrefixSum(work, 1), n)
 }
 
-// balancedFromPrefix places the tile boundaries given the ready prefix
+// BalancedFromPrefix places the tile boundaries given the ready prefix
 // sum of the work estimate (len(prefix) = rows+1). The boundary loop is
 // O(n log rows) and carries the previous boundary forward, so it stays
 // serial; the O(rows) prefix sum is where the construction time goes
-// and is what BalancedTilesParallel parallelizes.
-func balancedFromPrefix(prefix []int64, n int) []Tile {
+// and is what BalancedTilesParallel parallelizes. Exported so callers
+// that time the plan phases separately (internal/core's instrumented
+// path) can run the boundary placement under its own span.
+func BalancedFromPrefix(prefix []int64, n int) []Tile {
 	rows := len(prefix) - 1
 	if n > rows {
 		n = rows

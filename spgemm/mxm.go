@@ -120,7 +120,10 @@ func MxMUnmasked(a, b *Matrix, opts Options) (_ *Matrix, err error) {
 // A Multiply call that fails (ErrCanceled, ErrPanic) leaves the plan
 // intact: the same Multiplier can run again once the cause is resolved.
 type Multiplier struct {
-	run func(ctx context.Context) (*sparse.CSR[float64], error)
+	run     func(ctx context.Context) (*sparse.CSR[float64], error)
+	stats   *StatsRecorder
+	last    KernelStats
+	hasLast bool
 }
 
 // NewMultiplier builds a reusable plan for C = mask ⊙ (a × b). Plan
@@ -140,19 +143,19 @@ func NewMultiplier(mask, a, b *Matrix, opts Options) (_ *Multiplier, err error) 
 		if err != nil {
 			return nil, err
 		}
-		return &Multiplier{run: mu.MultiplyCtx}, nil
+		return &Multiplier{run: mu.MultiplyCtx, stats: opts.Stats}, nil
 	case SROrAnd:
 		mu, err := core.NewMultiplier[float64](semiring.OrAnd[float64]{}, mask.csr, a.csr, b.csr, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return &Multiplier{run: mu.MultiplyCtx}, nil
+		return &Multiplier{run: mu.MultiplyCtx, stats: opts.Stats}, nil
 	default:
 		mu, err := core.NewMultiplier[float64](semiring.PlusTimes[float64]{}, mask.csr, a.csr, b.csr, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return &Multiplier{run: mu.MultiplyCtx}, nil
+		return &Multiplier{run: mu.MultiplyCtx, stats: opts.Stats}, nil
 	}
 }
 
@@ -175,11 +178,27 @@ func (mu *Multiplier) Multiply() (*Matrix, error) {
 // and leaves the plan reusable. nil falls back to the plan's context.
 func (mu *Multiplier) MultiplyContext(ctx context.Context) (_ *Matrix, err error) {
 	defer recoverAsError(&err)
+	var before KernelStats
+	if mu.stats != nil {
+		before = mu.stats.Stats()
+	}
 	c, err := mu.run(ctx)
 	if err != nil {
 		return nil, err
 	}
+	if mu.stats != nil {
+		mu.last = mu.stats.Stats().Sub(before)
+		mu.hasLast = true
+	}
 	return wrap(c), nil
+}
+
+// LastStats returns the observability snapshot of the most recent
+// successful Multiply call alone (not the recorder's running totals —
+// those stay in the Options.Stats recorder). ok is false when the plan
+// was built without a StatsRecorder or nothing has run yet.
+func (mu *Multiplier) LastStats() (_ KernelStats, ok bool) {
+	return mu.last, mu.hasLast
 }
 
 // EWiseAdd returns the element-wise union a ⊕ b: coinciding entries

@@ -111,6 +111,12 @@ type Options struct {
 	// amortized per scheduling chunk, so an uncancelled run with a
 	// context costs the same as one without.
 	Context context.Context
+	// Stats, when non-nil, records observability data for every run
+	// under these options: phase wall times, exact per-worker counters
+	// with load-imbalance summaries, hybrid-decision counts and
+	// accumulator statistics — see StatsRecorder. nil disables all
+	// collection at zero cost.
+	Stats *StatsRecorder
 	// ValidateInputs runs the full CSR invariant check (sorted
 	// duplicate-free rows, in-range indices, monotone row pointers) on
 	// every operand before multiplying, returning ErrInvalidMatrix on
@@ -145,6 +151,7 @@ func (o Options) config() core.Config {
 		PlanWorkers:    o.PlanWorkers,
 		GuidedMinChunk: o.GuidedMinChunk,
 		Context:        o.Context,
+		Recorder:       o.Stats.recorder(),
 	}
 	switch o.Iteration {
 	case IterVanilla:
