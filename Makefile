@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race check fuzz bench-plan bench-sched bench-smoke bench-stats
+.PHONY: build test vet lint staticcheck govulncheck race check fuzz bench-plan bench-sched bench-smoke bench-stats
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,13 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's own analyzer suite (docs/LINTING.md): hot-path
+# allocation discipline, nil-safe recorder, padded atomic counters, the
+# error taxonomy and cooperative cancellation. Built from this module,
+# so it needs nothing beyond the Go toolchain.
+lint:
+	$(GO) run ./cmd/spgemm-lint ./...
+
 # staticcheck is optional tooling: run it when installed, skip silently
 # when the host doesn't have it (no network installs in CI containers).
 staticcheck:
@@ -20,6 +27,15 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
+# govulncheck is likewise optional: audit the dependency graph when the
+# tool is present, skip silently otherwise.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
+
 # The scheduler, kernel and public facade are the concurrency-bearing
 # packages: run them under the race detector with the Guided policy,
 # panic containment, cancellation and parallel plan paths exercised by
@@ -27,7 +43,7 @@ staticcheck:
 race:
 	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/tiling/... ./spgemm/...
 
-check: vet staticcheck race test
+check: vet lint staticcheck govulncheck race test
 
 # Short fuzz passes over the hostile-input surface: the MatrixMarket
 # text parser and the binary CSR container.

@@ -1,0 +1,49 @@
+// Command spgemm-lint runs the repository's custom analyzer suite
+// (internal/lint/...) over the given packages — ./... by default — and
+// exits non-zero if any analyzer reports a finding.
+//
+// Usage:
+//
+//	spgemm-lint [packages]
+//
+// Findings print as file:line:col: [analyzer] message, one per line.
+// Suppress an individual finding with a //lint:ignore directive; see
+// docs/LINTING.md.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"maskedspgemm/internal/lint"
+	"maskedspgemm/internal/lint/analyzers"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spgemm-lint:", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spgemm-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(prog, analyzers.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spgemm-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

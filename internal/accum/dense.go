@@ -37,6 +37,8 @@ func NewDense[T sparse.Number, S semiring.Semiring[T], M Marker](sr S, n int) *D
 
 // BeginRow advances the marker pair, clearing the state array only when
 // the marker would wrap.
+//
+//spgemm:hotpath
 func (d *Dense[T, S, M]) BeginRow() {
 	var maxM M
 	maxM--
@@ -50,6 +52,8 @@ func (d *Dense[T, S, M]) BeginRow() {
 }
 
 // LoadMask marks cols as allowed for this row.
+//
+//spgemm:hotpath
 func (d *Dense[T, S, M]) LoadMask(cols []sparse.Index) {
 	m := d.mask
 	for _, j := range cols {
@@ -59,6 +63,8 @@ func (d *Dense[T, S, M]) LoadMask(cols []sparse.Index) {
 
 // Update accumulates x into column j, creating the entry if the slot is
 // empty or stale.
+//
+//spgemm:hotpath
 func (d *Dense[T, S, M]) Update(j sparse.Index, x T) {
 	entry := d.mask + 1
 	switch d.state[j] {
@@ -74,6 +80,8 @@ func (d *Dense[T, S, M]) Update(j sparse.Index, x T) {
 }
 
 // UpdateMasked accumulates x into column j only if LoadMask allowed it.
+//
+//spgemm:hotpath
 func (d *Dense[T, S, M]) UpdateMasked(j sparse.Index, x T) bool {
 	entry := d.mask + 1
 	switch d.state[j] {
@@ -90,6 +98,8 @@ func (d *Dense[T, S, M]) UpdateMasked(j sparse.Index, x T) bool {
 }
 
 // Gather appends the written entries among maskCols, in mask order.
+//
+//spgemm:hotpath
 func (d *Dense[T, S, M]) Gather(
 	maskCols []sparse.Index, cols []sparse.Index, vals []T,
 ) ([]sparse.Index, []T) {
@@ -136,6 +146,8 @@ func NewDenseExplicit[T sparse.Number, S semiring.Semiring[T]](sr S, n int) *Den
 }
 
 // BeginRow clears exactly the slots the previous row touched.
+//
+//spgemm:hotpath
 func (d *DenseExplicit[T, S]) BeginRow() {
 	for _, j := range d.touched {
 		d.state[j] = 0
@@ -144,6 +156,8 @@ func (d *DenseExplicit[T, S]) BeginRow() {
 }
 
 // LoadMask marks cols as allowed for this row.
+//
+//spgemm:hotpath
 func (d *DenseExplicit[T, S]) LoadMask(cols []sparse.Index) {
 	for _, j := range cols {
 		if d.state[j] == 0 {
@@ -154,6 +168,8 @@ func (d *DenseExplicit[T, S]) LoadMask(cols []sparse.Index) {
 }
 
 // Update accumulates x into column j unconditionally.
+//
+//spgemm:hotpath
 func (d *DenseExplicit[T, S]) Update(j sparse.Index, x T) {
 	switch d.state[j] {
 	case 2:
@@ -169,6 +185,8 @@ func (d *DenseExplicit[T, S]) Update(j sparse.Index, x T) {
 }
 
 // UpdateMasked accumulates x into column j only if LoadMask allowed it.
+//
+//spgemm:hotpath
 func (d *DenseExplicit[T, S]) UpdateMasked(j sparse.Index, x T) bool {
 	switch d.state[j] {
 	case 2:
@@ -184,6 +202,8 @@ func (d *DenseExplicit[T, S]) UpdateMasked(j sparse.Index, x T) bool {
 }
 
 // Gather appends the written entries among maskCols, in mask order.
+//
+//spgemm:hotpath
 func (d *DenseExplicit[T, S]) Gather(
 	maskCols []sparse.Index, cols []sparse.Index, vals []T,
 ) ([]sparse.Index, []T) {

@@ -56,12 +56,15 @@ func NewHash[T sparse.Number, S semiring.Semiring[T], M Marker](sr S, rowCap int
 	return h
 }
 
+//spgemm:hotpath
 func (h *Hash[T, S, M]) slotOf(j sparse.Index) int {
 	return int((uint64(uint32(j)) * fibHash) >> h.shift)
 }
 
 // probe returns the slot holding key j for the current row, or the first
 // reusable slot in its chain. found reports which.
+//
+//spgemm:hotpath
 func (h *Hash[T, S, M]) probe(j sparse.Index) (slot int, found bool) {
 	entry := h.mask + 1
 	capMask := len(h.keys) - 1
@@ -83,6 +86,8 @@ func (h *Hash[T, S, M]) probe(j sparse.Index) (slot int, found bool) {
 
 // probeCounted is probe with per-step accounting, split out so the
 // disabled path's loop stays increment-free.
+//
+//spgemm:hotpath
 func (h *Hash[T, S, M]) probeCounted(j sparse.Index, entry M, capMask, slot int) (int, bool) {
 	h.stats.Probes++
 	for {
@@ -116,6 +121,8 @@ func (h *Hash[T, S, M]) AccumStats() Stats {
 }
 
 // BeginRow advances the marker pair, clearing the table only on wrap.
+//
+//spgemm:hotpath
 func (h *Hash[T, S, M]) BeginRow() {
 	h.used = 0
 	var maxM M
@@ -158,6 +165,8 @@ func (h *Hash[T, S, M]) maybeGrow() {
 }
 
 // LoadMask inserts cols as allowed-but-unwritten entries.
+//
+//spgemm:hotpath
 func (h *Hash[T, S, M]) LoadMask(cols []sparse.Index) {
 	for _, j := range cols {
 		slot, found := h.probe(j)
@@ -165,12 +174,15 @@ func (h *Hash[T, S, M]) LoadMask(cols []sparse.Index) {
 			h.keys[slot] = j
 			h.state[slot] = h.mask
 			h.used++
+			//lint:ignore hotpathalloc amortized: doubling keeps per-insert cost O(1), and growth means the row blew its mask bound
 			h.maybeGrow()
 		}
 	}
 }
 
 // Update accumulates x into column j, inserting if absent.
+//
+//spgemm:hotpath
 func (h *Hash[T, S, M]) Update(j sparse.Index, x T) {
 	slot, found := h.probe(j)
 	entry := h.mask + 1
@@ -187,10 +199,13 @@ func (h *Hash[T, S, M]) Update(j sparse.Index, x T) {
 	h.state[slot] = entry
 	h.vals[slot] = x
 	h.used++
+	//lint:ignore hotpathalloc amortized: doubling keeps per-insert cost O(1), and growth means the row blew its mask bound
 	h.maybeGrow()
 }
 
 // UpdateMasked accumulates x into column j only if LoadMask inserted it.
+//
+//spgemm:hotpath
 func (h *Hash[T, S, M]) UpdateMasked(j sparse.Index, x T) bool {
 	slot, found := h.probe(j)
 	if !found {
@@ -207,6 +222,8 @@ func (h *Hash[T, S, M]) UpdateMasked(j sparse.Index, x T) bool {
 }
 
 // Gather appends the written entries among maskCols, in mask order.
+//
+//spgemm:hotpath
 func (h *Hash[T, S, M]) Gather(
 	maskCols []sparse.Index, cols []sparse.Index, vals []T,
 ) ([]sparse.Index, []T) {
@@ -238,6 +255,8 @@ func NewHashExplicit[T sparse.Number, S semiring.Semiring[T]](sr S, rowCap int64
 
 // BeginRow clears exactly the slots the previous row populated. The
 // inner marker never advances, so state words stay within one epoch.
+//
+//spgemm:hotpath
 func (h *HashExplicit[T, S]) BeginRow() {
 	for _, slot := range h.live {
 		h.inner.state[slot] = 0
@@ -247,6 +266,8 @@ func (h *HashExplicit[T, S]) BeginRow() {
 }
 
 // LoadMask inserts cols as allowed-but-unwritten entries.
+//
+//spgemm:hotpath
 func (h *HashExplicit[T, S]) LoadMask(cols []sparse.Index) {
 	for _, j := range cols {
 		slot, found := h.inner.probe(j)
@@ -263,6 +284,8 @@ func (h *HashExplicit[T, S]) LoadMask(cols []sparse.Index) {
 }
 
 // Update accumulates x into column j, inserting if absent.
+//
+//spgemm:hotpath
 func (h *HashExplicit[T, S]) Update(j sparse.Index, x T) {
 	slot, found := h.inner.probe(j)
 	entry := h.inner.mask + 1
@@ -298,11 +321,15 @@ func (h *HashExplicit[T, S]) growAndRelocate() {
 }
 
 // UpdateMasked accumulates x into column j only if LoadMask inserted it.
+//
+//spgemm:hotpath
 func (h *HashExplicit[T, S]) UpdateMasked(j sparse.Index, x T) bool {
 	return h.inner.UpdateMasked(j, x)
 }
 
 // Gather appends the written entries among maskCols, in mask order.
+//
+//spgemm:hotpath
 func (h *HashExplicit[T, S]) Gather(
 	maskCols []sparse.Index, cols []sparse.Index, vals []T,
 ) ([]sparse.Index, []T) {

@@ -36,6 +36,8 @@ func NewSortList[T sparse.Number, S semiring.Semiring[T]](sr S, rowCap int64) *S
 }
 
 // BeginRow discards the previous row's log — O(1).
+//
+//spgemm:hotpath
 func (s *SortList[T, S]) BeginRow() {
 	s.cols = s.cols[:0]
 	s.vals = s.vals[:0]
@@ -43,20 +45,36 @@ func (s *SortList[T, S]) BeginRow() {
 }
 
 // LoadMask records the mask row for UpdateMasked's membership checks.
+//
+//spgemm:hotpath
 func (s *SortList[T, S]) LoadMask(cols []sparse.Index) {
 	s.maskCols = cols
 }
 
 // Update appends the update unconditionally.
+//
+//spgemm:hotpath
 func (s *SortList[T, S]) Update(j sparse.Index, x T) {
 	s.cols = append(s.cols, j)
 	s.vals = append(s.vals, x)
 }
 
 // UpdateMasked appends the update iff j is in the loaded mask row
-// (binary search — the log has no per-column state to consult).
+// (binary search — the log has no per-column state to consult). The
+// search is hand-rolled: a sort.Search closure here would sit on the
+// per-update path, the single hottest call site of this accumulator.
+//
+//spgemm:hotpath
 func (s *SortList[T, S]) UpdateMasked(j sparse.Index, x T) bool {
-	p := sort.Search(len(s.maskCols), func(q int) bool { return s.maskCols[q] >= j })
+	p, hi := 0, len(s.maskCols)
+	for p < hi {
+		mid := int(uint(p+hi) >> 1)
+		if s.maskCols[mid] < j {
+			p = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	if p >= len(s.maskCols) || s.maskCols[p] != j {
 		return false
 	}

@@ -220,6 +220,8 @@ func log2ceil(n int) int {
 
 // coIterCheaper evaluates Eq. 3 against the linear-scan cost: true when
 // nnzM·log2(nnzB) < κ·nnzB.
+//
+//spgemm:hotpath
 func coIterCheaper(nnzM, nnzB int, kappa float64) bool {
 	return float64(nnzM*log2ceil(nnzB)) < kappa*float64(nnzB)
 }

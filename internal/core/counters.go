@@ -32,21 +32,25 @@ type countingAccumulator[T sparse.Number] struct {
 	local Counters
 }
 
+//spgemm:hotpath
 func (c *countingAccumulator[T]) BeginRow() {
 	c.local.Rows++
 	c.inner.BeginRow()
 }
 
+//spgemm:hotpath
 func (c *countingAccumulator[T]) LoadMask(cols []sparse.Index) {
 	c.local.MaskLoads += int64(len(cols))
 	c.inner.LoadMask(cols)
 }
 
+//spgemm:hotpath
 func (c *countingAccumulator[T]) Update(j sparse.Index, x T) {
 	c.local.Updates++
 	c.inner.Update(j, x)
 }
 
+//spgemm:hotpath
 func (c *countingAccumulator[T]) UpdateMasked(j sparse.Index, x T) bool {
 	c.local.Updates++
 	ok := c.inner.UpdateMasked(j, x)
@@ -56,6 +60,7 @@ func (c *countingAccumulator[T]) UpdateMasked(j sparse.Index, x T) bool {
 	return ok
 }
 
+//spgemm:hotpath
 func (c *countingAccumulator[T]) Gather(
 	maskCols []sparse.Index, cols []sparse.Index, vals []T,
 ) ([]sparse.Index, []T) {
@@ -92,8 +97,15 @@ func (c *countingAccumulator[T]) flushInto(t *atomicCounters) {
 	t.gathered.Add(c.local.Gathered)
 }
 
+// atomicCounters is the shared flush target: every worker's decorator
+// flushes into it once per tile, so unlike the per-worker obs blocks it
+// is genuinely contended and must both stay atomic and avoid sharing
+// its cache lines with neighboring allocations.
+//
+//spgemm:padded
 type atomicCounters struct {
 	rows, maskLoads, updates, rejected, gathered atomic.Int64
+	_                                            [128 - 5*8]byte // pad to 2 cache lines
 }
 
 func (t *atomicCounters) snapshot() Counters {

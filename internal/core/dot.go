@@ -104,6 +104,8 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 // of coinciding entries. hit reports whether any index matched (an
 // all-miss dot yields no stored entry, matching the saxpy kernels'
 // structural semantics).
+//
+//spgemm:hotpath
 func sparseDot[T sparse.Number, S semiring.Semiring[T]](
 	sr S, aCols []sparse.Index, aVals []T, bCols []sparse.Index, bVals []T,
 ) (T, bool) {

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/obs"
@@ -180,6 +179,8 @@ func runTile[T sparse.Number, S semiring.Semiring[T]](
 // rowVanilla is the Fig. 3 algorithm: accumulate the full product row,
 // mask only at gather time. The wasted updates outside the mask are the
 // point — this is the cost the better iteration spaces avoid.
+//
+//spgemm:hotpath
 func rowVanilla[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int,
 	wc *obs.WorkerCounters,
@@ -190,7 +191,7 @@ func rowVanilla[T sparse.Number, S semiring.Semiring[T]](
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
 		if wc != nil {
-			wc.Flops += int64(len(bCols))
+			wc.Flops.Add(int64(len(bCols)))
 		}
 		for jj, j := range bCols {
 			acc.Update(j, sr.Times(aik, bVals[jj]))
@@ -201,6 +202,8 @@ func rowVanilla[T sparse.Number, S semiring.Semiring[T]](
 // rowMaskLoad is the Fig. 5 (GrB) algorithm: load the mask into the
 // accumulator, then linearly scan each B row, discarding updates that
 // miss the mask.
+//
+//spgemm:hotpath
 func rowMaskLoad[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int, maskCols []sparse.Index,
 	wc *obs.WorkerCounters,
@@ -212,7 +215,7 @@ func rowMaskLoad[T sparse.Number, S semiring.Semiring[T]](
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
 		if wc != nil {
-			wc.Flops += int64(len(bCols))
+			wc.Flops.Add(int64(len(bCols)))
 		}
 		for jj, j := range bCols {
 			acc.UpdateMasked(j, sr.Times(aik, bVals[jj]))
@@ -223,6 +226,8 @@ func rowMaskLoad[T sparse.Number, S semiring.Semiring[T]](
 // rowCoIter is the Fig. 7 algorithm: iterate the mask row and binary
 // search each B row for the mask's columns, touching only candidate
 // output positions.
+//
+//spgemm:hotpath
 func rowCoIter[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int, maskCols []sparse.Index,
 	wc *obs.WorkerCounters,
@@ -236,7 +241,7 @@ func rowCoIter[T sparse.Number, S semiring.Semiring[T]](
 		// touches fewer entries, so the counter is comparable across
 		// iteration spaces and matches the planner's estimate exactly.
 		if wc != nil {
-			wc.Flops += int64(len(bCols))
+			wc.Flops.Add(int64(len(bCols)))
 		}
 		coIterate(sr, acc, aik, maskCols, bCols, bVals)
 	}
@@ -244,16 +249,29 @@ func rowCoIter[T sparse.Number, S semiring.Semiring[T]](
 
 // coIterate performs one mask-vs-B-row intersection by binary search
 // (Eq. 3 cost: nnz(M[i,:])·log2 nnz(B[k,:])). The search range shrinks
-// monotonically because mask columns are ascending.
+// monotonically because mask columns are ascending. The search is
+// hand-rolled rather than sort.Search: the closure the latter takes
+// would be re-created (and on some inlining decisions, heap-allocated)
+// per (mask entry × B row) pair, squarely inside the Eq. 3 inner loop.
+//
+//spgemm:hotpath
 func coIterate[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], aik T,
 	maskCols, bCols []sparse.Index, bVals []T,
 ) {
 	lo := 0
 	for _, j := range maskCols {
-		sub := bCols[lo:]
-		p := sort.Search(len(sub), func(q int) bool { return sub[q] >= j })
-		lo += p
+		// Binary search for the first bCols[p] >= j in bCols[lo:].
+		p, hi := lo, len(bCols)
+		for p < hi {
+			mid := int(uint(p+hi) >> 1)
+			if bCols[mid] < j {
+				p = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		lo = p
 		if lo >= len(bCols) {
 			return
 		}
@@ -270,6 +288,8 @@ func coIterate[T sparse.Number, S semiring.Semiring[T]](
 // rowHybrid is the Fig. 9 algorithm: the mask is loaded (the linear
 // branch needs it), then each B row is processed by whichever of the two
 // strategies the Eq. 3 cost model predicts is cheaper.
+//
+//spgemm:hotpath
 func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int,
 	maskCols []sparse.Index, kappa float64, wc *obs.WorkerCounters,
@@ -282,16 +302,16 @@ func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
 		if wc != nil {
-			wc.Flops += int64(len(bCols))
+			wc.Flops.Add(int64(len(bCols)))
 		}
 		if coIterCheaper(nnzM, len(bCols), kappa) {
 			if wc != nil {
-				wc.CoIterPicks++
+				wc.CoIterPicks.Add(1)
 			}
 			coIterate(sr, acc, aik, maskCols, bCols, bVals)
 		} else {
 			if wc != nil {
-				wc.LinearPicks++
+				wc.LinearPicks.Add(1)
 			}
 			for jj, j := range bCols {
 				acc.UpdateMasked(j, sr.Times(aik, bVals[jj]))

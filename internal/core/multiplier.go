@@ -150,9 +150,9 @@ func runTilePlanned[T sparse.Number, S semiring.Semiring[T]](
 		out.rowNNZ[i-tile.Lo] = int32(len(out.cols) - before)
 	}
 	if wc != nil {
-		wc.Rows += int64(tile.Rows())
+		wc.Rows.Add(int64(tile.Rows()))
 		// out.cols starts empty in both entry paths, so its final length
 		// is exactly this tile's emitted entry count.
-		wc.Gathered += int64(len(out.cols))
+		wc.Gathered.Add(int64(len(out.cols)))
 	}
 }

@@ -145,7 +145,7 @@ func runKernelSpanned(
 		err = schedRun(ctx, cfg, workers, tiles, func(worker, t int) {
 			endRegion := rec.TileRegion(ctx)
 			wc := &slots[worker]
-			wc.Tiles++
+			wc.Tiles.Add(1)
 			run(worker, t, wc)
 			endRegion()
 		})

@@ -1,0 +1,24 @@
+// Package analyzers enumerates the spgemm-lint analyzer suite in one
+// place, so the multichecker binary and any future tooling agree on
+// what "the suite" is.
+package analyzers
+
+import (
+	"maskedspgemm/internal/lint"
+	"maskedspgemm/internal/lint/atomicpad"
+	"maskedspgemm/internal/lint/ctxcancel"
+	"maskedspgemm/internal/lint/errtaxonomy"
+	"maskedspgemm/internal/lint/hotpathalloc"
+	"maskedspgemm/internal/lint/nilsaferecorder"
+)
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		atomicpad.Analyzer,
+		ctxcancel.Analyzer,
+		errtaxonomy.Analyzer,
+		hotpathalloc.Analyzer,
+		nilsaferecorder.Analyzer,
+	}
+}

@@ -1,0 +1,211 @@
+// Package atomicpad enforces the layout and access discipline of
+// cache-line-padded counter blocks (//spgemm:padded structs): the
+// per-worker counters that the kernel's workers update concurrently
+// with Stats snapshots reading them. Two properties keep those blocks
+// correct and fast, and both silently rot under ordinary edits:
+//
+//   - Layout: each block must span at least 128 bytes (two cache
+//     lines — the adjacent-line prefetcher pulls pairs), or neighboring
+//     workers false-share and the per-tile counter updates serialize
+//     the whole pool. Checked via types.Sizes, so adding a field
+//     without re-balancing the pad array is caught at lint time.
+//   - Access: counter fields may only be touched through sync/atomic —
+//     either the field is itself an atomic type (atomic.Int64) and is
+//     only used as a method-call receiver, or its address is passed
+//     directly to a sync/atomic function. Plain loads, stores and
+//     increments are reported wherever the struct is used.
+//
+// Blank _ [N]byte fields are the padding and are exempt.
+package atomicpad
+
+import (
+	"go/ast"
+	"go/types"
+
+	"maskedspgemm/internal/lint"
+)
+
+// Directive marks a struct as a padded atomic counter block.
+const Directive = "//spgemm:padded"
+
+// MinSize is the required struct size: two 64-byte cache lines.
+const MinSize = 128
+
+// paddedFact marks a named struct type as //spgemm:padded for
+// importing packages.
+type paddedFact struct{}
+
+// Analyzer is the atomicpad pass.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicpad",
+	Doc:  "padded counter structs must span >= 128 bytes and be accessed only via sync/atomic",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	// Collect and validate this package's annotated structs.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !lint.HasDirective(ts.Doc, Directive) && !lint.HasDirective(gd.Doc, Directive) {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					pass.Reportf(ts.Name.Pos(), "%s directive on non-struct type %s", Directive, ts.Name.Name)
+					continue
+				}
+				pass.ExportObjectFact(obj, paddedFact{})
+				if size := pass.TypesSizes.Sizeof(st); size < MinSize {
+					pass.Reportf(ts.Name.Pos(),
+						"padded struct %s is %d bytes, want >= %d: re-balance its _ [N]byte pad so concurrent counter blocks do not false-share",
+						ts.Name.Name, size, MinSize)
+				}
+				checkFieldTypes(pass, ts, st)
+			}
+		}
+	}
+	// Check every access to fields of annotated structs (this package's
+	// and, via facts, those of already-analyzed dependencies).
+	for _, file := range pass.Files {
+		checkAccesses(pass, file)
+	}
+	return nil
+}
+
+// checkFieldTypes requires every non-padding field to be either an
+// atomic type or a plain integer (whose accesses rule 2 then confines
+// to sync/atomic calls).
+func checkFieldTypes(pass *lint.Pass, ts *ast.TypeSpec, st *types.Struct) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" {
+			continue // padding
+		}
+		if isAtomicType(f.Type()) || isIntegerKind(f.Type()) {
+			continue
+		}
+		pass.Reportf(ts.Name.Pos(),
+			"padded struct %s field %s has type %s; counter blocks may hold only sync/atomic types, integers and _ padding",
+			ts.Name.Name, f.Name(), f.Type())
+	}
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func isIntegerKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isPaddedField resolves sel to (field, owning padded struct) if the
+// selector reads or writes a field of an annotated struct.
+func isPaddedField(pass *lint.Pass, sel *ast.SelectorExpr) (*types.Var, bool) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := pass.ObjectFact(named.Obj()).(paddedFact); !ok {
+		return nil, false
+	}
+	f, _ := s.Obj().(*types.Var)
+	return f, f != nil
+}
+
+// checkAccesses walks one file and reports every touch of a padded
+// struct's counter field that is not mediated by sync/atomic.
+func checkAccesses(pass *lint.Pass, file *ast.File) {
+	// allowed collects selector nodes used legitimately: receivers of
+	// method calls on atomic-typed fields, and &field arguments passed
+	// directly to sync/atomic functions.
+	allowed := map[ast.Node]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// x.f.Add(1): the method's receiver x.f is an atomic-typed field.
+		if fun, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if recv, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+				if f, ok := isPaddedField(pass, recv); ok && isAtomicType(f.Type()) {
+					allowed[recv] = true
+				}
+			}
+		}
+		// atomic.AddInt64(&x.f, 1): address-of-field argument to sync/atomic.
+		if calleeIsSyncAtomic(pass, call) {
+			for _, arg := range call.Args {
+				if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+					if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+						if _, ok := isPaddedField(pass, sel); ok {
+							allowed[sel] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f, ok := isPaddedField(pass, sel)
+		if !ok || allowed[sel] || f.Name() == "_" {
+			return true
+		}
+		if isAtomicType(f.Type()) {
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s of padded counter struct used outside an atomic method call; use %s.Add/Load/Store",
+				f.Name(), sel.Sel.Name)
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"non-atomic access to field %s of padded counter struct; pass &%s to a sync/atomic function",
+			f.Name(), sel.Sel.Name)
+		return true
+	})
+}
+
+// calleeIsSyncAtomic reports whether call targets a sync/atomic
+// package function.
+func calleeIsSyncAtomic(pass *lint.Pass, call *ast.CallExpr) bool {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[fun.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,12 @@
+package atomicpad_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/atomicpad"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+func TestAtomicPad(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), atomicpad.Analyzer, "padfix", "paduser")
+}

@@ -1,0 +1,49 @@
+// Package padfix is the atomicpad fixture: padded counter blocks with
+// correct and incorrect layout, field types, and access discipline.
+package padfix
+
+import "sync/atomic"
+
+// Good is a well-formed padded counter block.
+//
+//spgemm:padded
+type Good struct {
+	A, B atomic.Int64
+	_    [128 - 2*8]byte
+}
+
+// Mixed uses plain integers whose accesses must go through sync/atomic.
+//
+//spgemm:padded
+type Mixed struct {
+	N int64
+	_ [128 - 8]byte
+}
+
+// Small forgot the pad array entirely.
+//
+//spgemm:padded
+type Small struct { // want `padded struct Small is 8 bytes, want >= 128`
+	N atomic.Int64
+}
+
+// BadField holds a non-counter type.
+//
+//spgemm:padded
+type BadField struct { // want `padded struct BadField field Name has type string`
+	Name string
+	_    [128]byte
+}
+
+//spgemm:padded
+type NotStruct int // want `directive on non-struct type NotStruct`
+
+func use(g *Good, m *Mixed) int64 {
+	g.A.Add(1)
+	v := g.B.Load()
+	p := &g.A // want `field A of padded counter struct used outside an atomic method call`
+	_ = p
+	atomic.AddInt64(&m.N, 1)
+	m.N++ // want `non-atomic access to field N of padded counter struct`
+	return atomic.LoadInt64(&m.N) + v
+}

@@ -1,0 +1,15 @@
+// Package paduser exercises the fact path: padded structs imported
+// from another package keep their access discipline.
+package paduser
+
+import (
+	"sync/atomic"
+
+	"padfix"
+)
+
+func bump(g *padfix.Good, m *padfix.Mixed) int64 {
+	g.A.Add(1)
+	atomic.AddInt64(&m.N, 1)
+	return m.N // want `non-atomic access to field N of padded counter struct`
+}

@@ -1,0 +1,202 @@
+// Package ctxcancel enforces the scheduler's cooperative-cancellation
+// contract: a tile-claim loop running inside a fault-contained region
+// (one that has a stop flag in scope) must poll that flag between
+// claims. Otherwise a cancelled context or a contained panic in one
+// worker leaves the others churning through the remaining tiles — on
+// the paper's 32768-tile sweeps that turns "cancel within one tile's
+// latency" into "cancel whenever the run feels like finishing".
+//
+// A claim operation is an Add or CompareAndSwap on a sync/atomic
+// integer (the shared tile counter), or a call to a function whose name
+// contains "claim" (claimGuided). A stop flag is any value reachable in
+// the enclosing declaration whose type is atomic.Bool, or a struct
+// (like sched.runState) containing an atomic.Bool field. Loops in
+// functions with no stop flag in scope — the legacy panic-propagating
+// entry points — are exempt by construction.
+package ctxcancel
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"maskedspgemm/internal/lint"
+)
+
+// Analyzer is the ctxcancel pass.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxcancel",
+	Doc:  "tile-claim loops with a stop flag in scope must poll it between claims",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasStopFlag(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				if !containsClaim(pass, loop) {
+					return true
+				}
+				if !pollsStopFlag(pass, loop.Body) {
+					pass.Reportf(loop.Pos(),
+						"tile-claim loop does not poll the stop flag between claims; cancellation and panic containment stall until the loop drains")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// hasStopFlag reports whether fd declares (as parameter, receiver or
+// local, including in closures) a value of type atomic.Bool or a
+// struct containing an atomic.Bool field.
+func hasStopFlag(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && isStopFlagType(v.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isStopFlagType reports atomic.Bool, *atomic.Bool, or a (pointer to)
+// struct with an atomic.Bool field.
+func isStopFlagType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if isAtomicBool(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isAtomicBool(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isAtomicBool(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Bool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// containsClaim reports whether the loop body performs a claim
+// operation directly (not inside a nested for loop, whose own check is
+// separate).
+func containsClaim(pass *lint.Pass, loop *ast.ForStmt) bool {
+	claims := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.ForStmt); ok && inner != loop {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[fun.Sel]
+			f, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			name := f.Name()
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				isAtomicInteger(sig.Recv().Type()) && (name == "Add" || name == "CompareAndSwap") {
+				claims = true
+			}
+			if strings.Contains(strings.ToLower(name), "claim") {
+				claims = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(fun.Name), "claim") {
+				claims = true
+			}
+		}
+		return true
+	})
+	return claims
+}
+
+// isAtomicInteger reports sync/atomic's integer counter types.
+func isAtomicInteger(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Int32", "Int64", "Uint32", "Uint64", "Uintptr":
+		return true
+	}
+	return false
+}
+
+// pollsStopFlag reports whether the loop body (directly, not in nested
+// loops) calls Load on an atomic.Bool.
+func pollsStopFlag(pass *lint.Pass, body *ast.BlockStmt) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || f.Name() != "Load" {
+			return true
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil && isAtomicBool(derefType(sig.Recv().Type())) {
+			polls = true
+		}
+		return true
+	})
+	return polls
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

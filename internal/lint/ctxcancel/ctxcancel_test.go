@@ -1,0 +1,12 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/ctxcancel"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+func TestCtxCancel(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), ctxcancel.Analyzer, "claimfix")
+}

@@ -1,0 +1,92 @@
+// Package claimfix is the ctxcancel fixture: tile-claim loops with and
+// without a stop flag in scope, polling and non-polling.
+package claimfix
+
+import "sync/atomic"
+
+type state struct {
+	stop atomic.Bool
+	next atomic.Int64
+}
+
+// claimNoFlag has no stop flag in scope: the legacy panic-propagating
+// entry points are exempt by construction.
+func claimNoFlag(next *atomic.Int64, n int64) {
+	for {
+		t := next.Add(1) - 1
+		if t >= n {
+			return
+		}
+	}
+}
+
+// goodLoop polls the stop flag between claims.
+func goodLoop(st *state, n int64) {
+	for {
+		if st.stop.Load() {
+			return
+		}
+		t := st.next.Add(1) - 1
+		if t >= n {
+			return
+		}
+	}
+}
+
+// badLoop claims via the shared counter but never polls.
+func badLoop(st *state, n int64) {
+	for { // want `tile-claim loop does not poll the stop flag between claims`
+		t := st.next.Add(1) - 1
+		if t >= n {
+			return
+		}
+	}
+}
+
+func claimChunk(next *atomic.Int64) int64 { return next.Add(1) - 1 }
+
+// badCall claims through a helper whose name marks it as a claim.
+func badCall(st *state, n int64) {
+	for { // want `tile-claim loop does not poll the stop flag between claims`
+		if claimChunk(&st.next) >= n {
+			return
+		}
+	}
+}
+
+// goodBoolParam gets the flag as a bare *atomic.Bool parameter.
+func goodBoolParam(stop *atomic.Bool, next *atomic.Int64, n int64) {
+	for {
+		if stop.Load() {
+			return
+		}
+		if next.Add(1)-1 >= n {
+			return
+		}
+	}
+}
+
+// nestedBad: the outer loop polls, the inner claim loop does not. The
+// inner loop is checked on its own and must fire.
+func nestedBad(st *state, n int64) {
+	for {
+		if st.stop.Load() {
+			return
+		}
+		for { // want `tile-claim loop does not poll the stop flag between claims`
+			if st.next.Add(1)-1 >= n {
+				return
+			}
+		}
+	}
+}
+
+// noClaim loops without claiming: nothing to report even without polls.
+func noClaim(st *state, n int64) int64 {
+	var sum int64
+	for i := int64(0); i < n; i++ {
+		sum += i
+	}
+	st.next.Store(sum)
+	return sum
+}

@@ -1,0 +1,214 @@
+// Package errtaxonomy enforces the five-sentinel error contract
+// documented in docs/ERRORS.md: callers dispatch on the public API's
+// errors with errors.Is, which only works if (a) every error built at
+// the public boundary wraps a sentinel and (b) no link of the chain is
+// flattened by formatting an error with %v/%s instead of %w.
+//
+// Rules:
+//
+//  1. Everywhere: a fmt.Errorf call with an error-typed argument whose
+//     matching verb is not %w destroys the chain and is reported.
+//  2. In the public boundary package (package name "spgemm"): every
+//     fmt.Errorf must wrap (%w) at least one sentinel — a package-level
+//     exported error variable whose name starts with Err — or an
+//     error-typed value (assumed to already carry a sentinel chain).
+//  3. In the boundary package, errors.New may only appear at package
+//     level (declaring the sentinels themselves); inside functions it
+//     would mint a taxonomy-free error.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"maskedspgemm/internal/lint"
+)
+
+// BoundaryPackage is the package name treated as the public boundary.
+const BoundaryPackage = "spgemm"
+
+// Analyzer is the errtaxonomy pass.
+var Analyzer = &lint.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "propagated errors must wrap with %w; boundary errors must wrap a sentinel",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	boundary := pass.Pkg.Name() == BoundaryPackage
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			_, inFunc := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkCall(pass, call, boundary, inFunc)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr, boundary, inFunc bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch {
+	case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf":
+		checkErrorf(pass, call, boundary)
+	case obj.Pkg().Path() == "errors" && obj.Name() == "New" && boundary && inFunc:
+		pass.Reportf(call.Pos(),
+			"errors.New inside a %s function creates an error outside the sentinel taxonomy; wrap a sentinel with fmt.Errorf(\"%%w: ...\", ErrX, ...)",
+			BoundaryPackage)
+	}
+}
+
+// checkErrorf applies rules 1 and 2 to one fmt.Errorf call.
+func checkErrorf(pass *lint.Pass, call *ast.CallExpr, boundary bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := stringLiteral(pass, call.Args[0])
+	if !ok {
+		return // dynamic format: out of scope
+	}
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		return // explicit argument indexes etc.: out of scope
+	}
+	args := call.Args[1:]
+	wrapsSentinel := false
+	wrapsError := false
+	for i, arg := range args {
+		verb := byte(0)
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb == 'w' {
+			if isSentinelRef(pass, arg) {
+				wrapsSentinel = true
+			}
+			if isErrorType(pass, arg) {
+				wrapsError = true
+			}
+			continue
+		}
+		if isErrorType(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"error argument formatted with %%%c loses the error chain; use %%w so errors.Is keeps working", printableVerb(verb))
+		}
+	}
+	if !boundary {
+		return
+	}
+	if !strings.Contains(format, "%w") {
+		pass.Reportf(call.Pos(),
+			"fmt.Errorf at the %s boundary does not wrap (%%w) a sentinel; every public error must satisfy errors.Is against the package taxonomy",
+			BoundaryPackage)
+		return
+	}
+	if !wrapsSentinel && !wrapsError {
+		pass.Reportf(call.Pos(),
+			"fmt.Errorf at the %s boundary wraps no sentinel (exported package-level Err... variable) and no error value",
+			BoundaryPackage)
+	}
+}
+
+func printableVerb(v byte) byte {
+	if v == 0 {
+		return 'v'
+	}
+	return v
+}
+
+// stringLiteral resolves arg to a constant string: a literal, or a
+// reference to a string constant.
+func stringLiteral(pass *lint.Pass, arg ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return tv.Value.ExactString(), true
+	}
+	return s, true
+}
+
+// parseVerbs extracts the verb letter for each argument position. It
+// bails (ok=false) on explicit argument indexes like %[1]w.
+func parseVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if format[i] == '[' {
+			return nil, false
+		}
+		// Skip flags, width, precision.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*') // width argument consumes a slot
+				i++
+			}
+			if i < len(format) {
+				verbs = append(verbs, format[i])
+			}
+		}
+	}
+	return verbs, true
+}
+
+// isErrorType reports whether arg's static type implements error.
+func isErrorType(pass *lint.Pass, arg ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}
+
+// isSentinelRef reports whether arg references an exported
+// package-level error variable named Err... — the sentinel shape.
+func isSentinelRef(pass *lint.Pass, arg ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false // not package-level
+	}
+	return strings.HasPrefix(v.Name(), "Err") && isErrorType(pass, arg)
+}

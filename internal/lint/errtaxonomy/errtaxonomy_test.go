@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/errtaxonomy"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), errtaxonomy.Analyzer, "errfix", "spgemm")
+}

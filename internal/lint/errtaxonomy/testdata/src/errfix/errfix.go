@@ -1,0 +1,36 @@
+// Package errfix is the errtaxonomy fixture for rule 1: %w everywhere
+// an error is formatted into another error, in any package.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrapOK(err error) error {
+	return fmt.Errorf("stage: %w", err)
+}
+
+func loseV(err error) error {
+	return fmt.Errorf("stage: %v", err) // want `error argument formatted with %v loses the error chain`
+}
+
+func loseS(err error) error {
+	return fmt.Errorf("stage %d: %s", 3, err) // want `error argument formatted with %s loses the error chain`
+}
+
+func nonErrorArgs(n int) error {
+	return fmt.Errorf("n = %d", n)
+}
+
+// mint is fine outside the boundary package: internal packages may
+// build their own errors as long as callers wrap with %w upward.
+func mint() error {
+	return errors.New("internal detail")
+}
+
+func chainOK() error {
+	return fmt.Errorf("outer: %w", errBase)
+}

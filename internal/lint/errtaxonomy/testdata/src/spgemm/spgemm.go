@@ -1,0 +1,38 @@
+// Package spgemm is the errtaxonomy boundary fixture: its package name
+// matches the public API package, so rules 2 and 3 apply.
+package spgemm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShape is a sentinel: package-level errors.New is the one allowed
+// place to mint taxonomy roots.
+var ErrShape = errors.New("spgemm: shape mismatch")
+
+var errInternal = errors.New("spgemm: internal")
+
+func sentinelOK(n int) error {
+	return fmt.Errorf("%w: negative shape %d", ErrShape, n)
+}
+
+func propagateOK(err error) error {
+	return fmt.Errorf("plan: %w", err)
+}
+
+func chainedInternalOK() error {
+	return fmt.Errorf("assemble: %w", errInternal)
+}
+
+func noWrap() error {
+	return fmt.Errorf("plain failure") // want `does not wrap \(%w\) a sentinel`
+}
+
+func wrapNothingUseful() error {
+	return fmt.Errorf("%w: oops", "not an error") // want `wraps no sentinel \(exported package-level Err... variable\) and no error value`
+}
+
+func mint() error {
+	return errors.New("loose error") // want `errors.New inside a spgemm function creates an error outside the sentinel taxonomy`
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/hotpathalloc"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), hotpathalloc.Analyzer, "hotfix")
+}

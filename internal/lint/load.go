@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+)
+
+// Package is one parsed and type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Program is a load of the module's packages, type-checked from source
+// against export data for everything outside the module. All packages
+// share one FileSet and one type-checked package graph, so types.Object
+// identities (and therefore analyzer facts) are stable across packages.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // module packages in dependency order
+	Sizes    types.Sizes
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching patterns (plus all dependencies)
+// from dir, type-checks the module's own packages from source, and
+// resolves every other import from compiler export data. Test files are
+// not loaded: the invariants the analyzers enforce are properties of
+// shipped code.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	module := map[string]*listedPackage{}
+	exports := map[string]string{}
+	for _, p := range listed {
+		switch {
+		case !p.Standard && p.Module != nil:
+			module[p.ImportPath] = p
+		case p.Export != "":
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	prog := &Program{
+		Fset:  token.NewFileSet(),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	checked := map[string]*Package{}
+	gcImp := importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var check func(path string) (*Package, error)
+	check = func(path string) (*Package, error) {
+		if pkg, ok := checked[path]; ok {
+			if pkg == nil {
+				return nil, fmt.Errorf("import cycle through %q", path)
+			}
+			return pkg, nil
+		}
+		checked[path] = nil // cycle marker
+		lp := module[path]
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(prog.Fset, lp.Dir+"/"+name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		// Type-check module dependencies first so the importer below can
+		// hand back their source-checked packages.
+		for _, imp := range lp.Imports {
+			if _, ok := module[imp]; ok {
+				if _, err := check(imp); err != nil {
+					return nil, err
+				}
+			}
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		conf := types.Config{
+			Importer: importerFunc(func(ipath string) (*types.Package, error) {
+				if pkg, ok := checked[ipath]; ok && pkg != nil {
+					return pkg.Types, nil
+				}
+				return gcImp.Import(ipath)
+			}),
+			Sizes: prog.Sizes,
+		}
+		tpkg, err := conf.Check(path, prog.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		pkg := &Package{ImportPath: path, Dir: lp.Dir, Files: files, Types: tpkg, Info: info}
+		checked[path] = pkg
+		prog.Packages = append(prog.Packages, pkg)
+		return pkg, nil
+	}
+
+	paths := make([]string, 0, len(module))
+	for path := range module {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if _, err := check(path); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,205 @@
+// Package nilsaferecorder enforces the obs.Recorder nil-object
+// contract: a nil *Recorder is the disabled state, threaded through the
+// whole kernel unconditionally, so every exported method must begin
+// with a nil-receiver guard — and code outside the Recorder's own
+// methods must never reach around the methods into its fields.
+//
+// Two rules:
+//
+//  1. Every exported method on *Recorder (any struct named Recorder in
+//     a package named obs) whose body uses the receiver must begin with
+//     `if r == nil { ... }` (the guard may be the first operand of ||,
+//     as in `if r == nil || !enabled { ... }`). Methods that only
+//     compare the receiver against nil (e.g. Enabled) are exempt.
+//  2. A selector that resolves to a *field* of Recorder from outside
+//     the Recorder's methods is reported: field access on a nil
+//     receiver panics exactly where the nil-object pattern promises
+//     safety.
+package nilsaferecorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"maskedspgemm/internal/lint"
+)
+
+// Analyzer is the nilsaferecorder pass.
+var Analyzer = &lint.Analyzer{
+	Name: "nilsaferecorder",
+	Doc:  "exported obs.Recorder methods must nil-guard their receiver; no field access outside its methods",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recv := recorderReceiver(pass, fd); recv != nil {
+				if fd.Name.IsExported() {
+					checkGuard(pass, fd, recv)
+				}
+				continue // rule 2 does not apply inside Recorder methods
+			}
+			checkFieldAccess(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isRecorderType reports whether t (after pointer stripping) is a named
+// struct type called Recorder defined in a package named obs.
+func isRecorderType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// recorderReceiver returns the receiver variable if fd is a method on
+// *Recorder (or Recorder), else nil.
+func recorderReceiver(pass *lint.Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	sig, ok := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature)
+	if !ok || sig.Recv() == nil || !isRecorderType(sig.Recv().Type()) {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// checkGuard verifies the method begins with a nil-receiver guard.
+func checkGuard(pass *lint.Pass, fd *ast.FuncDecl, recv *types.Var) {
+	if _, isPtr := recv.Type().(*types.Pointer); !isPtr {
+		return // a value receiver cannot be nil, and `r == nil` would not compile
+	}
+	if !usesReceiverBeyondNilChecks(pass, fd, recv) {
+		return // e.g. func (r *Recorder) Enabled() bool { return r != nil }
+	}
+	if len(fd.Body.List) > 0 {
+		if ifs, ok := fd.Body.List[0].(*ast.IfStmt); ok && ifs.Init == nil {
+			if condHasNilCheck(pass, ifs.Cond, recv) && terminates(ifs.Body) {
+				return
+			}
+		}
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported method %s on *%s.Recorder must begin with a nil-receiver guard (if %s == nil { return ... })",
+		fd.Name.Name, pass.Pkg.Name(), recv.Name())
+}
+
+// condHasNilCheck reports whether cond is `recv == nil`, possibly as
+// the leftmost operand of a || chain.
+func condHasNilCheck(pass *lint.Pass, cond ast.Expr, recv *types.Var) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condHasNilCheck(pass, e.X, recv)
+		}
+		if e.Op != token.EQL {
+			return false
+		}
+		return isNilCompare(pass, e, recv)
+	}
+	return false
+}
+
+// isNilCompare reports whether e compares the receiver with nil.
+func isNilCompare(pass *lint.Pass, e *ast.BinaryExpr, recv *types.Var) bool {
+	isRecv := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	return (isRecv(e.X) && isNil(e.Y)) || (isRecv(e.Y) && isNil(e.X))
+}
+
+// terminates reports whether the guard body unconditionally leaves the
+// function (return or panic).
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch s := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	default:
+		return false
+	}
+}
+
+// usesReceiverBeyondNilChecks reports whether the body dereferences or
+// otherwise uses the receiver in a way that would panic when nil.
+func usesReceiverBeyondNilChecks(pass *lint.Pass, fd *ast.FuncDecl, recv *types.Var) bool {
+	nilCompared := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && (be.Op == token.EQL || be.Op == token.NEQ) {
+			if isNilCompare(pass, be, recv) {
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					if id, ok := ast.Unparen(side).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+						nilCompared[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	uses := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv {
+			return true
+		}
+		if !nilCompared[id] {
+			uses = true
+		}
+		return true
+	})
+	return uses
+}
+
+// checkFieldAccess reports selectors resolving to Recorder fields in
+// functions that are not Recorder methods.
+func checkFieldAccess(pass *lint.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if !isRecorderType(s.Recv()) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"direct access to Recorder field %s outside its methods: a nil recorder panics here; use the nil-safe methods",
+			sel.Sel.Name)
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package nilsaferecorder_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/linttest"
+	"maskedspgemm/internal/lint/nilsaferecorder"
+)
+
+func TestNilSafeRecorder(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), nilsaferecorder.Analyzer, "obs", "obsuser")
+}

@@ -1,0 +1,68 @@
+// Package obs is the nilsaferecorder fixture: a Recorder with the
+// guard shapes the analyzer must accept and the ones it must flag.
+package obs
+
+// Recorder is the fixture stand-in for the real observability recorder.
+type Recorder struct {
+	Count   int
+	enabled bool
+}
+
+// Good guards first: accepted.
+func (r *Recorder) Good() {
+	if r == nil {
+		return
+	}
+	r.Count++
+}
+
+// GoodOr guards with the nil check as the leftmost || operand: accepted.
+func (r *Recorder) GoodOr() {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.Count++
+}
+
+// GoodPanic guards with a terminating panic: accepted.
+func (r *Recorder) GoodPanic() {
+	if r == nil {
+		panic("nil recorder")
+	}
+	r.Count++
+}
+
+// Enabled only compares the receiver against nil, so it needs no guard.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Bad dereferences the receiver with no guard at all.
+func (r *Recorder) Bad() { // want `exported method Bad on \*obs\.Recorder must begin with a nil-receiver guard`
+	r.Count++
+}
+
+// BadLate guards, but not as the first statement.
+func (r *Recorder) BadLate() { // want `exported method BadLate on \*obs\.Recorder must begin with a nil-receiver guard`
+	x := 1
+	if r == nil {
+		return
+	}
+	r.Count += x
+}
+
+// BadGuard has the right condition but a non-terminating body.
+func (r *Recorder) BadGuard() { // want `exported method BadGuard on \*obs\.Recorder must begin with a nil-receiver guard`
+	if r == nil {
+		_ = 0
+	}
+	r.Count++
+}
+
+// internal is unexported: callers inside the package own the guard.
+func (r *Recorder) internal() { r.Count++ }
+
+// helper is a plain function in the same package: reaching into the
+// fields from outside the methods is rule 2.
+func helper(r *Recorder) {
+	r.internal()
+	r.Count++ // want `direct access to Recorder field Count outside its methods`
+}

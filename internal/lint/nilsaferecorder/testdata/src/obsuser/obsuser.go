@@ -1,0 +1,13 @@
+// Package obsuser exercises rule 2 across a package boundary: kernel
+// code must talk to the Recorder through its nil-safe methods.
+package obsuser
+
+import "obs"
+
+func use(r *obs.Recorder) int {
+	r.Good()
+	if !r.Enabled() {
+		return 0
+	}
+	return r.Count // want `direct access to Recorder field Count outside its methods`
+}

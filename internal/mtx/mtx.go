@@ -114,7 +114,7 @@ func Read(r io.Reader) (*sparse.CSR[float64], error) {
 		for k, f := range fields {
 			dims[k], err = strconv.ParseInt(f, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("mtx: line %d: bad size field %q: %v", lineNo, trunc(f), err)
+				return nil, fmt.Errorf("mtx: line %d: bad size field %q: %w", lineNo, trunc(f), err)
 			}
 		}
 		rows, cols, nnz = dims[0], dims[1], dims[2]
@@ -161,11 +161,11 @@ func Read(r io.Reader) (*sparse.CSR[float64], error) {
 		}
 		i, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mtx: line %d: bad row index %q: %v", lineNo, trunc(fields[0]), err)
+			return nil, fmt.Errorf("mtx: line %d: bad row index %q: %w", lineNo, trunc(fields[0]), err)
 		}
 		j, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mtx: line %d: bad column index %q: %v", lineNo, trunc(fields[1]), err)
+			return nil, fmt.Errorf("mtx: line %d: bad column index %q: %w", lineNo, trunc(fields[1]), err)
 		}
 		if i < 1 || i > rows || j < 1 || j > cols {
 			return nil, fmt.Errorf("mtx: line %d: entry (%d,%d) out of bounds %dx%d", lineNo, i, j, rows, cols)
@@ -174,7 +174,7 @@ func Read(r io.Reader) (*sparse.CSR[float64], error) {
 		if h.field != "pattern" {
 			v, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("mtx: line %d: bad value %q: %v", lineNo, trunc(fields[2]), err)
+				return nil, fmt.Errorf("mtx: line %d: bad value %q: %w", lineNo, trunc(fields[2]), err)
 			}
 		}
 		ri, cj := sparse.Index(i-1), sparse.Index(j-1)

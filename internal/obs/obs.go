@@ -26,6 +26,7 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -68,36 +69,54 @@ func (p Phase) String() string {
 }
 
 // WorkerCounters is one worker's counter block. Each worker owns one
-// block for the duration of a run and increments it without any
-// synchronization; blocks are padded to two cache lines so neighboring
-// workers never false-share (the adjacent-line prefetcher pulls pairs).
+// block for the duration of a run; blocks are padded to two cache lines
+// so neighboring workers never false-share (the adjacent-line
+// prefetcher pulls pairs). The fields are atomic so that a slot can be
+// read (by Stats) while a run is still incrementing it, and so the
+// atomicpad analyzer can mechanically reject any plain load or store
+// that would reintroduce a data race.
+//
+//spgemm:padded
 type WorkerCounters struct {
 	// Tiles is the number of tiles this worker claimed and executed.
-	Tiles int64
+	Tiles atomic.Int64
 	// Rows is the number of output rows this worker iterated.
-	Rows int64
+	Rows atomic.Int64
 	// Flops is the Eq. 2 flop volume Σ nnz(B[k,:]) over the A entries of
 	// the rows this worker processed — the same estimate the FLOP-balanced
 	// tiler splits on, so per-worker Flops measures how well the tiling
 	// policy actually balanced the work.
-	Flops int64
+	Flops atomic.Int64
 	// CoIterPicks and LinearPicks count the hybrid iteration space's
 	// per-(i,k) Eq. 3 decisions: co-iterate (binary search) vs linear scan.
-	CoIterPicks int64
+	CoIterPicks atomic.Int64
 	// LinearPicks counts the linear-scan side of the hybrid decision.
-	LinearPicks int64
+	LinearPicks atomic.Int64
 	// Gathered is the number of output entries this worker emitted.
-	Gathered int64
+	Gathered atomic.Int64
 	_        [128 - 6*8]byte // pad to 2 cache lines
 }
 
-func (c *WorkerCounters) add(o *WorkerCounters) {
-	c.Tiles += o.Tiles
-	c.Rows += o.Rows
-	c.Flops += o.Flops
-	c.CoIterPicks += o.CoIterPicks
-	c.LinearPicks += o.LinearPicks
-	c.Gathered += o.Gathered
+// reset zeroes the block field by field; the atomic fields carry a
+// noCopy sentinel, so `*c = WorkerCounters{}` is not an option.
+func (c *WorkerCounters) reset() {
+	c.Tiles.Store(0)
+	c.Rows.Store(0)
+	c.Flops.Store(0)
+	c.CoIterPicks.Store(0)
+	c.LinearPicks.Store(0)
+	c.Gathered.Store(0)
+}
+
+// copyFrom transfers o's values into c, again without copying the
+// noCopy-guarded struct wholesale.
+func (c *WorkerCounters) copyFrom(o *WorkerCounters) {
+	c.Tiles.Store(o.Tiles.Load())
+	c.Rows.Store(o.Rows.Load())
+	c.Flops.Store(o.Flops.Load())
+	c.CoIterPicks.Store(o.CoIterPicks.Load())
+	c.LinearPicks.Store(o.LinearPicks.Load())
+	c.Gathered.Store(o.Gathered.Load())
 }
 
 // AccumCounters are the accumulator-side statistics, aggregated over
@@ -147,7 +166,7 @@ func (r *Recorder) Reset() {
 	r.spans = [numPhases]time.Duration{}
 	r.counts = [numPhases]int64{}
 	for i := range r.workers {
-		r.workers[i] = WorkerCounters{}
+		r.workers[i].reset()
 	}
 	r.accum = AccumCounters{}
 	r.runs = 0
@@ -217,7 +236,9 @@ func (r *Recorder) WorkerSlots(n int) []WorkerCounters {
 	defer r.mu.Unlock()
 	if len(r.workers) < n {
 		grown := make([]WorkerCounters, n)
-		copy(grown, r.workers)
+		for i := range r.workers {
+			grown[i].copyFrom(&r.workers[i])
+		}
 		r.workers = grown
 	}
 	return r.workers[:n]

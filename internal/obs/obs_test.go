@@ -73,12 +73,16 @@ func TestSpanAccounting(t *testing.T) {
 func TestWorkerSlotsAndDists(t *testing.T) {
 	r := NewRecorder()
 	slots := r.WorkerSlots(3)
-	slots[0].Tiles, slots[0].Flops = 4, 400
-	slots[1].Tiles, slots[1].Flops = 2, 100
-	slots[2].Tiles, slots[2].Flops = 2, 100
+	slots[0].Tiles.Store(4)
+	slots[0].Flops.Store(400)
+	slots[1].Tiles.Store(2)
+	slots[1].Flops.Store(100)
+	slots[2].Tiles.Store(2)
+	slots[2].Flops.Store(100)
 	// Growing keeps earlier counts.
 	slots = r.WorkerSlots(4)
-	slots[3].Tiles, slots[3].Flops = 0, 0
+	slots[3].Tiles.Store(0)
+	slots[3].Flops.Store(0)
 	s := r.Stats()
 	if s.Totals.Tiles != 8 || s.Totals.Flops != 600 {
 		t.Fatalf("totals = %+v", s.Totals)
@@ -97,15 +101,15 @@ func TestWorkerSlotsAndDists(t *testing.T) {
 func TestStatsSub(t *testing.T) {
 	r := NewRecorder()
 	slots := r.WorkerSlots(2)
-	slots[0].Rows = 10
-	slots[1].Rows = 20
+	slots[0].Rows.Store(10)
+	slots[1].Rows.Store(20)
 	r.Span(PhaseExecKernel)()
 	r.AddAccum(AccumCounters{HashProbes: 100})
 	r.AddRun()
 	before := r.Stats()
 
-	slots[0].Rows += 5
-	slots[1].Rows += 7
+	slots[0].Rows.Add(5)
+	slots[1].Rows.Add(7)
 	r.Span(PhaseExecKernel)()
 	r.AddAccum(AccumCounters{HashProbes: 50, MarkerClears: 1})
 	r.AddRun()
@@ -127,7 +131,7 @@ func TestStatsSub(t *testing.T) {
 
 func TestResetAndReuse(t *testing.T) {
 	r := NewRecorder()
-	r.WorkerSlots(2)[1].Tiles = 7
+	r.WorkerSlots(2)[1].Tiles.Store(7)
 	r.AddRun()
 	r.Reset()
 	s := r.Stats()
@@ -143,8 +147,15 @@ func TestResetAndReuse(t *testing.T) {
 func TestStatsJSONRoundTrip(t *testing.T) {
 	r := NewRecorder()
 	slots := r.WorkerSlots(2)
-	slots[0] = WorkerCounters{Tiles: 3, Rows: 30, Flops: 900, CoIterPicks: 5, LinearPicks: 7, Gathered: 12}
-	slots[1] = WorkerCounters{Tiles: 1, Rows: 10, Flops: 300}
+	slots[0].Tiles.Store(3)
+	slots[0].Rows.Store(30)
+	slots[0].Flops.Store(900)
+	slots[0].CoIterPicks.Store(5)
+	slots[0].LinearPicks.Store(7)
+	slots[0].Gathered.Store(12)
+	slots[1].Tiles.Store(1)
+	slots[1].Rows.Store(10)
+	slots[1].Flops.Store(300)
 	r.Span(PhaseExecKernel)()
 	r.Span(PhaseExecAssemble)()
 	r.AddAccum(AccumCounters{MarkerClears: 2, HashProbes: 40, HashCollisions: 3})

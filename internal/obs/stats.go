@@ -113,11 +113,12 @@ type Stats struct {
 // Stats snapshots the recorder. Nil recorders return a zero snapshot
 // (Schema still set, everything else empty).
 func (r *Recorder) Stats() Stats {
-	s := Stats{Schema: StatsSchema}
 	if r == nil {
+		s := Stats{Schema: StatsSchema}
 		s.finalize()
 		return s
 	}
+	s := Stats{Schema: StatsSchema}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s.Runs = r.runs
@@ -136,12 +137,12 @@ func (r *Recorder) Stats() Stats {
 		s.Workers = append(s.Workers, WorkerStats{
 			Worker: w,
 			CounterSet: CounterSet{
-				Tiles:       c.Tiles,
-				Rows:        c.Rows,
-				Flops:       c.Flops,
-				CoIterPicks: c.CoIterPicks,
-				LinearPicks: c.LinearPicks,
-				Gathered:    c.Gathered,
+				Tiles:       c.Tiles.Load(),
+				Rows:        c.Rows.Load(),
+				Flops:       c.Flops.Load(),
+				CoIterPicks: c.CoIterPicks.Load(),
+				LinearPicks: c.LinearPicks.Load(),
+				Gathered:    c.Gathered.Load(),
 			},
 		})
 	}

@@ -141,6 +141,8 @@ func RunChunked(policy Policy, p, tiles, minChunk int, fn func(worker, tile int)
 // claimGuided reserves the next guided chunk [lo, hi): remaining/p tiles,
 // at least minChunk, clamped to what is left. The CAS loop guarantees
 // each tile is claimed by exactly one worker.
+//
+//spgemm:hotpath
 func claimGuided(next *atomic.Int64, tiles, p, minChunk int) (lo, hi int) {
 	for {
 		cur := next.Load()
@@ -164,6 +166,8 @@ func claimGuided(next *atomic.Int64, tiles, p, minChunk int) (lo, hi int) {
 // GuidedChunk returns the chunk size a guided claim takes when rem tiles
 // remain on p workers with the given floor — exposed so tests can verify
 // the geometric decay without racing on the shared counter.
+//
+//spgemm:hotpath
 func GuidedChunk(rem, p, minChunk int) int {
 	if rem <= 0 {
 		return 0

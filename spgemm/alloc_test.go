@@ -1,0 +1,56 @@
+package spgemm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"maskedspgemm/spgemm"
+)
+
+// steadyAllocBudget is the allowed allocation count of one warm,
+// stats-off Multiply: the freshly assembled result (CSR header, row
+// pointers, column indices, values, public wrapper — the paper's
+// measurement loop frees the output each run, so it is rebuilt by
+// design) plus a handful of fixed scheduler closure cells. The budget
+// is a constant, independent of matrix size: the row kernels,
+// accumulators and gather run entirely in reused buffers (see
+// internal/core's TestKernelSteadyStateAllocs for the exact-zero
+// assertion on that loop). Any growth past this bound means an
+// allocation crept into a hot path.
+const steadyAllocBudget = 12
+
+func TestMultiplySteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var tr []spgemm.Triple
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if r.Float64() < 0.15 {
+				tr = append(tr, spgemm.Triple{Row: i, Col: j, Val: 1})
+			}
+		}
+	}
+	a, err := spgemm.FromTriples(64, 64, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := spgemm.Defaults()
+	opts.Workers = 1 // serial: no per-run goroutine spawns to count
+	opts.Tiles = 4
+	mu, err := spgemm.NewMultiplier(a, a, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first run warms the plan's tile output buffers.
+	if _, err := mu.Multiply(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := mu.Multiply(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > steadyAllocBudget {
+		t.Errorf("warm Multiply allocates %.1f times per run, budget %d (result assembly + fixed overhead)",
+			allocs, steadyAllocBudget)
+	}
+}

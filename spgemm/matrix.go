@@ -68,12 +68,12 @@ type Triple struct {
 // duplicate positions sum.
 func FromTriples(rows, cols int, entries []Triple) (*Matrix, error) {
 	if rows < 0 || cols < 0 {
-		return nil, fmt.Errorf("spgemm: negative shape %dx%d", rows, cols)
+		return nil, fmt.Errorf("%w: negative shape %dx%d", ErrShape, rows, cols)
 	}
 	coo := sparse.NewCOO[float64](rows, cols, int64(len(entries)))
 	for _, e := range entries {
 		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
-			return nil, fmt.Errorf("spgemm: entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrInvalidMatrix, e.Row, e.Col, rows, cols)
 		}
 		coo.Add(sparse.Index(e.Row), sparse.Index(e.Col), e.Val)
 	}
@@ -88,7 +88,7 @@ func FromEdges(n int, edges [][2]int) (*Matrix, error) {
 	for _, e := range edges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= n || v < 0 || v >= n {
-			return nil, fmt.Errorf("spgemm: edge (%d,%d) outside [0,%d)", u, v, n)
+			return nil, fmt.Errorf("%w: edge (%d,%d) outside [0,%d)", ErrInvalidMatrix, u, v, n)
 		}
 		if u == v {
 			continue
