@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck govulncheck race check fuzz bench-plan bench-sched bench-smoke bench-stats
+.PHONY: build test vet lint staticcheck govulncheck race check fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,9 @@ govulncheck:
 # panic containment, cancellation and parallel plan paths exercised by
 # their tests.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/tiling/... ./spgemm/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/exec/... ./internal/tiling/... ./spgemm/...
 
-check: vet lint staticcheck govulncheck race test
+check: vet lint staticcheck govulncheck race test bench-engine
 
 # Short fuzz passes over the hostile-input surface: the MatrixMarket
 # text parser and the binary CSR container.
@@ -68,3 +68,11 @@ bench-smoke:
 
 bench-stats:
 	$(GO) run ./cmd/spgemm-bench -experiment stats -shift 3 -stats-json
+
+# bench-engine is the execution-engine regression gate: run the warm
+# iterative workloads (k-truss, BC-batch) on a small graph through a
+# shared engine and fail unless every warm loop serves >= 95% of its
+# workspace checkouts from the pool. Part of `make check`.
+bench-engine:
+	$(GO) run ./cmd/spgemm-bench -experiment engine -shift 6 \
+		-graphs GAP-road-sim -reps 2 -budget 1s -min-hit-rate 0.95

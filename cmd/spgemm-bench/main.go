@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|all [flags]
+//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|engine|all [flags]
 //
 // Flags:
 //
@@ -18,6 +18,16 @@
 //	-stats           run the kernel observability experiment (human table)
 //	-stats-json      also write the stats report to BENCH_stats.json
 //	-json            write each run's measurements to results_<experiment>.json
+//	-engine          run every experiment against one shared execution engine
+//	-pool-cap N      idle-workspace cap for that engine (0 = default)
+//	-engine-json     with -experiment engine, write BENCH_engine.json
+//	-min-hit-rate F  with -experiment engine, fail below this warm hit rate
+//
+// The engine experiment (-experiment engine) times the iterative graph
+// workloads (k-truss, batched betweenness centrality) with and without
+// a shared execution engine, reporting wall time, allocations per
+// operation, and the warm-loop workspace-pool hit rate; -min-hit-rate
+// turns it into the `make bench-engine` regression gate.
 //
 // The stats experiment times the tuned configuration on every corpus
 // graph with a live recorder: per-phase wall times, exact per-worker
@@ -39,6 +49,7 @@ import (
 
 	"maskedspgemm/internal/bench"
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 )
 
 func main() {
@@ -53,6 +64,10 @@ func main() {
 	statsFlag := flag.Bool("stats", false, "run the kernel observability experiment (human table)")
 	statsJSON := flag.Bool("stats-json", false, "write the stats report to BENCH_stats.json (implies -stats)")
 	jsonOut := flag.Bool("json", false, "write measurements to results_<experiment>.json")
+	useEngine := flag.Bool("engine", false, "run all experiments against one shared execution engine (pooled workspaces + plan cache)")
+	poolCap := flag.Int("pool-cap", 0, "idle-workspace cap for -engine (0 = default, negative disables retention)")
+	engineJSON := flag.Bool("engine-json", false, "with -experiment engine, write the report to BENCH_engine.json")
+	minHitRate := flag.Float64("min-hit-rate", 0, "with -experiment engine, fail if any warm-loop pool hit rate is below this fraction")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the measurement loop between repetitions
@@ -80,6 +95,9 @@ func main() {
 	}
 	if *jsonOut {
 		o.Log = &bench.ResultLog{}
+	}
+	if *useEngine {
+		o.Engine = exec.New(exec.Config{MaxIdle: *poolCap})
 	}
 
 	w := os.Stdout
@@ -164,6 +182,34 @@ func main() {
 	}
 	if want("sched") {
 		run("sched", func() error { return bench.SchedSweep(w, o) })
+		ran = true
+	}
+	// The engine experiment never runs under "all" implicitly — it
+	// repeats the iterative workloads with and without pooling — but
+	// -experiment engine selects it; -min-hit-rate turns it into the
+	// `make bench-engine` gate.
+	if *experiment == "engine" {
+		run("engine", func() error {
+			report, err := bench.EngineBench(w, o)
+			if err != nil {
+				return err
+			}
+			if *engineJSON {
+				if err := writeValidated("BENCH_engine.json",
+					func(f *os.File) error { return report.WriteJSON(f) },
+					bench.ValidateEngineReportJSON); err != nil {
+					return err
+				}
+			}
+			if *minHitRate > 0 {
+				if err := report.CheckWarmHitRate(*minHitRate); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "warm pool hit rate >= %.0f%% on every workload (min %.1f%%)\n",
+					*minHitRate*100, report.MinWarmHitRate()*100)
+			}
+			return nil
+		})
 		ran = true
 	}
 	// The stats experiment never runs under "all" implicitly — it repeats

@@ -21,6 +21,7 @@ import (
 
 	"maskedspgemm/internal/bench"
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/graph"
 	"maskedspgemm/internal/mtx"
 	"maskedspgemm/internal/obs"
@@ -37,6 +38,8 @@ func main() {
 	kappa := flag.Float64("kappa", 1, "co-iteration factor")
 	statsFlag := flag.Bool("stats", false, "print kernel observability stats after counting")
 	statsJSON := flag.String("stats-json", "", "write kernel observability stats to this JSON file")
+	useEngine := flag.Bool("engine", false, "pool workspaces and plans in an execution engine across -repeat runs")
+	repeat := flag.Int("repeat", 1, "count this many times (with -engine, later runs recycle pooled workspaces)")
 	flag.Parse()
 
 	var a *sparse.CSR[float64]
@@ -96,18 +99,33 @@ func main() {
 	if *statsFlag || *statsJSON != "" {
 		cfg.Recorder = obs.NewRecorder()
 	}
+	var eng *exec.Engine
+	if *useEngine {
+		eng = exec.New(exec.Config{})
+		cfg.Engine = eng
+	}
 
 	start := time.Now()
-	count, err := graph.TriangleCount(a, m, cfg)
-	if err != nil {
-		if errors.Is(err, core.ErrCanceled) {
-			fatal(fmt.Errorf("interrupted: %w", err))
+	var count int64
+	var err error
+	runs := max(*repeat, 1)
+	for r := 0; r < runs; r++ {
+		count, err = graph.TriangleCount(a, m, cfg)
+		if err != nil {
+			if errors.Is(err, core.ErrCanceled) {
+				fatal(fmt.Errorf("interrupted: %w", err))
+			}
+			fatal(err)
 		}
-		fatal(err)
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) / time.Duration(runs)
 	fmt.Printf("vertices: %d\nedges:    %d\ntriangles: %d\nmethod: %s  config: %v\ntime: %s\n",
 		a.Rows, a.NNZ()/2, count, *method, cfg, elapsed.Round(time.Microsecond))
+	if eng != nil {
+		st := eng.Stats()
+		fmt.Printf("engine pool: %d hits, %d steals, %d misses over %d runs (hit rate %.1f%%)\n",
+			st.Hits, st.Steals, st.Misses, runs, st.HitRate()*100)
+	}
 
 	if cfg.Recorder != nil {
 		st := cfg.Recorder.Stats()

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
+	"maskedspgemm/internal/graph"
+	"maskedspgemm/internal/obs"
+	"maskedspgemm/internal/sparse"
+)
+
+// EngineMeasurement extends a timing with the allocator traffic of one
+// repetition — the quantity the execution engine exists to eliminate.
+type EngineMeasurement struct {
+	Measurement
+	// AllocsPerOp is the heap allocation count of one repetition.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is the heap bytes allocated by one repetition.
+	BytesPerOp float64 `json:"bytes_per_op"`
+}
+
+// EngineEntry compares one iterative workload on one graph with and
+// without a shared execution engine, both measured warm.
+type EngineEntry struct {
+	Workload string            `json:"workload"`
+	Graph    string            `json:"graph"`
+	Off      EngineMeasurement `json:"engine_off"`
+	On       EngineMeasurement `json:"engine_on"`
+	// WarmHitRate is hits/(hits+misses) of the engine's workspace pool
+	// over the timed (warm) repetitions only — the `make check` gate.
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	// Pool is the pool-counter delta of the timed repetitions.
+	Pool exec.PoolStats `json:"pool"`
+}
+
+// EngineReport is the engine experiment's document.
+type EngineReport struct {
+	Schema  string        `json:"schema"`
+	Entries []EngineEntry `json:"entries"`
+}
+
+// EngineReportSchema identifies the JSON layout of an EngineReport.
+const EngineReportSchema = "maskedspgemm/bench-engine/v1"
+
+// MinWarmHitRate returns the smallest warm-loop pool hit rate across
+// all entries (1 for an empty report).
+func (r *EngineReport) MinWarmHitRate() float64 {
+	min := 1.0
+	for _, e := range r.Entries {
+		if e.WarmHitRate < min {
+			min = e.WarmHitRate
+		}
+	}
+	return min
+}
+
+// CheckWarmHitRate fails when any entry's warm-loop hit rate is below
+// the threshold — the engine's steady-state contract, enforced by
+// `make bench-engine` (and through it `make check`).
+func (r *EngineReport) CheckWarmHitRate(min float64) error {
+	for _, e := range r.Entries {
+		if e.WarmHitRate < min {
+			return fmt.Errorf("bench: %s/%s warm pool hit rate %.3f below required %.3f (%+v)",
+				e.Workload, e.Graph, e.WarmHitRate, min, e.Pool)
+		}
+	}
+	return nil
+}
+
+// timeAllocs measures run like measure does, additionally reading the
+// allocator's malloc/byte counters around the timed repetitions. The
+// numbers include everything a repetition does — for these workloads
+// the per-round result matrices are rebuilt by design, so the engine's
+// win shows as the delta between the off and on columns, not as zero.
+func timeAllocs(run func() (int64, error), m Methodology) (EngineMeasurement, error) {
+	var out EngineMeasurement
+	for w := 0; w < m.Warmups; w++ {
+		if err := methodErr(m); err != nil {
+			return out, err
+		}
+		nnz, err := run()
+		if err != nil {
+			return out, err
+		}
+		out.OutputNNZ = nnz
+	}
+	deadline := time.Now().Add(m.Budget)
+	samples := make([]float64, 0, m.MaxReps)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for rep := 0; rep < m.MaxReps; rep++ {
+		if rep > 0 && !time.Now().Before(deadline) {
+			break
+		}
+		if err := methodErr(m); err != nil {
+			return out, err
+		}
+		start := time.Now()
+		nnz, err := run()
+		elapsed := time.Since(start)
+		if err != nil {
+			return out, err
+		}
+		out.OutputNNZ = nnz
+		out.Reps++
+		samples = append(samples, float64(elapsed)/float64(time.Millisecond))
+	}
+	runtime.ReadMemStats(&after)
+	out.fillFrom(samples)
+	if out.Reps > 0 {
+		out.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(out.Reps)
+		out.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(out.Reps)
+	}
+	return out, nil
+}
+
+// engineWorkloads are the iterative algorithms the engine experiment
+// drives: each closure runs the full algorithm once and returns a
+// checksum.
+func engineWorkloads(a *sparse.CSR[float64], cfg core.Config) []struct {
+	name string
+	run  func() (int64, error)
+} {
+	sources := []int{}
+	for v := 0; v < a.Rows && len(sources) < 4; v += max(a.Rows/4, 1) {
+		sources = append(sources, v)
+	}
+	return []struct {
+		name string
+		run  func() (int64, error)
+	}{
+		{"ktruss", func() (int64, error) {
+			res, err := graph.KTruss(a, 4, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Edges, nil
+		}},
+		{"bcbatch", func() (int64, error) {
+			bc, err := graph.BetweennessCentralityBatch(a, sources, cfg)
+			if err != nil {
+				return 0, err
+			}
+			var sum float64
+			for _, v := range bc {
+				sum += v
+			}
+			return int64(sum), nil
+		}},
+	}
+}
+
+// EngineBench runs the engine experiment: the iterative graph workloads
+// (k-truss support-and-prune, batched Brandes BC — both loops of masked
+// SpGEMMs over a fixed graph) timed without an engine and then warm
+// against a freshly populated one, reporting time, allocator traffic
+// and the warm-loop pool hit rate.
+func EngineBench(w io.Writer, o Options) (*EngineReport, error) {
+	report := &EngineReport{Schema: EngineReportSchema}
+	fmt.Fprintln(w, "Engine: warm iterative workloads, pooled workspaces vs per-call allocation")
+	fmt.Fprintf(w, "%-10s %-22s %12s %12s %14s %14s %9s\n",
+		"workload", "graph", "off ms", "on ms", "off allocs/op", "on allocs/op", "hit-rate")
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		base := o.planify(tunedConfig(o.Workers))
+		base.Context = o.Method.Context
+		// This experiment owns its engines: the off column must run
+		// engineless even when the -engine flag set a global one.
+		base.Engine = nil
+		for wi, wl := range engineWorkloads(a, base) {
+			off, err := timeAllocs(wl.run, o.Method)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s engine-off: %w", wl.name, g.Name, err)
+			}
+
+			eng := exec.New(exec.Config{})
+			cfgOn := base
+			cfgOn.Engine = eng
+			wlOn := engineWorkloads(a, cfgOn)[wi]
+			// One untimed cold run populates the pool; the timed
+			// repetitions then measure the steady state the engine
+			// promises, with the pool delta isolating their hit rate.
+			if _, err := wlOn.run(); err != nil {
+				return nil, fmt.Errorf("%s/%s engine warm-up: %w", wl.name, g.Name, err)
+			}
+			prior := eng.Stats()
+			warmMethod := o.Method
+			warmMethod.Warmups = 0
+			on, err := timeAllocs(wlOn.run, warmMethod)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s engine-on: %w", wl.name, g.Name, err)
+			}
+			delta := eng.Stats().Sub(prior)
+			if off.OutputNNZ != on.OutputNNZ {
+				return nil, fmt.Errorf("%s/%s: engine changed the result checksum (%d vs %d)",
+					wl.name, g.Name, off.OutputNNZ, on.OutputNNZ)
+			}
+
+			entry := EngineEntry{
+				Workload: wl.name, Graph: g.Name,
+				Off: off, On: on,
+				WarmHitRate: delta.HitRate(), Pool: delta,
+			}
+			report.Entries = append(report.Entries, entry)
+			o.Log.Add("engine", g.Name, wl.name+"/engine-off", off.Measurement)
+			o.Log.Add("engine", g.Name, wl.name+"/engine-on", on.Measurement)
+			fmt.Fprintf(w, "%-10s %-22s %12.2f %12.2f %14.0f %14.0f %8.1f%%\n",
+				wl.name, g.Name, off.Millis, on.Millis,
+				off.AllocsPerOp, on.AllocsPerOp, entry.WarmHitRate*100)
+		}
+	}
+	return report, nil
+}
+
+// WriteJSON emits the report as a schema-tagged JSON document.
+func (r *EngineReport) WriteJSON(w io.Writer) error {
+	return obs.WriteJSON(w, r)
+}
+
+// ValidateEngineReportJSON checks that data is a schema-conforming
+// EngineReport document (strict round-trip plus schema tag) — the check
+// behind `make bench-engine`.
+func ValidateEngineReportJSON(data []byte) error {
+	var r EngineReport
+	if err := obs.RoundTrip(data, &r); err != nil {
+		return err
+	}
+	if r.Schema != EngineReportSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, EngineReportSchema)
+	}
+	return nil
+}

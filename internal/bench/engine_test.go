@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEngineBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	o := testOptions()
+	o.Graphs = []string{"GAP-road-sim"}
+	o.Log = &ResultLog{}
+
+	var buf bytes.Buffer
+	report, err := EngineBench(&buf, o)
+	if err != nil {
+		t.Fatalf("engine bench: %v", err)
+	}
+	if len(report.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (ktruss + bcbatch)", len(report.Entries))
+	}
+	for _, e := range report.Entries {
+		if e.Off.Reps == 0 || e.On.Reps == 0 {
+			t.Errorf("%s: missing repetitions (%+v)", e.Workload, e)
+		}
+		if e.Off.OutputNNZ != e.On.OutputNNZ {
+			t.Errorf("%s: checksum mismatch %d vs %d", e.Workload, e.Off.OutputNNZ, e.On.OutputNNZ)
+		}
+	}
+	// The engine's contract on a warm loop: every checkout recycled.
+	if err := report.CheckWarmHitRate(0.95); err != nil {
+		t.Errorf("warm hit rate gate: %v", err)
+	}
+	if report.MinWarmHitRate() < 0.95 {
+		t.Errorf("min warm hit rate %.3f", report.MinWarmHitRate())
+	}
+	// Off/on rows both land in the shared result log.
+	if o.Log.Len() != 4 {
+		t.Errorf("logged %d entries, want 4", o.Log.Len())
+	}
+	if !strings.Contains(buf.String(), "hit-rate") {
+		t.Error("table missing hit-rate column")
+	}
+
+	// The JSON twin round-trips through its declared schema.
+	var js bytes.Buffer
+	if err := report.WriteJSON(&js); err != nil {
+		t.Fatalf("write json: %v", err)
+	}
+	if err := ValidateEngineReportJSON(js.Bytes()); err != nil {
+		t.Errorf("validate json: %v", err)
+	}
+	if err := ValidateEngineReportJSON([]byte(`{"schema":"nope","entries":[]}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func TestCheckWarmHitRate(t *testing.T) {
+	r := &EngineReport{Entries: []EngineEntry{
+		{Workload: "ktruss", Graph: "g", WarmHitRate: 1},
+		{Workload: "bcbatch", Graph: "g", WarmHitRate: 0.5},
+	}}
+	if err := r.CheckWarmHitRate(0.95); err == nil {
+		t.Error("0.5 hit rate passed a 0.95 gate")
+	}
+	if err := r.CheckWarmHitRate(0.4); err != nil {
+		t.Errorf("0.4 gate failed: %v", err)
+	}
+	if got := r.MinWarmHitRate(); got != 0.5 {
+		t.Errorf("min = %v, want 0.5", got)
+	}
+	empty := &EngineReport{}
+	if got := empty.MinWarmHitRate(); got != 1 {
+		t.Errorf("empty min = %v, want 1", got)
+	}
+}

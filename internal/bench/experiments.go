@@ -8,6 +8,7 @@ import (
 	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/baseline"
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/sparse"
 	"maskedspgemm/internal/tiling"
@@ -36,6 +37,11 @@ type Options struct {
 	// experiment takes, so the text table gains a machine-readable JSON
 	// twin (the -json flag). nil discards.
 	Log *ResultLog
+	// Engine, when non-nil, is attached to every kernel configuration
+	// the experiments build (the -engine flag), so repeated timed runs
+	// recycle pooled workspaces and cached plans instead of allocating
+	// per call.
+	Engine *exec.Engine
 }
 
 // planify applies the plan-parallelism and guided-chunk knobs to a
@@ -43,6 +49,7 @@ type Options struct {
 func (o Options) planify(cfg core.Config) core.Config {
 	cfg.PlanWorkers = o.PlanWorkers
 	cfg.GuidedMinChunk = o.GuidedMinChunk
+	cfg.Engine = o.Engine
 	return cfg
 }
 

@@ -32,10 +32,10 @@ func TestKernelSteadyStateAllocs(t *testing.T) {
 			}
 			allocs := testing.AllocsPerRun(10, func() {
 				for tt := range mu.tiles {
-					out := &mu.outs[tt]
-					out.cols = out.cols[:0]
-					out.vals = out.vals[:0]
-					runTilePlanned(mu.sr, mu.accs[0], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[tt], out, nil)
+					out := &mu.ws.Outs[tt]
+					out.Cols = out.Cols[:0]
+					out.Vals = out.Vals[:0]
+					runTilePlanned(mu.sr, mu.ws.Accs[0], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[tt], out, nil)
 				}
 			})
 			if allocs != 0 {

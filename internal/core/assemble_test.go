@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -22,14 +23,14 @@ func lowerPlanCutoff(t *testing.T) {
 // makeOuts builds per-tile outputs with the given per-row nnz counts,
 // synthesizing distinguishable column/value payloads so a copy to the
 // wrong offset is detected.
-func makeOuts(tiles []tiling.Tile, rowNNZ []int) []tileOutput[float64] {
-	outs := make([]tileOutput[float64], len(tiles))
+func makeOuts(tiles []tiling.Tile, rowNNZ []int) []exec.TileBuf[float64] {
+	outs := make([]exec.TileBuf[float64], len(tiles))
 	for t, tl := range tiles {
 		for r := tl.Lo; r < tl.Hi; r++ {
-			outs[t].rowNNZ = append(outs[t].rowNNZ, int32(rowNNZ[r]))
+			outs[t].RowNNZ = append(outs[t].RowNNZ, int32(rowNNZ[r]))
 			for j := 0; j < rowNNZ[r]; j++ {
-				outs[t].cols = append(outs[t].cols, sparse.Index(j))
-				outs[t].vals = append(outs[t].vals, float64(r*1000+j))
+				outs[t].Cols = append(outs[t].Cols, sparse.Index(j))
+				outs[t].Vals = append(outs[t].Vals, float64(r*1000+j))
 			}
 		}
 	}

@@ -15,7 +15,9 @@ import (
 // The identity used: column-wise saxpy on (M, A, B) equals row-wise
 // saxpy on the transposed problem Cᵀ = Mᵀ ⊙ (Bᵀ × Aᵀ), and a CSC matrix
 // is exactly the CSR storage of its transpose. No data movement is
-// needed beyond relabeling.
+// needed beyond relabeling. The delegation carries cfg.Engine with it,
+// so CSC multiplies draw workspaces and cached plans (keyed by the
+// relabeled operands) from the same pool as the row-wise entry points.
 func MaskedSpGEMMCSC[T sparse.Number, S semiring.Semiring[T]](
 	sr S, m, a, b *sparse.CSC[T], cfg Config,
 ) (*sparse.CSC[T], error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -20,7 +21,8 @@ import (
 // the accumulator and only the vanilla-style traversal applies — each
 // row's full product is formed and mask hits are discarded. The
 // accumulator here is a per-worker dense scratch with an explicit
-// touched list, sized by the column dimension.
+// touched list, sized by the column dimension, checked out of the
+// engine's pool (cfg.Engine) or constructed per call without one.
 func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 	sr S, m, a, b *sparse.CSR[T], cfg Config,
 ) (*sparse.CSR[T], error) {
@@ -37,23 +39,20 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
-	tiles, err := tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	poolPrior := cfg.Engine.Stats()
+	plan, err := planFor(ctx, cfg, pw, m, a, b)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
+	tiles := plan.Tiles
 	workers := sched.Workers(cfg.Workers)
-	outs := make([]tileOutput[T], len(tiles))
 
-	scratch := make([]*compScratch[T], workers)
-	for wkr := range scratch {
-		scratch[wkr] = &compScratch[T]{
-			vals:  make([]T, b.Cols),
-			state: make([]uint8, b.Cols),
-		}
-	}
+	ws := exec.Dense[T, S](cfg.Engine, sr, b.Cols, workers, len(tiles))
+	defer ws.Release()
+	outs := ws.Outs[:len(tiles)]
 
 	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
-		runTileComp(sr, scratch[worker], m, a, b, tiles[t], &outs[t])
+		runTileComp(sr, &ws.Dense[worker], m, a, b, tiles[t], &outs[t])
 	}); err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -62,58 +61,59 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
+	recordPoolDelta(cfg, poolPrior)
 	return c, nil
 }
 
-// compScratch is the per-worker state of the complement kernel: value
-// and state vectors of the full column dimension plus the touched list
-// used for explicit reset (state: 0 empty, 1 blocked by mask, 2 written).
-type compScratch[T sparse.Number] struct {
-	vals    []T
-	state   []uint8
-	touched []sparse.Index
-}
-
+// runTileComp computes one tile of the complement-masked product. The
+// per-worker scratch's state vector encodes 0 empty, 1 blocked by mask,
+// 2 written; the touched list drives the explicit reset, which restores
+// the all-zero state the (pooled) scratch must be returned in.
 func runTileComp[T sparse.Number, S semiring.Semiring[T]](
-	sr S, sc *compScratch[T],
-	m, a, b *sparse.CSR[T], tile tiling.Tile, out *tileOutput[T],
+	sr S, sc *exec.DenseScratch[T],
+	m, a, b *sparse.CSR[T], tile tiling.Tile, out *exec.TileBuf[T],
 ) {
-	out.rowNNZ = make([]int32, tile.Rows())
+	if cap(out.RowNNZ) < tile.Rows() {
+		out.RowNNZ = make([]int32, tile.Rows())
+	}
+	out.RowNNZ = out.RowNNZ[:tile.Rows()]
+	out.Cols = out.Cols[:0]
+	out.Vals = out.Vals[:0]
 	for i := tile.Lo; i < tile.Hi; i++ {
 		// Block the masked positions, then accumulate the row product
 		// into everything else.
 		for _, j := range m.RowCols(i) {
-			sc.state[j] = 1
-			sc.touched = append(sc.touched, j)
+			sc.State[j] = 1
+			sc.Touched = append(sc.Touched, j)
 		}
 		aCols, aVals := a.Row(i)
 		for kk, k := range aCols {
 			aik := aVals[kk]
 			bCols, bVals := b.Row(int(k))
 			for jj, j := range bCols {
-				switch sc.state[j] {
+				switch sc.State[j] {
 				case 2:
-					sc.vals[j] = sr.Plus(sc.vals[j], sr.Times(aik, bVals[jj]))
+					sc.Vals[j] = sr.Plus(sc.Vals[j], sr.Times(aik, bVals[jj]))
 				case 0:
-					sc.state[j] = 2
-					sc.vals[j] = sr.Times(aik, bVals[jj])
-					sc.touched = append(sc.touched, j)
+					sc.State[j] = 2
+					sc.Vals[j] = sr.Times(aik, bVals[jj])
+					sc.Touched = append(sc.Touched, j)
 				} // state 1: blocked by the mask, discard
 			}
 		}
 		// Gather written entries in column order, then reset.
-		start := len(out.cols)
-		for _, j := range sc.touched {
-			if sc.state[j] == 2 {
-				out.cols = append(out.cols, j)
-				out.vals = append(out.vals, sc.vals[j])
+		start := len(out.Cols)
+		for _, j := range sc.Touched {
+			if sc.State[j] == 2 {
+				out.Cols = append(out.Cols, j)
+				out.Vals = append(out.Vals, sc.Vals[j])
 			}
-			sc.state[j] = 0
+			sc.State[j] = 0
 		}
-		sc.touched = sc.touched[:0]
-		row := rowView[T]{out.cols[start:], out.vals[start:]}
+		sc.Touched = sc.Touched[:0]
+		row := rowView[T]{out.Cols[start:], out.Vals[start:]}
 		sort.Sort(&row)
-		out.rowNNZ[i-tile.Lo] = int32(len(out.cols) - start)
+		out.RowNNZ[i-tile.Lo] = int32(len(out.Cols) - start)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"math/bits"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/tiling"
@@ -106,6 +107,15 @@ type Config struct {
 	// (wrapping the context's error) instead of completing. A nil
 	// Context runs to completion with no cancellation machinery.
 	Context context.Context
+	// Engine, when non-nil, supplies pooled execution workspaces
+	// (accumulators, tile output buffers, dense scratch) and a
+	// fingerprint-keyed plan cache shared across runs and callers. With
+	// an Engine, repeated products over unchanged operand structure skip
+	// planning, warm runs allocate no workspace state, and independent
+	// concurrent multiplications through the shared Engine are safe. A
+	// nil Engine reproduces the one-shot behavior: every run constructs
+	// (and discards) its own workspace.
+	Engine *exec.Engine
 	// Recorder, when non-nil, collects observability data for every run
 	// under this configuration: phase spans (plan row-work/prefix-sum/
 	// tile-build/row-cap, exec kernel/assembly), exact per-worker

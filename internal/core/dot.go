@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -44,6 +45,7 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 	//   W[i] = Σ_{M[i,j]≠0} (nnz(A[i,:]) + nnz(B[:,j])).
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
+	poolPrior := cfg.Engine.Stats()
 	var tiles []tiling.Tile
 	if cfg.Tiling == tiling.FlopBalanced {
 		work := make([]int64, m.Rows)
@@ -68,26 +70,38 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 		tiles = tiling.UniformTiles(m.Rows, cfg.Tiles)
 	}
 	workers := sched.Workers(cfg.Workers)
-	outs := make([]tileOutput[T], len(tiles))
+	// The dot traversal needs no accumulator or dense scratch — only the
+	// per-tile staging buffers — so it checks out a zero-worker workspace.
+	ws := exec.Dense[T, S](cfg.Engine, sr, 1, 0, len(tiles))
+	defer ws.Release()
+	outs := ws.Outs[:len(tiles)]
 
 	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
 		tile := tiles[t]
 		out := &outs[t]
 		maskVol := m.RowPtr[tile.Hi] - m.RowPtr[tile.Lo]
-		out.rowNNZ = make([]int32, tile.Rows())
-		out.cols = make([]sparse.Index, 0, maskVol)
-		out.vals = make([]T, 0, maskVol)
+		if cap(out.RowNNZ) < tile.Rows() {
+			out.RowNNZ = make([]int32, tile.Rows())
+		}
+		out.RowNNZ = out.RowNNZ[:tile.Rows()]
+		if int64(cap(out.Cols)) < maskVol || int64(cap(out.Vals)) < maskVol {
+			out.Cols = make([]sparse.Index, 0, maskVol)
+			out.Vals = make([]T, 0, maskVol)
+		} else {
+			out.Cols = out.Cols[:0]
+			out.Vals = out.Vals[:0]
+		}
 		for i := tile.Lo; i < tile.Hi; i++ {
 			aCols, aVals := a.Row(i)
-			before := len(out.cols)
+			before := len(out.Cols)
 			for _, j := range m.RowCols(i) {
 				bCols, bVals := bT.Row(int(j))
 				if v, hit := sparseDot(sr, aCols, aVals, bCols, bVals); hit {
-					out.cols = append(out.cols, j)
-					out.vals = append(out.vals, v)
+					out.Cols = append(out.Cols, j)
+					out.Vals = append(out.Vals, v)
 				}
 			}
-			out.rowNNZ[i-tile.Lo] = int32(len(out.cols) - before)
+			out.RowNNZ[i-tile.Lo] = int32(len(out.Cols) - before)
 		}
 	}); err != nil {
 		return nil, wrapRunErr(err)
@@ -97,6 +111,7 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
+	recordPoolDelta(cfg, poolPrior)
 	return c, nil
 }
 

@@ -31,6 +31,14 @@ var (
 	// ErrPanic marks a panic recovered inside a kernel worker. It wraps
 	// a *sched.PanicError carrying the panic value and stack.
 	ErrPanic = errors.New("core: kernel panic")
+
+	// ErrConcurrentMultiply marks overlapping Multiply calls on a
+	// Multiplier that has no Engine: the engineless path owns a single
+	// workspace, so a second concurrent call would race on it. The
+	// misuse is detected atomically and rejected instead of corrupting
+	// state. Give the Multiplier an Engine (per-call workspace checkout)
+	// to serve concurrent callers.
+	ErrConcurrentMultiply = errors.New("core: concurrent Multiply on a Multiplier without an Engine")
 )
 
 // errConfig builds a Validate rejection wrapping ErrConfig.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -14,13 +15,21 @@ import (
 func EWiseAdd[T sparse.Number, S semiring.Semiring[T]](
 	sr S, a, b *sparse.CSR[T],
 ) (*sparse.CSR[T], error) {
+	return EWiseAddWS(sr, a, b, nil)
+}
+
+// EWiseAddWS is EWiseAdd staging rows in ws's scratch slices instead of
+// per-call locals, so iterative callers (BC's dependency accumulation)
+// stop paying the row-staging allocation each round. ws may be nil.
+func EWiseAddWS[T sparse.Number, S semiring.Semiring[T]](
+	sr S, a, b *sparse.CSR[T], ws *exec.Workspace[T, S],
+) (*sparse.CSR[T], error) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return nil, fmt.Errorf("%w: A %dx%d, B %dx%d",
 			sparse.ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := sparse.NewCSR[T](a.Rows, a.Cols, a.NNZ()+b.NNZ())
-	var cols []sparse.Index
-	var vals []T
+	cols, vals := stagingFor(ws)
 	for i := 0; i < a.Rows; i++ {
 		aCols, aVals := a.Row(i)
 		bCols, bVals := b.Row(i)
@@ -54,6 +63,7 @@ func EWiseAdd[T sparse.Number, S semiring.Semiring[T]](
 		}
 		out.AppendRow(i, cols, vals)
 	}
+	stagingStore(ws, cols, vals)
 	return out, nil
 }
 
@@ -65,6 +75,14 @@ func EWiseAdd[T sparse.Number, S semiring.Semiring[T]](
 func EWiseMult[T sparse.Number, S semiring.Semiring[T]](
 	sr S, a, b *sparse.CSR[T],
 ) (*sparse.CSR[T], error) {
+	return EWiseMultWS(sr, a, b, nil)
+}
+
+// EWiseMultWS is EWiseMult staging rows in ws's scratch slices; ws may
+// be nil. See EWiseAddWS.
+func EWiseMultWS[T sparse.Number, S semiring.Semiring[T]](
+	sr S, a, b *sparse.CSR[T], ws *exec.Workspace[T, S],
+) (*sparse.CSR[T], error) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return nil, fmt.Errorf("%w: A %dx%d, B %dx%d",
 			sparse.ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
@@ -74,8 +92,7 @@ func EWiseMult[T sparse.Number, S semiring.Semiring[T]](
 		nnzCap = b.NNZ()
 	}
 	out := sparse.NewCSR[T](a.Rows, a.Cols, nnzCap)
-	var cols []sparse.Index
-	var vals []T
+	cols, vals := stagingFor(ws)
 	for i := 0; i < a.Rows; i++ {
 		aCols, aVals := a.Row(i)
 		bCols, bVals := b.Row(i)
@@ -97,7 +114,31 @@ func EWiseMult[T sparse.Number, S semiring.Semiring[T]](
 		}
 		out.AppendRow(i, cols, vals)
 	}
+	stagingStore(ws, cols, vals)
 	return out, nil
+}
+
+// stagingFor hands out the workspace's append-staging slices (empty,
+// capacity preserved), or nil slices when ws is nil.
+func stagingFor[T sparse.Number, S semiring.Semiring[T]](
+	ws *exec.Workspace[T, S],
+) ([]sparse.Index, []T) {
+	if ws == nil {
+		return nil, nil
+	}
+	return ws.ScratchCols[:0], ws.ScratchVals[:0]
+}
+
+// stagingStore returns grown staging slices to the workspace so the
+// capacity carries to the next call.
+func stagingStore[T sparse.Number, S semiring.Semiring[T]](
+	ws *exec.Workspace[T, S], cols []sparse.Index, vals []T,
+) {
+	if ws == nil {
+		return
+	}
+	ws.ScratchCols = cols[:0]
+	ws.ScratchVals = vals[:0]
 }
 
 // ReduceRows folds each row with the semiring's Plus, returning a
@@ -105,7 +146,18 @@ func EWiseMult[T sparse.Number, S semiring.Semiring[T]](
 // GrB_Matrix_reduce to a vector. Triangle-per-vertex counts and k-truss
 // support summaries are built from it.
 func ReduceRows[T sparse.Number, S semiring.Semiring[T]](sr S, m *sparse.CSR[T]) *SpVec[T] {
-	out := &SpVec[T]{N: m.Rows}
+	return ReduceRowsInto(sr, m, nil)
+}
+
+// ReduceRowsInto is ReduceRows writing into out (reusing its entry
+// storage) when non-nil; the iterative hook for k-truss support loops.
+func ReduceRowsInto[T sparse.Number, S semiring.Semiring[T]](
+	sr S, m *sparse.CSR[T], out *SpVec[T],
+) *SpVec[T] {
+	if out == nil {
+		out = &SpVec[T]{}
+	}
+	out.Reset(m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		_, vals := m.Row(i)
 		if len(vals) == 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
@@ -67,29 +68,33 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
-	tiles, err := makeTiles(ctx, cfg, pw, a, b, m)
+	poolPrior := cfg.Engine.Stats()
+	plan, err := planFor(ctx, cfg, pw, m, a, b)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
+	tiles := plan.Tiles
 	workers := sched.Workers(cfg.Workers)
 
-	// Accumulator row capacity (§III-C): masked spaces can hold at most
-	// max_i nnz(M[i,:]) entries per row; the vanilla space populates the
-	// full unmasked product row, bounded by the per-row flop count and
-	// the column dimension.
-	rowCap, err := rowCapacity(ctx, cfg, pw, a, b, m)
-	if err != nil {
-		return nil, wrapRunErr(err)
-	}
-
-	outs := make([]tileOutput[T], len(tiles))
-	accs := make([]accum.Accumulator[T], workers)
-	for w := range accs {
-		accs[w] = accum.New[T](cfg.Accumulator, sr, b.Cols, rowCap, cfg.MarkerBits)
-		if wrap != nil {
-			accs[w] = wrap(accs[w])
+	// The workspace carries the per-worker accumulators (§III-C sizing:
+	// masked spaces hold at most max_i nnz(M[i,:]) entries per row; the
+	// vanilla bound is folded into plan.RowCap) and the per-tile output
+	// staging buffers — checked out of the engine's pool, or constructed
+	// fresh when cfg.Engine is nil.
+	ws := exec.Masked[T, S](cfg.Engine, sr, cfg.Accumulator, cfg.MarkerBits,
+		b.Cols, plan.RowCap, workers, len(tiles))
+	defer ws.Release()
+	accs := ws.Accs[:workers]
+	if wrap != nil {
+		// The decorators are per run by design (they are drained after the
+		// run); never let them leak into the pooled workspace.
+		wrapped := make([]accum.Accumulator[T], workers)
+		for w := range wrapped {
+			wrapped[w] = wrap(accs[w])
 		}
+		accs = wrapped
 	}
+	outs := ws.Outs[:len(tiles)]
 	prior := snapshotAccumStats(accs, cfg.Recorder)
 
 	if err := runKernelSpanned(ctx, cfg, workers, len(tiles), func(worker, t int, wc *obs.WorkerCounters) {
@@ -103,14 +108,8 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 		return nil, wrapRunErr(err)
 	}
 	recordAccumDeltas(accs, prior, cfg.Recorder)
+	recordPoolDelta(cfg, poolPrior)
 	return c, nil
-}
-
-// tileOutput holds one tile's slice of the result before assembly.
-type tileOutput[T sparse.Number] struct {
-	rowNNZ []int32
-	cols   []sparse.Index
-	vals   []T
 }
 
 // planSerialCutoff is the row count below which the plan-construction
@@ -162,17 +161,27 @@ func maxRowNNZ[T sparse.Number](ctx context.Context, m *sparse.CSR[T], p int) (i
 }
 
 // runTile computes the output rows of one tile into out using the
-// worker-local accumulator, pre-sizing the buffers by the tile's mask
-// volume (output ⊆ mask). wc, when non-nil, receives the worker's exact
-// operation counts.
+// worker-local accumulator, sizing the buffers by the tile's mask
+// volume (output ⊆ mask). Buffers large enough from an earlier run of
+// the (possibly pooled) workspace are truncated in place, not
+// reallocated. wc, when non-nil, receives the worker's exact operation
+// counts.
+//
+//spgemm:hotpath
 func runTile[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T],
-	m, a, b *sparse.CSR[T], cfg Config, tile tiling.Tile, out *tileOutput[T],
+	m, a, b *sparse.CSR[T], cfg Config, tile tiling.Tile, out *exec.TileBuf[T],
 	wc *obs.WorkerCounters,
 ) {
 	maskVol := m.RowPtr[tile.Hi] - m.RowPtr[tile.Lo]
-	out.cols = make([]sparse.Index, 0, maskVol)
-	out.vals = make([]T, 0, maskVol)
+	if int64(cap(out.Cols)) < maskVol || int64(cap(out.Vals)) < maskVol {
+		//lint:ignore hotpathalloc amortized: first run at this mask volume sizes the staging buffers
+		out.Cols = make([]sparse.Index, 0, maskVol)
+		out.Vals = make([]T, 0, maskVol) //lint:ignore hotpathalloc amortized: sized with Cols above
+	} else {
+		out.Cols = out.Cols[:0]
+		out.Vals = out.Vals[:0]
+	}
 	runTilePlanned(sr, acc, m, a, b, cfg, tile, out, wc)
 }
 
@@ -324,7 +333,7 @@ func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
 // workers; it is assembleE without cancellation, kept for callers and
 // tests that cannot fail. See assembleE for the pass structure.
 func assemble[T sparse.Number](
-	rows, cols int, tiles []tiling.Tile, outs []tileOutput[T], p int,
+	rows, cols int, tiles []tiling.Tile, outs []exec.TileBuf[T], p int,
 ) *sparse.CSR[T] {
 	c, err := assembleE(nil, rows, cols, tiles, outs, p)
 	if err != nil {
@@ -343,13 +352,13 @@ func assemble[T sparse.Number](
 // Small results, or p <= 1, take the serial path unchanged. ctx cancels
 // between passes and blocks; worker panics surface as errors.
 func assembleE[T sparse.Number](
-	ctx context.Context, rows, cols int, tiles []tiling.Tile, outs []tileOutput[T], p int,
+	ctx context.Context, rows, cols int, tiles []tiling.Tile, outs []exec.TileBuf[T], p int,
 ) (*sparse.CSR[T], error) {
 	c := &sparse.CSR[T]{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
 	if p = blockWorkers(p, rows); p <= 1 {
 		var nnz int64
 		for t := range outs {
-			for r, n := range outs[t].rowNNZ {
+			for r, n := range outs[t].RowNNZ {
 				c.RowPtr[tiles[t].Lo+r+1] = int64(n)
 				nnz += int64(n)
 			}
@@ -361,15 +370,15 @@ func assembleE[T sparse.Number](
 		c.Val = make([]T, nnz)
 		for t := range outs {
 			lo := c.RowPtr[tiles[t].Lo]
-			copy(c.ColIdx[lo:], outs[t].cols)
-			copy(c.Val[lo:], outs[t].vals)
+			copy(c.ColIdx[lo:], outs[t].Cols)
+			copy(c.Val[lo:], outs[t].Vals)
 		}
 		return c, nil
 	}
 	if err := sched.BlocksE(ctx, p, len(tiles), func(_, lo, hi int) {
 		for t := lo; t < hi; t++ {
 			base := tiles[t].Lo
-			for r, n := range outs[t].rowNNZ {
+			for r, n := range outs[t].RowNNZ {
 				c.RowPtr[base+r+1] = int64(n)
 			}
 		}
@@ -385,8 +394,8 @@ func assembleE[T sparse.Number](
 	if err := sched.BlocksE(ctx, p, len(tiles), func(_, lo, hi int) {
 		for t := lo; t < hi; t++ {
 			off := c.RowPtr[tiles[t].Lo]
-			copy(c.ColIdx[off:], outs[t].cols)
-			copy(c.Val[off:], outs[t].vals)
+			copy(c.ColIdx[off:], outs[t].Cols)
+			copy(c.Val[off:], outs[t].Vals)
 		}
 	}); err != nil {
 		return nil, err

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
@@ -12,31 +14,40 @@ import (
 	"maskedspgemm/internal/tiling"
 )
 
-// Multiplier is a reusable masked-SpGEMM execution plan for repeated
+// Multiplier is a reusable masked-SpGEMM execution for repeated
 // products with the same operands and configuration — the paper's own
 // measurement loop ("run for 5 seconds or 10000 iterations") and
 // iterative algorithms over a fixed graph both re-execute one multiply
-// many times. Constructing a Multiplier performs the work the kernel
-// otherwise repeats per call: tile partitioning (an O(nnz) prefix-sum
-// for FLOP-balanced tiles), accumulator allocation, and per-tile output
-// buffer sizing. Multiply then reuses all of it; only the result matrix
-// is freshly allocated (the paper frees the output after each run).
+// many times. Construction resolves the structural plan once (through
+// the engine's plan cache when cfg.Engine is set); Multiply reuses it,
+// so only the result matrix is freshly allocated per call.
 //
-// A Multiplier is NOT safe for concurrent Multiply calls — it owns one
-// set of worker accumulators. The operand matrices must not be mutated
-// while the Multiplier is in use.
+// Concurrency depends on the configuration's Engine:
+//
+//   - With an Engine, every Multiply checks a private workspace out of
+//     the shared pool, so concurrent Multiply calls on one Multiplier
+//     (and across Multipliers sharing the engine) are safe.
+//   - Without an Engine the Multiplier owns a single workspace;
+//     overlapping Multiply calls are detected atomically and rejected
+//     with ErrConcurrentMultiply instead of racing.
+//
+// The operand matrices must not be mutated while the Multiplier is in
+// use.
 type Multiplier[T sparse.Number, S semiring.Semiring[T]] struct {
 	sr          S
 	m, a, b     *sparse.CSR[T]
 	cfg         Config
 	tiles       []tiling.Tile
+	rowCap      int64
 	workers     int
 	planWorkers int
-	accs        []accum.Accumulator[T]
-	outs        []tileOutput[T]
+	// ws is the owned workspace of the engineless path, guarded by
+	// inUse; both stay nil/idle when cfg.Engine is set.
+	ws    *exec.Workspace[T, S]
+	inUse atomic.Bool
 }
 
-// NewMultiplier validates the problem and builds the execution plan.
+// NewMultiplier validates the problem and resolves the execution plan.
 func NewMultiplier[T sparse.Number, S semiring.Semiring[T]](
 	sr S, m, a, b *sparse.CSR[T], cfg Config,
 ) (*Multiplier[T, S], error) {
@@ -59,21 +70,19 @@ func NewMultiplier[T sparse.Number, S semiring.Semiring[T]](
 	mu.workers = sched.Workers(cfg.Workers)
 	mu.planWorkers = cfg.planWorkers()
 	if a.Rows > 0 {
-		var err error
-		mu.tiles, err = makeTiles(ctx, cfg, mu.planWorkers, a, b, m)
+		plan, err := planFor(ctx, cfg, mu.planWorkers, m, a, b)
 		if err != nil {
 			return nil, wrapRunErr(err)
 		}
+		mu.tiles = plan.Tiles
+		mu.rowCap = plan.RowCap
 	}
-	rowCap, err := rowCapacity(ctx, cfg, mu.planWorkers, a, b, m)
-	if err != nil {
-		return nil, wrapRunErr(err)
+	if cfg.Engine == nil {
+		// Engineless: construct the owned workspace once, up front, so
+		// Multiply is allocation-free in steady state.
+		mu.ws = exec.Masked[T, S](nil, sr, cfg.Accumulator, cfg.MarkerBits,
+			b.Cols, mu.rowCap, mu.workers, len(mu.tiles))
 	}
-	mu.accs = make([]accum.Accumulator[T], mu.workers)
-	for w := range mu.accs {
-		mu.accs[w] = accum.New[T](cfg.Accumulator, sr, b.Cols, rowCap, cfg.MarkerBits)
-	}
-	mu.outs = make([]tileOutput[T], len(mu.tiles))
 	return mu, nil
 }
 
@@ -99,41 +108,56 @@ func (mu *Multiplier[T, S]) MultiplyCtx(ctx context.Context) (*sparse.CSR[T], er
 	if mu.a.Rows == 0 {
 		return sparse.NewCSR[T](mu.a.Rows, mu.b.Cols, 0), nil
 	}
+	poolPrior := mu.cfg.Engine.Stats()
+	ws := mu.ws
+	if mu.cfg.Engine != nil {
+		ws = exec.Masked[T, S](mu.cfg.Engine, mu.sr, mu.cfg.Accumulator,
+			mu.cfg.MarkerBits, mu.b.Cols, mu.rowCap, mu.workers, len(mu.tiles))
+		defer ws.Release()
+	} else {
+		if !mu.inUse.CompareAndSwap(false, true) {
+			return nil, fmt.Errorf("%w (give the Multiplier an exec.Engine for concurrent serving)",
+				ErrConcurrentMultiply)
+		}
+		defer mu.inUse.Store(false)
+	}
+	accs := ws.Accs[:mu.workers]
+	outs := ws.Outs[:len(mu.tiles)]
 	// The accumulators persist across runs, so deltas against a per-run
 	// snapshot keep each run's counts exact.
-	prior := snapshotAccumStats(mu.accs, mu.cfg.Recorder)
+	prior := snapshotAccumStats(accs, mu.cfg.Recorder)
 	if err := runKernelSpanned(ctx, mu.cfg, mu.workers, len(mu.tiles), func(worker, t int, wc *obs.WorkerCounters) {
-		out := &mu.outs[t]
-		// Reuse the buffers from the previous run.
-		out.cols = out.cols[:0]
-		out.vals = out.vals[:0]
-		runTilePlanned(mu.sr, mu.accs[worker], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[t], out, wc)
+		runTile(mu.sr, accs[worker], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[t], &outs[t], wc)
 	}); err != nil {
 		return nil, wrapRunErr(err)
 	}
-	c, err := assembleSpanned(ctx, mu.cfg, mu.a.Rows, mu.b.Cols, mu.tiles, mu.outs, mu.planWorkers)
+	c, err := assembleSpanned(ctx, mu.cfg, mu.a.Rows, mu.b.Cols, mu.tiles, outs, mu.planWorkers)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
-	recordAccumDeltas(mu.accs, prior, mu.cfg.Recorder)
+	recordAccumDeltas(accs, prior, mu.cfg.Recorder)
+	recordPoolDelta(mu.cfg, poolPrior)
 	return c, nil
 }
 
-// runTilePlanned is runTile with caller-owned (reused) buffers. wc,
-// when non-nil, accumulates the tile's rows, FLOPs, hybrid picks and
-// gathered entries into the worker's counter block.
+// runTilePlanned is the buffer-reusing tile body: out's staging slices
+// are truncated or grown in place, never discarded. wc, when non-nil,
+// accumulates the tile's rows, FLOPs, hybrid picks and gathered entries
+// into the worker's counter block.
+//
+//spgemm:hotpath
 func runTilePlanned[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T],
-	m, a, b *sparse.CSR[T], cfg Config, tile tiling.Tile, out *tileOutput[T],
+	m, a, b *sparse.CSR[T], cfg Config, tile tiling.Tile, out *exec.TileBuf[T],
 	wc *obs.WorkerCounters,
 ) {
-	if cap(out.rowNNZ) < tile.Rows() {
-		out.rowNNZ = make([]int32, tile.Rows())
+	if cap(out.RowNNZ) < tile.Rows() {
+		out.RowNNZ = make([]int32, tile.Rows()) //lint:ignore hotpathalloc amortized: grows once per tile-height high-water mark
 	}
-	out.rowNNZ = out.rowNNZ[:tile.Rows()]
+	out.RowNNZ = out.RowNNZ[:tile.Rows()]
 	for i := tile.Lo; i < tile.Hi; i++ {
 		maskCols := m.RowCols(i)
-		before := len(out.cols)
+		before := len(out.Cols)
 		if len(maskCols) > 0 || cfg.Iteration == Vanilla {
 			switch cfg.Iteration {
 			case Vanilla:
@@ -145,14 +169,14 @@ func runTilePlanned[T sparse.Number, S semiring.Semiring[T]](
 			case Hybrid:
 				rowHybrid(sr, acc, a, b, i, maskCols, cfg.Kappa, wc)
 			}
-			out.cols, out.vals = acc.Gather(maskCols, out.cols, out.vals)
+			out.Cols, out.Vals = acc.Gather(maskCols, out.Cols, out.Vals)
 		}
-		out.rowNNZ[i-tile.Lo] = int32(len(out.cols) - before)
+		out.RowNNZ[i-tile.Lo] = int32(len(out.Cols) - before)
 	}
 	if wc != nil {
 		wc.Rows.Add(int64(tile.Rows()))
-		// out.cols starts empty in both entry paths, so its final length
+		// out.Cols starts empty in both entry paths, so its final length
 		// is exactly this tile's emitted entry count.
-		wc.Gathered.Add(int64(len(out.cols)))
+		wc.Gathered.Add(int64(len(out.Cols)))
 	}
 }

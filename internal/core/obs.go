@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/sparse"
@@ -20,6 +21,58 @@ func schedRun(ctx context.Context, cfg Config, workers, tiles int, fn func(worke
 // counter deltas, and the spanned/labelled wrappers around the numeric
 // kernel and the assembly. Everything here nil-checks the recorder, so
 // the uninstrumented pipeline takes the exact pre-observability paths.
+
+// planFor resolves the execution plan — tile partition plus accumulator
+// row-capacity bound — through the engine's fingerprint-keyed cache
+// when cfg.Engine is set, building (under the recorder's plan spans) on
+// a miss. Without an engine every call builds; a cached hit records no
+// plan spans because no plan work happened.
+func planFor[T sparse.Number](
+	ctx context.Context, cfg Config, pw int, m, a, b *sparse.CSR[T],
+) (exec.Plan, error) {
+	build := func() (exec.Plan, error) {
+		tiles, err := makeTiles(ctx, cfg, pw, a, b, m)
+		if err != nil {
+			return exec.Plan{}, err
+		}
+		rowCap, err := rowCapacity(ctx, cfg, pw, a, b, m)
+		if err != nil {
+			return exec.Plan{}, err
+		}
+		return exec.Plan{Tiles: tiles, RowCap: rowCap}, nil
+	}
+	if cfg.Engine == nil {
+		return build()
+	}
+	key := exec.PlanKey{
+		M:       exec.IDOf(m),
+		A:       exec.IDOf(a),
+		B:       exec.IDOf(b),
+		Tiles:   cfg.Tiles,
+		Tiling:  cfg.Tiling,
+		Vanilla: cfg.Iteration == Vanilla,
+	}
+	return cfg.Engine.Plan(key, build)
+}
+
+// recordPoolDelta folds the engine's pool-counter movement since prior
+// into the recorder. When several concurrent runs share the engine the
+// delta includes their overlapping traffic — attribution is per engine.
+func recordPoolDelta(cfg Config, prior exec.PoolStats) {
+	if cfg.Recorder == nil || cfg.Engine == nil {
+		return
+	}
+	d := cfg.Engine.Stats().Sub(prior)
+	cfg.Recorder.AddPool(obs.PoolCounters{
+		Hits:       d.Hits,
+		Misses:     d.Misses,
+		Steals:     d.Steals,
+		Resizes:    d.Resizes,
+		Evictions:  d.Evictions,
+		PlanHits:   d.PlanHits,
+		PlanMisses: d.PlanMisses,
+	})
+}
 
 // makeTiles builds the tile partition. Without a recorder it defers to
 // tiling.MakeParallelE unchanged; with one, the FLOP-balanced pipeline
@@ -156,7 +209,7 @@ func runKernelSpanned(
 // assembleSpanned is assembleE under the exec.assemble span and label.
 func assembleSpanned[T sparse.Number](
 	ctx context.Context, cfg Config, rows, cols int,
-	tiles []tiling.Tile, outs []tileOutput[T], p int,
+	tiles []tiling.Tile, outs []exec.TileBuf[T], p int,
 ) (*sparse.CSR[T], error) {
 	rec := cfg.Recorder
 	if rec == nil {

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -17,6 +18,14 @@ type SpVec[T sparse.Number] struct {
 
 // NNZ returns the number of stored entries.
 func (v *SpVec[T]) NNZ() int { return len(v.Idx) }
+
+// Reset truncates the vector to empty with dimension n, keeping the
+// entry storage for reuse (double-buffered frontier loops).
+func (v *SpVec[T]) Reset(n int) {
+	v.N = n
+	v.Idx = v.Idx[:0]
+	v.Val = v.Val[:0]
+}
 
 // Direction selects the traversal of a masked sparse vector × sparse
 // matrix product — the vector analogue of the paper's iteration-space
@@ -42,18 +51,38 @@ const (
 // whose rows are the in-neighborhoods of each candidate (for symmetric
 // adjacency matrices A itself).
 //
-// The result vector is sorted.
+// The result vector is sorted. Every call allocates its scratch and its
+// result; iterative callers should use MaskedSpVMInto with a pooled
+// workspace instead.
 func MaskedSpVM[T sparse.Number, S semiring.Semiring[T]](
 	sr S, f *SpVec[T], a *sparse.CSR[T], allowed func(sparse.Index) bool, dir Direction,
+) *SpVec[T] {
+	return MaskedSpVMInto(sr, f, a, allowed, dir, nil, nil)
+}
+
+// MaskedSpVMInto is MaskedSpVM against caller-owned state: ws, when
+// non-nil, must be an exec.Dense workspace with at least one worker
+// block sized for a.Cols columns (its dense scratch replaces the push
+// traversal's per-call vectors and is left clean for pooled reuse), and
+// out, when non-nil, receives the result in place of a fresh vector
+// (its entry storage is reused — the double-buffering hook for frontier
+// loops). Either may be nil independently; out must not alias f.
+func MaskedSpVMInto[T sparse.Number, S semiring.Semiring[T]](
+	sr S, f *SpVec[T], a *sparse.CSR[T], allowed func(sparse.Index) bool, dir Direction,
+	ws *exec.Workspace[T, S], out *SpVec[T],
 ) *SpVec[T] {
 	if dir == Auto {
 		dir = chooseDirection(f, a)
 	}
+	if out == nil {
+		out = &SpVec[T]{}
+	}
+	out.Reset(a.Cols)
 	switch dir {
 	case Push:
-		return pushSpVM(sr, f, a, allowed)
+		return pushSpVM(sr, f, a, allowed, ws, out)
 	case Pull:
-		return pullSpVM(sr, f, a, allowed)
+		return pullSpVM(sr, f, a, allowed, out)
 	default:
 		panic("core: unknown direction")
 	}
@@ -79,10 +108,19 @@ func chooseDirection[T sparse.Number](f *SpVec[T], a *sparse.CSR[T]) Direction {
 
 func pushSpVM[T sparse.Number, S semiring.Semiring[T]](
 	sr S, f *SpVec[T], a *sparse.CSR[T], allowed func(sparse.Index) bool,
+	ws *exec.Workspace[T, S], out *SpVec[T],
 ) *SpVec[T] {
-	vals := make([]T, a.Cols)
-	present := make([]bool, a.Cols)
-	var touched []sparse.Index
+	var sc *exec.DenseScratch[T]
+	if ws != nil {
+		sc = &ws.Dense[0]
+	} else {
+		sc = &exec.DenseScratch[T]{
+			Vals:  make([]T, a.Cols),
+			State: make([]uint8, a.Cols),
+		}
+	}
+	vals, present := sc.Vals, sc.State
+	touched := sc.Touched[:0]
 	for p, u := range f.Idx {
 		fu := f.Val[p]
 		cols, avs := a.Row(int(u))
@@ -91,27 +129,28 @@ func pushSpVM[T sparse.Number, S semiring.Semiring[T]](
 				continue
 			}
 			x := sr.Times(fu, avs[q])
-			if present[j] {
+			if present[j] != 0 {
 				vals[j] = sr.Plus(vals[j], x)
 			} else {
-				present[j] = true
+				present[j] = 1
 				vals[j] = x
 				touched = append(touched, j)
 			}
 		}
 	}
-	sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
-	out := &SpVec[T]{N: a.Cols, Idx: touched, Val: make([]T, len(touched))}
-	for p, j := range touched {
-		out.Val[p] = vals[j]
+	slices.Sort(touched)
+	for _, j := range touched {
+		out.Idx = append(out.Idx, j)
+		out.Val = append(out.Val, vals[j])
+		present[j] = 0 // restore the scratch's clean state
 	}
+	sc.Touched = touched[:0]
 	return out
 }
 
 func pullSpVM[T sparse.Number, S semiring.Semiring[T]](
-	sr S, f *SpVec[T], a *sparse.CSR[T], allowed func(sparse.Index) bool,
+	sr S, f *SpVec[T], a *sparse.CSR[T], allowed func(sparse.Index) bool, out *SpVec[T],
 ) *SpVec[T] {
-	out := &SpVec[T]{N: a.Cols}
 	for v := 0; v < a.Rows; v++ {
 		j := sparse.Index(v)
 		if !allowed(j) {

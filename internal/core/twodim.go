@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -18,11 +19,13 @@ import (
 // panel's B rows stay cache-resident across the whole row tile — the
 // locality the row-at-a-time traversal cannot get.
 //
-// The accumulator is a per-tile mask-shaped buffer: row i's partial sums
-// live in a slice parallel to M[i,:]'s columns, updated by binary search
-// within the (sorted) mask row. Memory per tile is proportional to the
-// tile's mask volume, so the working set is controlled by the tile size
-// regardless of panel count.
+// The accumulator is a mask-shaped per-worker scratch: row i's partial
+// sums live in a slice parallel to M[i,:]'s columns, updated by binary
+// search within the (sorted) mask row. Memory per worker is
+// proportional to the largest tile's mask volume, so the working set is
+// controlled by the tile size regardless of panel count. Scratch and
+// output buffers come from the engine's workspace pool (cfg.Engine) or
+// are built per call without one.
 //
 // Scheduling, tiling strategy, tile count and workers come from cfg;
 // the iteration space and accumulator fields are ignored (the 2-D
@@ -49,21 +52,32 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
-	tiles, err := tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
+	poolPrior := cfg.Engine.Stats()
+	plan, err := planFor(ctx, cfg, pw, m, a, b)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
+	tiles := plan.Tiles
 	workers := sched.Workers(cfg.Workers)
-	outs := make([]tileOutput[T], len(tiles))
 
-	// Panel boundaries in the k dimension, uniform cuts of [0, a.Cols).
-	bounds := make([]sparse.Index, kPanels+1)
+	ws := exec.Dense[T, S](cfg.Engine, sr, b.Cols, workers, len(tiles))
+	defer ws.Release()
+	outs := ws.Outs[:len(tiles)]
+
+	// Panel boundaries in the k dimension, uniform cuts of [0, a.Cols),
+	// staged in the workspace's column scratch (read-only during the run).
+	bounds := ws.ScratchCols
+	if cap(bounds) < kPanels+1 {
+		bounds = make([]sparse.Index, kPanels+1)
+	}
+	bounds = bounds[:kPanels+1]
 	for p := 0; p <= kPanels; p++ {
 		bounds[p] = sparse.Index(a.Cols * p / kPanels)
 	}
+	ws.ScratchCols = bounds
 
-	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
-		runTile2D(sr, m, a, b, tiles[t], bounds, &outs[t])
+	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
+		runTile2D(sr, m, a, b, tiles[t], bounds, &outs[t], &ws.Dense[worker])
 	}); err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -72,26 +86,27 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
+	recordPoolDelta(cfg, poolPrior)
 	return c, nil
 }
 
-// runTile2D computes one row tile panel-major.
+// runTile2D computes one row tile panel-major. The worker scratch's
+// value/state vectors are mask-shaped for this tile (vals[p]/written[p]
+// correspond to mask entry p); the gather loop clears every written
+// flag it consumes, restoring the scratch's clean state for the next
+// tile and for pooled reuse.
 func runTile2D[T sparse.Number, S semiring.Semiring[T]](
 	sr S, m, a, b *sparse.CSR[T], tile tiling.Tile,
-	bounds []sparse.Index, out *tileOutput[T],
+	bounds []sparse.Index, out *exec.TileBuf[T], sc *exec.DenseScratch[T],
 ) {
 	rows := tile.Rows()
 	maskLo := m.RowPtr[tile.Lo]
 	maskVol := m.RowPtr[tile.Hi] - maskLo
 
-	// Per-tile accumulator, shaped like the tile's mask slice: vals[p]
-	// and written[p] correspond to mask entry p (global index maskLo+p).
-	vals := make([]T, maskVol)
-	written := make([]bool, maskVol)
-
+	vals, written := sc.EnsureSize(int(maskVol))
 	// cursor[r] walks row (tile.Lo+r) of A panel by panel; rows are
 	// sorted by column, so each panel is a contiguous segment.
-	cursor := make([]int64, rows)
+	cursor := sc.EnsureCursor(rows)
 	for r := 0; r < rows; r++ {
 		cursor[r] = a.RowPtr[tile.Lo+r]
 	}
@@ -129,10 +144,10 @@ func runTile2D[T sparse.Number, S semiring.Semiring[T]](
 					}
 					if maskCols[lo] == j {
 						x := sr.Times(aik, bVals[jj])
-						if rowWritten[lo] {
+						if rowWritten[lo] != 0 {
 							rowVals[lo] = sr.Plus(rowVals[lo], x)
 						} else {
-							rowWritten[lo] = true
+							rowWritten[lo] = 1
 							rowVals[lo] = x
 						}
 					}
@@ -141,21 +156,31 @@ func runTile2D[T sparse.Number, S semiring.Semiring[T]](
 		}
 	}
 
-	// Gather: mask order is already sorted output order.
-	out.rowNNZ = make([]int32, rows)
-	out.cols = make([]sparse.Index, 0, maskVol)
-	out.vals = make([]T, 0, maskVol)
+	// Gather: mask order is already sorted output order. Consuming a
+	// written flag clears it, leaving the scratch clean.
+	if cap(out.RowNNZ) < rows {
+		out.RowNNZ = make([]int32, rows)
+	}
+	out.RowNNZ = out.RowNNZ[:rows]
+	if int64(cap(out.Cols)) < maskVol || int64(cap(out.Vals)) < maskVol {
+		out.Cols = make([]sparse.Index, 0, maskVol)
+		out.Vals = make([]T, 0, maskVol)
+	} else {
+		out.Cols = out.Cols[:0]
+		out.Vals = out.Vals[:0]
+	}
 	for r := 0; r < rows; r++ {
 		i := tile.Lo + r
 		maskCols := m.RowCols(i)
 		rowBase := m.RowPtr[i] - maskLo
-		before := len(out.cols)
+		before := len(out.Cols)
 		for p, j := range maskCols {
-			if written[rowBase+int64(p)] {
-				out.cols = append(out.cols, j)
-				out.vals = append(out.vals, vals[rowBase+int64(p)])
+			if written[rowBase+int64(p)] != 0 {
+				written[rowBase+int64(p)] = 0
+				out.Cols = append(out.Cols, j)
+				out.Vals = append(out.Vals, vals[rowBase+int64(p)])
 			}
 		}
-		out.rowNNZ[r] = int32(len(out.cols) - before)
+		out.RowNNZ[r] = int32(len(out.Cols) - before)
 	}
 }

@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// Plan is the operand-structure-dependent half of an execution: the
+// tile partition and the accumulator row-capacity bound. Building one
+// costs O(nnz) (Eq. 2 row-work estimation plus a prefix sum for
+// FLOP-balanced tiles); the engine caches plans so iterative callers
+// pay that once per operand structure.
+//
+// Cached plans are shared read-only across concurrent runs — nothing in
+// the kernel mutates a Tile — and survive operand mutation harmlessly:
+// the plan key pins rows, so a stale hit still partitions exactly
+// [0, rows); at worst the FLOP balance is off and accumulators grow on
+// demand. Correctness never depends on plan freshness.
+type Plan struct {
+	Tiles  []tiling.Tile
+	RowCap int64
+}
+
+// OperandID fingerprints one operand: pointer identity plus the
+// structural dimensions a plan depends on. Two different matrices at a
+// recycled address collide only if rows, cols and nnz all match, in
+// which case the stale plan is still a valid (if unbalanced) partition.
+type OperandID struct {
+	ID         any
+	Rows, Cols int
+	NNZ        int64
+}
+
+// IDOf fingerprints a CSR operand. Nil matrices yield the zero ID.
+//
+//spgemm:hotpath
+func IDOf[T sparse.Number](m *sparse.CSR[T]) OperandID {
+	if m == nil {
+		return OperandID{}
+	}
+	return OperandID{ID: m, Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ()}
+}
+
+// PlanKey fingerprints everything a plan's content depends on: the
+// three operands and the plan-shaping knobs. Worker counts and
+// schedule policy deliberately do not appear — the plan pipeline is
+// bit-identical across them.
+type PlanKey struct {
+	M, A, B OperandID
+	Tiles   int
+	Tiling  tiling.Strategy
+	// Vanilla captures whether the row capacity was sized by the flop
+	// upper bound (vanilla iteration) or the mask row maximum.
+	Vanilla bool
+}
+
+// planEntry is one cached plan with its LRU stamp.
+type planEntry struct {
+	plan  Plan
+	stamp uint64
+}
+
+// Plan returns the cached plan for key, or builds, caches and returns
+// it. A nil engine (or a disabled cache) always builds. Build errors
+// are returned uncached. Safe for concurrent use; two racing misses on
+// one key both build and the first to store wins.
+//
+//spgemm:hotpath
+func (e *Engine) Plan(key PlanKey, build func() (Plan, error)) (Plan, error) {
+	if e == nil || e.maxPlans() == 0 {
+		return build()
+	}
+	e.mu.Lock()
+	if ent, ok := e.plans[key]; ok {
+		e.planClock++
+		ent.stamp = e.planClock
+		plan := ent.plan
+		e.mu.Unlock()
+		e.planHits.Add(1)
+		return plan, nil
+	}
+	e.mu.Unlock()
+	e.planMisses.Add(1)
+	p, err := build()
+	if err != nil {
+		return Plan{}, err
+	}
+	e.mu.Lock()
+	if _, ok := e.plans[key]; !ok {
+		e.planClock++
+		//lint:ignore hotpathalloc miss path caches the freshly built plan
+		e.plans[key] = &planEntry{plan: p, stamp: e.planClock}
+		for len(e.plans) > e.maxPlans() {
+			e.evictPlanLocked()
+		}
+	}
+	e.mu.Unlock()
+	return p, nil
+}
+
+// evictPlanLocked drops the least recently used plan. Caller holds e.mu.
+func (e *Engine) evictPlanLocked() {
+	var victim PlanKey
+	best := ^uint64(0)
+	found := false
+	for k, ent := range e.plans {
+		if ent.stamp < best {
+			best, victim, found = ent.stamp, k, true
+		}
+	}
+	if found {
+		delete(e.plans, victim)
+	}
+}

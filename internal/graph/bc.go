@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -18,6 +19,17 @@ import (
 // For exact BC pass all vertices as sources; any subset yields the
 // standard sampled approximation.
 func BetweennessCentrality(a *sparse.CSR[float64], sources []int) ([]float64, error) {
+	return BetweennessCentralityWithEngine(a, sources, nil)
+}
+
+// BetweennessCentralityWithEngine is BetweennessCentrality against
+// eng's workspace pool. The forward phase must retain every frontier
+// for the backward sweep, so frontiers cannot be double-buffered within
+// one source — instead the per-depth vectors live in an arena that is
+// reused across sources, and the push scratch is checked out once for
+// the whole batch. After the first source, warm iterations allocate
+// nothing. A nil engine builds the scratch once per call.
+func BetweennessCentralityWithEngine(a *sparse.CSR[float64], sources []int, eng *exec.Engine) ([]float64, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("%w: adjacency must be square, got %dx%d",
 			sparse.ErrShape, a.Rows, a.Cols)
@@ -25,10 +37,22 @@ func BetweennessCentrality(a *sparse.CSR[float64], sources []int) ([]float64, er
 	n := a.Rows
 	bc := make([]float64, n)
 	sr := semiring.PlusTimes[float64]{}
+	ws := exec.Dense[float64, semiring.PlusTimes[float64]](eng, sr, n, 1, 0)
+	defer ws.Release()
 
 	sigma := make([]float64, n)
 	level := make([]int32, n)
 	delta := make([]float64, n)
+
+	// Frontier arena: bufs[d] is the depth-d frontier of the current
+	// source, storage reused for every source.
+	var bufs []*core.SpVec[float64]
+	frontAt := func(d int) *core.SpVec[float64] {
+		for len(bufs) <= d {
+			bufs = append(bufs, &core.SpVec[float64]{})
+		}
+		return bufs[d]
+	}
 
 	for _, src := range sources {
 		if src < 0 || src >= n {
@@ -42,13 +66,15 @@ func BetweennessCentrality(a *sparse.CSR[float64], sources []int) ([]float64, er
 		sigma[src] = 1
 		level[src] = 0
 
-		frontier := &core.SpVec[float64]{N: n, Idx: []sparse.Index{sparse.Index(src)}, Val: []float64{1}}
-		var fronts []*core.SpVec[float64]
-		fronts = append(fronts, frontier)
+		frontier := frontAt(0)
+		frontier.Reset(n)
+		frontier.Idx = append(frontier.Idx, sparse.Index(src))
+		frontier.Val = append(frontier.Val, 1)
+		depths := 1
 		allowed := func(j sparse.Index) bool { return level[j] < 0 }
 
 		for depth := int32(1); frontier.NNZ() > 0; depth++ {
-			next := core.MaskedSpVM(sr, frontier, a, allowed, core.Push)
+			next := core.MaskedSpVMInto(sr, frontier, a, allowed, core.Push, ws, frontAt(depths))
 			for p, v := range next.Idx {
 				level[v] = depth
 				sigma[v] = next.Val[p]
@@ -56,13 +82,13 @@ func BetweennessCentrality(a *sparse.CSR[float64], sources []int) ([]float64, er
 			if next.NNZ() == 0 {
 				break
 			}
-			fronts = append(fronts, next)
+			depths++
 			frontier = next
 		}
 
 		// Backward dependency accumulation, deepest level first.
-		for d := len(fronts) - 1; d >= 1; d-- {
-			for _, u := range fronts[d-1].Idx {
+		for d := depths - 1; d >= 1; d-- {
+			for _, u := range bufs[d-1].Idx {
 				cols, _ := a.Row(int(u))
 				var dep float64
 				for _, v := range cols {

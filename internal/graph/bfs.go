@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -24,6 +25,15 @@ type BFSResult struct {
 // matrix a, implemented as iterated masked sparse vector-matrix products
 // over the Boolean semiring. dir selects Push, Pull, or Auto per level.
 func BFS(a *sparse.CSR[float64], src int, dir core.Direction) (*BFSResult, error) {
+	return BFSWithEngine(a, src, dir, nil)
+}
+
+// BFSWithEngine is BFS drawing its dense traversal scratch from eng's
+// workspace pool, so repeated searches (ConnectedComponents, BC
+// sampling) recycle one scratch block instead of allocating per level.
+// The frontier vectors are double-buffered either way; a nil engine
+// builds the scratch once per call.
+func BFSWithEngine(a *sparse.CSR[float64], src int, dir core.Direction, eng *exec.Engine) (*BFSResult, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("%w: adjacency must be square, got %dx%d",
 			sparse.ErrShape, a.Rows, a.Cols)
@@ -44,7 +54,10 @@ func BFS(a *sparse.CSR[float64], src int, dir core.Direction) (*BFSResult, error
 	res.Visited = 1
 
 	sr := semiring.OrAnd[float64]{}
+	ws := exec.Dense[float64, semiring.OrAnd[float64]](eng, sr, a.Rows, 1, 0)
+	defer ws.Release()
 	frontier := &core.SpVec[float64]{N: a.Rows, Idx: []sparse.Index{sparse.Index(src)}, Val: []float64{1}}
+	spare := &core.SpVec[float64]{}
 	allowed := func(j sparse.Index) bool { return res.Level[j] < 0 }
 
 	for depth := int32(1); frontier.NNZ() > 0; depth++ {
@@ -57,12 +70,12 @@ func BFS(a *sparse.CSR[float64], src int, dir core.Direction) (*BFSResult, error
 		} else {
 			res.Pulls++
 		}
-		next := core.MaskedSpVM(sr, frontier, a, allowed, d)
+		next := core.MaskedSpVMInto(sr, frontier, a, allowed, d, ws, spare)
 		for _, v := range next.Idx {
 			res.Level[v] = depth
 		}
 		res.Visited += next.NNZ()
-		frontier = next
+		frontier, spare = next, frontier
 	}
 	return res, nil
 }
@@ -85,8 +98,10 @@ func chooseBFSDirection(f *core.SpVec[float64], a *sparse.CSR[float64], visited 
 
 // ConnectedComponents counts connected components by repeated BFS — a
 // substrate-level utility the examples and tests use to sanity-check
-// generated graphs.
+// generated graphs. The per-source searches share one pooled scratch
+// through an ephemeral engine.
 func ConnectedComponents(a *sparse.CSR[float64]) (int, error) {
+	eng := exec.New(exec.Config{})
 	seen := make([]bool, a.Rows)
 	comps := 0
 	for v := 0; v < a.Rows; v++ {
@@ -94,7 +109,7 @@ func ConnectedComponents(a *sparse.CSR[float64]) (int, error) {
 			continue
 		}
 		comps++
-		res, err := BFS(a, v, core.Push)
+		res, err := BFSWithEngine(a, v, core.Push, eng)
 		if err != nil {
 			return 0, err
 		}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -27,6 +28,15 @@ type CCResult struct {
 // Only vertices whose label changed stay in the frontier, so rounds
 // shrink as the labels converge (in O(diameter) rounds).
 func ConnectedComponentsLabelProp(a *sparse.CSR[float64]) (*CCResult, error) {
+	return ConnectedComponentsLabelPropWithEngine(a, nil)
+}
+
+// ConnectedComponentsLabelPropWithEngine is the label-propagation run
+// against eng's workspace pool: the push scratch is checked out once for
+// the whole run, and the frontier/candidate vectors are double-buffered,
+// so warm iterations allocate nothing. A nil engine builds the scratch
+// once per call.
+func ConnectedComponentsLabelPropWithEngine(a *sparse.CSR[float64], eng *exec.Engine) (*CCResult, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("%w: adjacency must be square, got %dx%d",
 			sparse.ErrShape, a.Rows, a.Cols)
@@ -41,13 +51,19 @@ func ConnectedComponentsLabelProp(a *sparse.CSR[float64]) (*CCResult, error) {
 	}
 
 	sr := semiring.MinFirst[float64]{Inf: math.Inf(1)}
+	ws := exec.Dense[float64, semiring.MinFirst[float64]](eng, sr, n, 1, 0)
+	defer ws.Release()
 	all := func(sparse.Index) bool { return true }
+	// Three rotating buffers: the live frontier, the product candidates,
+	// and the improvements that become the next frontier.
+	cand := &core.SpVec[float64]{}
+	next := &core.SpVec[float64]{}
 	iters := 0
 	for frontier.NNZ() > 0 {
 		iters++
-		cand := core.MaskedSpVM(sr, frontier, a, all, core.Push)
+		cand = core.MaskedSpVMInto(sr, frontier, a, all, core.Push, ws, cand)
 		// Keep only strict improvements; they form the next frontier.
-		next := &core.SpVec[float64]{N: n}
+		next.Reset(n)
 		for p, v := range cand.Idx {
 			if cand.Val[p] < label[v] {
 				label[v] = cand.Val[p]
@@ -55,7 +71,7 @@ func ConnectedComponentsLabelProp(a *sparse.CSR[float64]) (*CCResult, error) {
 				next.Val = append(next.Val, cand.Val[p])
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 
 	res := &CCResult{Label: make([]int32, n), Iterations: iters}

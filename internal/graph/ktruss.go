@@ -29,6 +29,10 @@ func KTruss(a *sparse.CSR[float64], k int, cfg core.Config) (*KTrussResult, erro
 	cur := a.Clone()
 	need := float64(k - 2)
 	rounds := 0
+	// Row staging for the prune pass, reused across rows and rounds (the
+	// support SpGEMMs themselves pool through cfg.Engine when set).
+	var rowCols []sparse.Index
+	var rowVals []float64
 	for {
 		rounds++
 		support, err := TriangleSupport(cur, cfg)
@@ -42,8 +46,8 @@ func KTruss(a *sparse.CSR[float64], k int, cfg core.Config) (*KTrussResult, erro
 		var kept int64
 		for i := 0; i < support.Rows; i++ {
 			cols, vals := support.Row(i)
-			var rowCols []sparse.Index
-			var rowVals []float64
+			rowCols = rowCols[:0]
+			rowVals = rowVals[:0]
 			for p, j := range cols {
 				if vals[p] >= need {
 					rowCols = append(rowCols, j)

@@ -22,7 +22,9 @@ type PageRankResult struct {
 // hit. Dangling vertices redistribute uniformly. The per-iteration
 // kernel is a sparse vector × matrix product — the unmasked cousin of
 // the kernels in internal/core, included to round out the workload set
-// the paper's introduction cites.
+// the paper's introduction cites. The rank vectors are dense and
+// double-buffered, so iterations are already allocation-free; no
+// engine workspace is needed.
 func PageRank(a *sparse.CSR[float64], damping, tol float64, maxIter int) (*PageRankResult, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("%w: adjacency must be square, got %dx%d",

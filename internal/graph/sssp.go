@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -18,6 +19,13 @@ import (
 //
 // Returns +Inf for unreachable vertices. Negative weights are rejected.
 func SSSP(a *sparse.CSR[float64], src int) ([]float64, error) {
+	return SSSPWithEngine(a, src, nil)
+}
+
+// SSSPWithEngine is SSSP against eng's workspace pool, with the
+// frontier and candidate vectors double-buffered across rounds. A nil
+// engine builds the scratch once per call.
+func SSSPWithEngine(a *sparse.CSR[float64], src int, eng *exec.Engine) ([]float64, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("%w: adjacency must be square, got %dx%d",
 			sparse.ErrShape, a.Rows, a.Cols)
@@ -38,14 +46,18 @@ func SSSP(a *sparse.CSR[float64], src int) ([]float64, error) {
 	dist[src] = 0
 
 	sr := semiring.MinPlus[float64]{Inf: math.Inf(1)}
+	ws := exec.Dense[float64, semiring.MinPlus[float64]](eng, sr, n, 1, 0)
+	defer ws.Release()
 	all := func(sparse.Index) bool { return true }
 	frontier := &core.SpVec[float64]{N: n, Idx: []sparse.Index{sparse.Index(src)}, Val: []float64{0}}
+	cand := &core.SpVec[float64]{}
+	next := &core.SpVec[float64]{}
 
 	// Bellman-Ford terminates after at most n-1 productive rounds; the
 	// frontier empties earlier on most graphs.
 	for round := 0; round < n && frontier.NNZ() > 0; round++ {
-		cand := core.MaskedSpVM(sr, frontier, a, all, core.Push)
-		next := &core.SpVec[float64]{N: n}
+		cand = core.MaskedSpVMInto(sr, frontier, a, all, core.Push, ws, cand)
+		next.Reset(n)
 		for p, v := range cand.Idx {
 			if cand.Val[p] < dist[v] {
 				dist[v] = cand.Val[p]
@@ -53,7 +65,7 @@ func SSSP(a *sparse.CSR[float64], src int) ([]float64, error) {
 				next.Val = append(next.Val, cand.Val[p])
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 	return dist, nil
 }

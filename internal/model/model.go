@@ -13,6 +13,7 @@ import (
 
 	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/sparse"
 	"maskedspgemm/internal/tiling"
@@ -148,6 +149,46 @@ func Predict(f Features, th Thresholds, workers int) core.Config {
 	}
 	cfg.Tiles = t
 	return cfg
+}
+
+// idleRetentionBudget bounds the memory the engine may pin in idle
+// workspaces: beyond it, retention stops paying for itself against the
+// cache pressure the idle buffers add.
+const idleRetentionBudget = 256 << 20 // 256 MiB
+
+// PredictEngine sizes an exec.Engine's retention bounds from the
+// problem's features. The dominant per-workspace cost is the dense
+// state: a dense accumulator (or complement/2D scratch) holds O(cols)
+// values and markers per worker, a hash accumulator O(MaxMaskRow)
+// slots. The idle cap is the retention budget divided by that
+// footprint, so small problems keep the default (deep) pool while
+// problems with huge columns retain only a few idle workspaces. The
+// plan cache is footprint-light (tile boundaries only) and stays at its
+// default depth.
+func PredictEngine(f Features, cfg core.Config, workers int) exec.Config {
+	if workers <= 0 {
+		workers = sched.Workers(workers)
+	}
+	var perWorker int64
+	switch cfg.Accumulator {
+	case accum.DenseKind, accum.DenseExplicitKind:
+		perWorker = int64(f.Cols) * 16 // value + marker word per column
+	default:
+		perWorker = f.MaxMaskRow * 24 // hash slot: key + value + marker
+	}
+	// Tile staging holds at most the mask volume across all tiles.
+	footprint := perWorker*int64(workers) + f.MaskNNZ*12
+	if footprint <= 0 {
+		footprint = 1
+	}
+	maxIdle := int(int64(idleRetentionBudget) / footprint)
+	if maxIdle > exec.DefaultMaxIdle {
+		maxIdle = exec.DefaultMaxIdle
+	}
+	if maxIdle < 2 {
+		maxIdle = 2 // always keep the warm-loop pair
+	}
+	return exec.Config{MaxIdle: maxIdle, MaxPlans: exec.DefaultMaxPlans}
 }
 
 // PredictConfig extracts features and predicts in one call — the

@@ -5,6 +5,7 @@ import (
 
 	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/graphgen"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -134,5 +135,56 @@ func TestThresholdKnobs(t *testing.T) {
 	tiny := Features{Rows: 10, Cols: 10, CoIterSpeedup: 1}
 	if got := Predict(tiny, DefaultThresholds(), 0).Tiles; got != 64 {
 		t.Errorf("tiny graph tiles = %d, want MinTiles 64", got)
+	}
+}
+
+func TestPredictEngine(t *testing.T) {
+	// A small dense-accumulator problem fits the retention budget many
+	// times over: the pool keeps its default depth.
+	small := Features{Rows: 1 << 10, Cols: 1 << 10, MaskNNZ: 1 << 13, MaxMaskRow: 64}
+	cfg := core.Config{Accumulator: accum.DenseKind}
+	ec := PredictEngine(small, cfg, 4)
+	if ec.MaxIdle != exec.DefaultMaxIdle {
+		t.Errorf("small problem MaxIdle = %d, want default %d", ec.MaxIdle, exec.DefaultMaxIdle)
+	}
+	if ec.MaxPlans != exec.DefaultMaxPlans {
+		t.Errorf("MaxPlans = %d, want default %d", ec.MaxPlans, exec.DefaultMaxPlans)
+	}
+
+	// A huge dense column dimension blows the budget per workspace: the
+	// cap shrinks, but never below the warm-loop pair.
+	huge := Features{Rows: 1 << 24, Cols: 1 << 24, MaskNNZ: 1 << 26, MaxMaskRow: 1 << 12}
+	ec = PredictEngine(huge, cfg, 8)
+	if ec.MaxIdle >= exec.DefaultMaxIdle {
+		t.Errorf("huge problem MaxIdle = %d, want < default", ec.MaxIdle)
+	}
+	if ec.MaxIdle < 2 {
+		t.Errorf("MaxIdle = %d, want >= 2", ec.MaxIdle)
+	}
+
+	// Hash accumulators key on the mask row, not the dimension: the same
+	// huge dimension with a short mask row keeps a deep pool.
+	hashCfg := core.Config{Accumulator: accum.HashKind}
+	if ec := PredictEngine(huge, hashCfg, 8); ec.MaxIdle < PredictEngine(huge, cfg, 8).MaxIdle {
+		t.Errorf("hash pool shallower than dense for the same features: %d", ec.MaxIdle)
+	}
+
+	// The predicted configuration actually drives an engine: checkouts
+	// succeed and warm reruns recycle.
+	eng := exec.New(ec)
+	a := graphgen.ErdosRenyi(300, 1500, 5)
+	run := core.DefaultConfig()
+	run.Engine = eng
+	run.Tiles = 8
+	sr := semiring.PlusTimes[float64]{}
+	if _, err := core.MaskedSpGEMM[float64](sr, a, a, a, run); err != nil {
+		t.Fatal(err)
+	}
+	prior := eng.Stats()
+	if _, err := core.MaskedSpGEMM[float64](sr, a, a, a, run); err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.Stats().Sub(prior); d.Misses != 0 {
+		t.Errorf("warm rerun under predicted engine config missed %d times (%+v)", d.Misses, d)
 	}
 }

@@ -134,6 +134,30 @@ type AccumCounters struct {
 	HashCollisions int64 `json:"hash_collisions"`
 }
 
+// PoolCounters are the execution-engine pool statistics: workspace
+// checkout outcomes and plan-cache outcomes (see internal/exec). The
+// kernel folds per-run deltas of the engine's monotonic counters into
+// the recorder, so a snapshot attributes pool traffic to the runs it
+// covers. Note the attribution is per engine, not per run: when several
+// concurrent runs share one engine, each run's delta includes the
+// others' overlapping traffic.
+type PoolCounters struct {
+	// Hits counts workspace checkouts served from the pool; Misses
+	// counts checkouts that constructed fresh state.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Steals counts checkouts served by a larger size-class bucket.
+	Steals int64 `json:"steals"`
+	// Resizes counts in-place growths of a pooled workspace.
+	Resizes int64 `json:"resizes"`
+	// Evictions counts demotions from the bounded hot tier to the
+	// GC-managed overflow tier.
+	Evictions int64 `json:"evictions"`
+	// PlanHits and PlanMisses count plan-cache outcomes.
+	PlanHits   int64 `json:"plan_hits"`
+	PlanMisses int64 `json:"plan_misses"`
+}
+
 // Recorder collects phase spans, per-worker counters and accumulator
 // statistics for one kernel (or a sequence of runs of the same kernel).
 // A nil *Recorder disables all collection: every method is nil-safe and
@@ -147,6 +171,7 @@ type Recorder struct {
 	counts  [numPhases]int64
 	workers []WorkerCounters
 	accum   AccumCounters
+	pool    PoolCounters
 	runs    int64
 }
 
@@ -169,6 +194,7 @@ func (r *Recorder) Reset() {
 		r.workers[i].reset()
 	}
 	r.accum = AccumCounters{}
+	r.pool = PoolCounters{}
 	r.runs = 0
 }
 
@@ -255,6 +281,23 @@ func (r *Recorder) AddAccum(a AccumCounters) {
 	r.accum.TableGrows += a.TableGrows
 	r.accum.HashProbes += a.HashProbes
 	r.accum.HashCollisions += a.HashCollisions
+	r.mu.Unlock()
+}
+
+// AddPool folds execution-engine pool statistics (typically a per-run
+// delta of the engine's monotonic counters) into the totals.
+func (r *Recorder) AddPool(p PoolCounters) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.pool.Hits += p.Hits
+	r.pool.Misses += p.Misses
+	r.pool.Steals += p.Steals
+	r.pool.Resizes += p.Resizes
+	r.pool.Evictions += p.Evictions
+	r.pool.PlanHits += p.PlanHits
+	r.pool.PlanMisses += p.PlanMisses
 	r.mu.Unlock()
 }
 

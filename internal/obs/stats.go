@@ -108,6 +108,9 @@ type Stats struct {
 	FlopDist Dist `json:"flop_dist"`
 	// Accum is the accumulator-side statistics.
 	Accum AccumCounters `json:"accum"`
+	// Pool is the execution-engine workspace-pool and plan-cache
+	// statistics (zero when no engine is configured).
+	Pool PoolCounters `json:"pool"`
 }
 
 // Stats snapshots the recorder. Nil recorders return a zero snapshot
@@ -147,6 +150,7 @@ func (r *Recorder) Stats() Stats {
 		})
 	}
 	s.Accum = r.accum
+	s.Pool = r.pool
 	s.finalize()
 	return s
 }
@@ -201,6 +205,15 @@ func (s Stats) Sub(prev Stats) Stats {
 		HashProbes:     s.Accum.HashProbes - prev.Accum.HashProbes,
 		HashCollisions: s.Accum.HashCollisions - prev.Accum.HashCollisions,
 	}
+	out.Pool = PoolCounters{
+		Hits:       s.Pool.Hits - prev.Pool.Hits,
+		Misses:     s.Pool.Misses - prev.Pool.Misses,
+		Steals:     s.Pool.Steals - prev.Pool.Steals,
+		Resizes:    s.Pool.Resizes - prev.Pool.Resizes,
+		Evictions:  s.Pool.Evictions - prev.Pool.Evictions,
+		PlanHits:   s.Pool.PlanHits - prev.Pool.PlanHits,
+		PlanMisses: s.Pool.PlanMisses - prev.Pool.PlanMisses,
+	}
 	out.finalize()
 	return out
 }
@@ -231,4 +244,11 @@ func (s Stats) WriteTable(w io.Writer) {
 	a := s.Accum
 	fmt.Fprintf(w, "  accum: marker-clears=%d table-grows=%d hash-probes=%d hash-collisions=%d\n",
 		a.MarkerClears, a.TableGrows, a.HashProbes, a.HashCollisions)
+	if p := s.Pool; p.Hits+p.Misses+p.Steals+p.PlanHits+p.PlanMisses > 0 {
+		lookups := p.Hits + p.Steals + p.Misses
+		fmt.Fprintf(w, "  pool: hits=%d misses=%d steals=%d (%.1f%% hit) resizes=%d evictions=%d plan hits/misses=%d/%d\n",
+			p.Hits, p.Misses, p.Steals,
+			100*float64(p.Hits+p.Steals)/float64(max(lookups, 1)),
+			p.Resizes, p.Evictions, p.PlanHits, p.PlanMisses)
+	}
 }

@@ -32,6 +32,11 @@ var (
 	// converted to an error. The chain carries a *PanicError with the
 	// original panic value and stack.
 	ErrPanic = core.ErrPanic
+	// ErrConcurrentMultiply marks overlapping Multiply calls on a
+	// Multiplier built without an Engine: the engineless plan owns a
+	// single workspace, so a second concurrent call is rejected instead
+	// of racing. Set Options.Engine to serve concurrent multiplies.
+	ErrConcurrentMultiply = core.ErrConcurrentMultiply
 )
 
 // PanicError is the typed capture of a contained kernel panic:

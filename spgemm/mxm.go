@@ -2,6 +2,7 @@ package spgemm
 
 import (
 	"context"
+	"sync"
 
 	"maskedspgemm/internal/core"
 	"maskedspgemm/internal/sched"
@@ -114,14 +115,21 @@ func MxMUnmasked(a, b *Matrix, opts Options) (_ *Matrix, err error) {
 // Multiplier is a reusable execution plan for repeating the same
 // masked product: tiling and accumulators are built once and reused by
 // every Multiply call. Iterative algorithms over a fixed graph and
-// benchmark loops should prefer it over repeated MxM calls. Not safe
-// for concurrent Multiply calls.
+// benchmark loops should prefer it over repeated MxM calls.
+//
+// Concurrency follows the Options the plan was built with: with an
+// Engine, concurrent Multiply calls are safe (each run checks a
+// private workspace out of the shared pool); without one, the plan
+// owns a single workspace and overlapping calls are rejected with
+// ErrConcurrentMultiply instead of racing.
 //
 // A Multiply call that fails (ErrCanceled, ErrPanic) leaves the plan
 // intact: the same Multiplier can run again once the cause is resolved.
 type Multiplier struct {
-	run     func(ctx context.Context) (*sparse.CSR[float64], error)
-	stats   *StatsRecorder
+	run   func(ctx context.Context) (*sparse.CSR[float64], error)
+	stats *StatsRecorder
+
+	mu      sync.Mutex // guards last/hasLast under concurrent Multiply
 	last    KernelStats
 	hasLast bool
 }
@@ -187,8 +195,11 @@ func (mu *Multiplier) MultiplyContext(ctx context.Context) (_ *Matrix, err error
 		return nil, err
 	}
 	if mu.stats != nil {
-		mu.last = mu.stats.Stats().Sub(before)
+		delta := mu.stats.Stats().Sub(before)
+		mu.mu.Lock()
+		mu.last = delta
 		mu.hasLast = true
+		mu.mu.Unlock()
 	}
 	return wrap(c), nil
 }
@@ -198,6 +209,8 @@ func (mu *Multiplier) MultiplyContext(ctx context.Context) (_ *Matrix, err error
 // those stay in the Options.Stats recorder). ok is false when the plan
 // was built without a StatsRecorder or nothing has run yet.
 func (mu *Multiplier) LastStats() (_ KernelStats, ok bool) {
+	mu.mu.Lock()
+	defer mu.mu.Unlock()
 	return mu.last, mu.hasLast
 }
 

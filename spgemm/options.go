@@ -111,6 +111,12 @@ type Options struct {
 	// amortized per scheduling chunk, so an uncancelled run with a
 	// context costs the same as one without.
 	Context context.Context
+	// Engine, when non-nil, pools workspaces and caches structural plans
+	// across every call that shares it, making warm iterative loops
+	// allocation-free and concurrent multiplies safe — see Engine and
+	// DefaultEngine. nil builds and discards buffers per call (and per
+	// Multiplier), the one-shot behavior.
+	Engine *Engine
 	// Stats, when non-nil, records observability data for every run
 	// under these options: phase wall times, exact per-worker counters
 	// with load-imbalance summaries, hybrid-decision counts and
@@ -151,6 +157,7 @@ func (o Options) config() core.Config {
 		PlanWorkers:    o.PlanWorkers,
 		GuidedMinChunk: o.GuidedMinChunk,
 		Context:        o.Context,
+		Engine:         o.Engine.internal(),
 		Recorder:       o.Stats.recorder(),
 	}
 	switch o.Iteration {
