@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck govulncheck race check fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine
+.PHONY: build test vet lint staticcheck govulncheck race check fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,7 @@ govulncheck:
 race:
 	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/exec/... ./internal/tiling/... ./spgemm/...
 
-check: vet lint staticcheck govulncheck race test bench-engine
+check: vet lint staticcheck govulncheck race test bench-engine bench-fusion
 
 # Short fuzz passes over the hostile-input surface: the MatrixMarket
 # text parser and the binary CSR container.
@@ -76,3 +76,20 @@ bench-stats:
 bench-engine:
 	$(GO) run ./cmd/spgemm-bench -experiment engine -shift 6 \
 		-graphs GAP-road-sim -reps 2 -budget 1s -min-hit-rate 0.95
+
+# bench-fusion is the fused-pipeline regression gate: run the fused
+# k-truss and BC-batch formulations warm against their materializing
+# twins on a small graph and fail if any fused workload allocates more
+# per operation than its unfused twin (results are checksum-compared
+# inside the experiment). Part of `make check`.
+bench-fusion:
+	$(GO) run ./cmd/spgemm-bench -experiment fusion -shift 6 \
+		-graphs GAP-road-sim -reps 2 -budget 1s -check-fused-allocs
+
+# bench-kappa exercises the online κ recalibrator against an offline
+# sweep. Timing-sensitive, so it is informational rather than part of
+# `make check`; add -kappa-slack via KAPPA_SLACK to assert the bound.
+KAPPA_SLACK ?= 0
+bench-kappa:
+	$(GO) run ./cmd/spgemm-bench -experiment kappa-adapt -shift 3 \
+		-reps 3 -budget 2s -kappa-slack $(KAPPA_SLACK)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|engine|all [flags]
+//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|engine|fusion|kappa-adapt|all [flags]
 //
 // Flags:
 //
@@ -22,6 +22,25 @@
 //	-pool-cap N      idle-workspace cap for that engine (0 = default)
 //	-engine-json     with -experiment engine, write BENCH_engine.json
 //	-min-hit-rate F  with -experiment engine, fail below this warm hit rate
+//	-retention-mb N  size the shared -engine by an N-MiB retention budget
+//	-fusion          run the fused-pipeline experiment (= -experiment fusion)
+//	-fusion-json     with the fusion experiment, write BENCH_fusion.json
+//	-check-fused-allocs  fail if any fused workload allocates more than unfused
+//	-adaptive-kappa  run the online-κ experiment (= -experiment kappa-adapt)
+//	-kappa-json      with the κ experiment, write BENCH_kappa_adapt.json
+//	-kappa-slack F   fail if adapted κ is more than F worse than best/default
+//
+// The fusion experiment (-experiment fusion) times the fused
+// formulations of the iterative workloads — k-truss with the
+// select-fused support round, batched BC with the streamed backward
+// sweep — against their materializing twins, both warm through their
+// own engines; -check-fused-allocs turns it into the
+// `make bench-fusion` regression gate.
+//
+// The kappa-adapt experiment (-experiment kappa-adapt) sweeps κ
+// offline on the benchmark kernel, then lets the online recalibrator
+// adapt from the default over a bounded warm loop and times the κ it
+// settles on; -kappa-slack 0.05 asserts the paper-accepted bound.
 //
 // The engine experiment (-experiment engine) times the iterative graph
 // workloads (k-truss, batched betweenness centrality) with and without
@@ -68,6 +87,13 @@ func main() {
 	poolCap := flag.Int("pool-cap", 0, "idle-workspace cap for -engine (0 = default, negative disables retention)")
 	engineJSON := flag.Bool("engine-json", false, "with -experiment engine, write the report to BENCH_engine.json")
 	minHitRate := flag.Float64("min-hit-rate", 0, "with -experiment engine, fail if any warm-loop pool hit rate is below this fraction")
+	retentionMB := flag.Int64("retention-mb", 0, "size the shared -engine by this retention budget in MiB (0 = use -pool-cap; implies -engine)")
+	fusionFlag := flag.Bool("fusion", false, "run the fused-pipeline experiment (same as -experiment fusion)")
+	fusionJSON := flag.Bool("fusion-json", false, "with the fusion experiment, write the report to BENCH_fusion.json")
+	checkFusedAllocs := flag.Bool("check-fused-allocs", false, "with the fusion experiment, fail if any fused workload allocates more per op than its unfused twin")
+	adaptiveKappa := flag.Bool("adaptive-kappa", false, "run the online-κ recalibration experiment (same as -experiment kappa-adapt)")
+	kappaJSON := flag.Bool("kappa-json", false, "with the κ experiment, write the report to BENCH_kappa_adapt.json")
+	kappaSlack := flag.Float64("kappa-slack", 0, "with the κ experiment, fail if the adapted κ's warm time is more than this fraction over the best swept κ or the static default")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the measurement loop between repetitions
@@ -96,7 +122,19 @@ func main() {
 	if *jsonOut {
 		o.Log = &bench.ResultLog{}
 	}
-	if *useEngine {
+	switch {
+	case *retentionMB != 0:
+		if *retentionMB < 0 {
+			fmt.Fprintf(os.Stderr, "-retention-mb must be >= 0, got %d\n", *retentionMB)
+			os.Exit(2)
+		}
+		eng, err := bench.EngineWithBudget(o, *retentionMB<<20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-retention-mb: %v\n", err)
+			os.Exit(2)
+		}
+		o.Engine = eng
+	case *useEngine:
 		o.Engine = exec.New(exec.Config{MaxIdle: *poolCap})
 	}
 
@@ -207,6 +245,56 @@ func main() {
 				}
 				fmt.Fprintf(w, "warm pool hit rate >= %.0f%% on every workload (min %.1f%%)\n",
 					*minHitRate*100, report.MinWarmHitRate()*100)
+			}
+			return nil
+		})
+		ran = true
+	}
+	// Like the engine experiment, fusion and kappa-adapt repeat the
+	// iterative workloads, so "all" skips them; the -fusion and
+	// -adaptive-kappa shorthands (or -experiment) select them.
+	if *experiment == "fusion" || *fusionFlag {
+		run("fusion", func() error {
+			report, err := bench.FusionBench(w, o)
+			if err != nil {
+				return err
+			}
+			if *fusionJSON {
+				if err := writeValidated("BENCH_fusion.json",
+					func(f *os.File) error { return report.WriteJSON(f) },
+					bench.ValidateFusionReportJSON); err != nil {
+					return err
+				}
+			}
+			if *checkFusedAllocs {
+				if err := report.CheckFusedAllocs(); err != nil {
+					return err
+				}
+				fmt.Fprintln(w, "fused allocs/op within unfused bounds on every workload")
+			}
+			return nil
+		})
+		ran = true
+	}
+	if *experiment == "kappa-adapt" || *adaptiveKappa {
+		run("kappa-adapt", func() error {
+			report, err := bench.KappaAdaptBench(w, o)
+			if err != nil {
+				return err
+			}
+			if *kappaJSON {
+				if err := writeValidated("BENCH_kappa_adapt.json",
+					func(f *os.File) error { return report.WriteJSON(f) },
+					bench.ValidateKappaAdaptReportJSON); err != nil {
+					return err
+				}
+			}
+			if *kappaSlack > 0 {
+				if err := report.CheckAdapted(*kappaSlack); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "adapted κ within %.0f%% of the best swept κ and the static default on every graph\n",
+					*kappaSlack*100)
 			}
 			return nil
 		})

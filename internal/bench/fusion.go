@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/exec"
+	"maskedspgemm/internal/graph"
+	"maskedspgemm/internal/model"
+	"maskedspgemm/internal/obs"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// FusionEntry compares one iterative workload run with its fused
+// formulation against the materializing one, both warm through their
+// own execution engine so the delta isolates the fusion itself rather
+// than workspace pooling.
+type FusionEntry struct {
+	Workload string            `json:"workload"`
+	Graph    string            `json:"graph"`
+	Unfused  EngineMeasurement `json:"unfused"`
+	Fused    EngineMeasurement `json:"fused"`
+	// Fusion is the fused-pipeline counter snapshot of one fused run
+	// (the untimed warm-up): how many tiles staged vs streamed, and the
+	// intermediate traffic the fusion kept out of materialized CSRs.
+	Fusion obs.FusedCounters `json:"fusion"`
+}
+
+// FusionReport is the fusion experiment's document.
+type FusionReport struct {
+	Schema  string        `json:"schema"`
+	Entries []FusionEntry `json:"entries"`
+}
+
+// FusionReportSchema identifies the JSON layout of a FusionReport.
+const FusionReportSchema = "maskedspgemm/bench-fusion/v1"
+
+// CheckFusedAllocs fails when any entry's fused allocs/op exceeds its
+// unfused counterpart — fusion's whole point is removing intermediate
+// materialization, so more allocator traffic means a regression. This
+// is the `make bench-fusion` gate (and through it `make check`).
+func (r *FusionReport) CheckFusedAllocs() error {
+	for _, e := range r.Entries {
+		if e.Fused.AllocsPerOp > e.Unfused.AllocsPerOp {
+			return fmt.Errorf("bench: %s/%s fused allocs/op %.0f exceeds unfused %.0f",
+				e.Workload, e.Graph, e.Fused.AllocsPerOp, e.Unfused.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
+// fusionWorkload pairs the two formulations of one iterative algorithm;
+// both closures return the same checksum when the fusion is correct.
+type fusionWorkload struct {
+	name    string
+	unfused func(cfg core.Config) func() (int64, error)
+	fused   func(cfg core.Config) func() (int64, error)
+}
+
+func fusionWorkloads(a *sparse.CSR[float64]) []fusionWorkload {
+	sources := []int{}
+	for v := 0; v < a.Rows && len(sources) < 4; v += max(a.Rows/4, 1) {
+		sources = append(sources, v)
+	}
+	ktruss := func(run func(*sparse.CSR[float64], int, core.Config) (*graph.KTrussResult, error)) func(core.Config) func() (int64, error) {
+		return func(cfg core.Config) func() (int64, error) {
+			return func() (int64, error) {
+				res, err := run(a, 4, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return res.Edges, nil
+			}
+		}
+	}
+	bc := func(run func(*sparse.CSR[float64], []int, core.Config) ([]float64, error)) func(core.Config) func() (int64, error) {
+		return func(cfg core.Config) func() (int64, error) {
+			return func() (int64, error) {
+				deps, err := run(a, sources, cfg)
+				if err != nil {
+					return 0, err
+				}
+				var sum float64
+				for _, v := range deps {
+					sum += v
+				}
+				return int64(sum), nil
+			}
+		}
+	}
+	return []fusionWorkload{
+		{"ktruss", ktruss(graph.KTruss), ktruss(graph.KTrussFused)},
+		{"bcbatch", bc(graph.BetweennessCentralityBatch), bc(graph.BetweennessCentralityBatchFused)},
+	}
+}
+
+// FusionBench runs the fusion experiment: the iterative graph workloads
+// with fused formulations (k-truss support-and-prune as one select
+// multiply per round, batched-Brandes BC with a streamed backward
+// sweep) timed warm against their materializing twins, reporting time,
+// allocator traffic and the fused pipeline's tile decisions.
+func FusionBench(w io.Writer, o Options) (*FusionReport, error) {
+	report := &FusionReport{Schema: FusionReportSchema}
+	fmt.Fprintln(w, "Fusion: fused tile pipeline vs materialized intermediates (both warm)")
+	fmt.Fprintf(w, "%-10s %-22s %12s %12s %14s %14s %8s %10s\n",
+		"workload", "graph", "unfused ms", "fused ms", "unf allocs/op", "fus allocs/op", "f-runs", "sel-kept")
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		base := o.planify(tunedConfig(o.Workers))
+		base.Context = o.Method.Context
+		// Each column owns its engine so the comparison isolates the
+		// fusion, not pooling differences; the recorder rides only on
+		// the untimed warm-up to keep the timed loops identical.
+		base.Engine = nil
+		base.Recorder = nil
+		warmMethod := o.Method
+		warmMethod.Warmups = 0
+		for _, wl := range fusionWorkloads(a) {
+			cfgOff := base
+			cfgOff.Engine = exec.New(exec.Config{})
+			runOff := wl.unfused(cfgOff)
+			if _, err := runOff(); err != nil {
+				return nil, fmt.Errorf("%s/%s unfused warm-up: %w", wl.name, g.Name, err)
+			}
+			un, err := timeAllocs(runOff, warmMethod)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s unfused: %w", wl.name, g.Name, err)
+			}
+
+			eng := exec.New(exec.Config{})
+			cfgRec := base
+			cfgRec.Engine = eng
+			cfgRec.Recorder = obs.NewRecorder()
+			if _, err := wl.fused(cfgRec)(); err != nil {
+				return nil, fmt.Errorf("%s/%s fused warm-up: %w", wl.name, g.Name, err)
+			}
+			cfgOn := base
+			cfgOn.Engine = eng
+			fu, err := timeAllocs(wl.fused(cfgOn), warmMethod)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s fused: %w", wl.name, g.Name, err)
+			}
+			if un.OutputNNZ != fu.OutputNNZ {
+				return nil, fmt.Errorf("%s/%s: fusion changed the result checksum (%d vs %d)",
+					wl.name, g.Name, un.OutputNNZ, fu.OutputNNZ)
+			}
+
+			entry := FusionEntry{
+				Workload: wl.name, Graph: g.Name,
+				Unfused: un, Fused: fu,
+				Fusion: cfgRec.Recorder.Stats().Fused,
+			}
+			report.Entries = append(report.Entries, entry)
+			o.Log.Add("fusion", g.Name, wl.name+"/unfused", un.Measurement)
+			o.Log.Add("fusion", g.Name, wl.name+"/fused", fu.Measurement)
+			fruns := entry.Fusion.ChainRuns + entry.Fusion.SelectRuns + entry.Fusion.StreamRuns
+			fmt.Fprintf(w, "%-10s %-22s %12.2f %12.2f %14.0f %14.0f %8d %10d\n",
+				wl.name, g.Name, un.Millis, fu.Millis,
+				un.AllocsPerOp, fu.AllocsPerOp, fruns, entry.Fusion.SelectKept)
+		}
+	}
+	return report, nil
+}
+
+// WriteJSON emits the report as a schema-tagged JSON document.
+func (r *FusionReport) WriteJSON(w io.Writer) error {
+	return obs.WriteJSON(w, r)
+}
+
+// ValidateFusionReportJSON checks that data is a schema-conforming
+// FusionReport document (strict round-trip plus schema tag) — the check
+// behind `make bench-fusion`.
+func ValidateFusionReportJSON(data []byte) error {
+	var r FusionReport
+	if err := obs.RoundTrip(data, &r); err != nil {
+		return err
+	}
+	if r.Schema != FusionReportSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, FusionReportSchema)
+	}
+	return nil
+}
+
+// EngineWithBudget builds a shared benchmark engine sized by a
+// retention budget in bytes (the -retention-mb flag): the first corpus
+// graph's structural features feed the engine-config model, which
+// translates the budget into an idle-workspace cap for the accumulator
+// family the tuned configuration selects. budget 0 selects the model's
+// default (256 MiB); negative budgets are rejected.
+func EngineWithBudget(o Options, budget int64) (*exec.Engine, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("bench: retention budget must be >= 0, got %d", budget)
+	}
+	corpus := o.corpus()
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("bench: no corpus graphs selected")
+	}
+	a := corpus[0].Build(o.Shift)
+	f, err := model.Extract(a, a, a)
+	if err != nil {
+		return nil, err
+	}
+	return exec.New(model.PredictEngineBudget(f, tunedConfig(o.Workers), o.Workers, budget)), nil
+}
+
+// KappaAdaptEntry records one graph's offline κ sweep against the
+// online recalibrator: the statically best κ and its warm time, the
+// default κ's warm time, and the κ the recalibrator settled on after a
+// bounded warm loop together with its warm time.
+type KappaAdaptEntry struct {
+	Graph         string            `json:"graph"`
+	DefaultKappa  float64           `json:"default_kappa"`
+	DefaultMillis float64           `json:"default_millis"`
+	BestKappa     float64           `json:"best_kappa"`
+	BestMillis    float64           `json:"best_millis"`
+	AdaptedKappa  float64           `json:"adapted_kappa"`
+	AdaptedMillis float64           `json:"adapted_millis"`
+	WarmRuns      int               `json:"warm_runs"`
+	Converged     bool              `json:"converged"`
+	Recal         obs.RecalCounters `json:"recal"`
+}
+
+// KappaAdaptReport is the adaptive-κ experiment's document.
+type KappaAdaptReport struct {
+	Schema  string            `json:"schema"`
+	Entries []KappaAdaptEntry `json:"entries"`
+}
+
+// KappaAdaptReportSchema identifies the JSON layout of a KappaAdaptReport.
+const KappaAdaptReportSchema = "maskedspgemm/bench-kappa-adapt/v1"
+
+// CheckAdapted fails when any entry's adapted warm time is more than
+// slack (a fraction, e.g. 0.05) worse than both the best offline-swept
+// κ and the static default — the recalibrator's contract. Timing-based,
+// so meant for attended runs and EXPERIMENTS.md, not hard CI gates.
+func (r *KappaAdaptReport) CheckAdapted(slack float64) error {
+	for _, e := range r.Entries {
+		if e.AdaptedMillis > e.BestMillis*(1+slack) {
+			return fmt.Errorf("bench: %s adapted κ=%g runs %.2fms, more than %.0f%% over best κ=%g (%.2fms)",
+				e.Graph, e.AdaptedKappa, e.AdaptedMillis, slack*100, e.BestKappa, e.BestMillis)
+		}
+		if e.AdaptedMillis > e.DefaultMillis*(1+slack) {
+			return fmt.Errorf("bench: %s adapted κ=%g runs %.2fms, more than %.0f%% over default κ=%g (%.2fms)",
+				e.Graph, e.AdaptedKappa, e.AdaptedMillis, slack*100, e.DefaultKappa, e.DefaultMillis)
+		}
+	}
+	return nil
+}
+
+// kappaAdaptWarmRuns bounds the recalibrator's warm loop; Converged()
+// ends it sooner. Sized so the three-arm bracket can recenter a few
+// times and still shrink its step to the convergence floor: one shrink
+// needs two defended brackets (6 runs), and γ=2 is five shrinks from
+// the 1.05 floor.
+const kappaAdaptWarmRuns = 64
+
+// KappaAdaptBench runs the adaptive-κ experiment on the benchmark
+// kernel C = A ⊙ (A×A): an offline sweep over o.Kappas (all warm on a
+// shared engine) establishes the best static κ, then a fresh engine
+// runs the online recalibrator loop — propose, multiply, observe — and
+// the adapted κ is timed warm for comparison.
+func KappaAdaptBench(w io.Writer, o Options) (*KappaAdaptReport, error) {
+	report := &KappaAdaptReport{Schema: KappaAdaptReportSchema}
+	sr := semiring.PlusTimes[float64]{}
+	fmt.Fprintln(w, "Adaptive κ: online recalibration vs offline sweep, C = A ⊙ (A×A), warm")
+	fmt.Fprintf(w, "%-22s %10s %12s %10s %12s %10s %12s %6s %5s\n",
+		"graph", "default-κ", "default ms", "best-κ", "best ms", "adapt-κ", "adapt ms", "runs", "conv")
+	for _, g := range o.corpus() {
+		a := g.Build(o.Shift)
+		base := o.planify(tunedConfig(o.Workers))
+		base.Context = o.Method.Context
+		base.Recorder = nil
+		defaultK := base.Kappa
+
+		eng := exec.New(exec.Config{})
+		base.Engine = eng
+		bestMs, bestK := math.Inf(1), defaultK
+		defMs := math.NaN()
+		for _, k := range o.Kappas {
+			cfg := base
+			cfg.Kappa = k
+			ms, err := TimeMasked(a, cfg, o.Method)
+			if err != nil {
+				return nil, fmt.Errorf("kappa-adapt/%s sweep κ=%g: %w", g.Name, k, err)
+			}
+			o.Log.Add("kappa-adapt", g.Name, fmt.Sprintf("sweep/kappa=%g", k), ms)
+			if ms.Millis < bestMs {
+				bestMs, bestK = ms.Millis, k
+			}
+			if k == defaultK {
+				defMs = ms.Millis
+			}
+		}
+		if math.IsNaN(defMs) {
+			cfg := base
+			cfg.Kappa = defaultK
+			ms, err := TimeMasked(a, cfg, o.Method)
+			if err != nil {
+				return nil, fmt.Errorf("kappa-adapt/%s default κ: %w", g.Name, err)
+			}
+			defMs = ms.Millis
+		}
+
+		// The online loop gets its own engine so the recalibrator cell
+		// starts cold, like a fresh process would.
+		engA := exec.New(exec.Config{})
+		rc := model.TuneFor(engA, a, a, a, model.RecalConfig{DefaultKappa: defaultK})
+		rec := obs.NewRecorder()
+		cfgA := base
+		cfgA.Engine = engA
+		cfgA.Recorder = rec
+		runs := 0
+		for i := 0; i < kappaAdaptWarmRuns; i++ {
+			if err := methodErr(o.Method); err != nil {
+				return nil, err
+			}
+			cfgA.Kappa = rc.Propose()
+			start := time.Now()
+			if _, err := core.MaskedSpGEMM[float64](sr, a, a, a, cfgA); err != nil {
+				return nil, fmt.Errorf("kappa-adapt/%s online run %d: %w", g.Name, i, err)
+			}
+			secs := time.Since(start).Seconds()
+			st, _ := rec.LastRun()
+			rec.AddRecal(rc.Observe(secs, st))
+			runs++
+			if rc.Converged() {
+				break
+			}
+		}
+
+		cfgM := base
+		cfgM.Engine = engA
+		cfgM.Kappa = rc.Kappa()
+		warmMethod := o.Method
+		warmMethod.Warmups = 0
+		adapted, err := TimeMasked(a, cfgM, warmMethod)
+		if err != nil {
+			return nil, fmt.Errorf("kappa-adapt/%s adapted κ: %w", g.Name, err)
+		}
+		o.Log.Add("kappa-adapt", g.Name, fmt.Sprintf("adapted/kappa=%g", cfgM.Kappa), adapted)
+
+		entry := KappaAdaptEntry{
+			Graph:        g.Name,
+			DefaultKappa: defaultK, DefaultMillis: defMs,
+			BestKappa: bestK, BestMillis: bestMs,
+			AdaptedKappa: cfgM.Kappa, AdaptedMillis: adapted.Millis,
+			WarmRuns: runs, Converged: rc.Converged(),
+			Recal: rec.Stats().Recal,
+		}
+		report.Entries = append(report.Entries, entry)
+		fmt.Fprintf(w, "%-22s %10.3g %12.2f %10.3g %12.2f %10.3g %12.2f %6d %5v\n",
+			g.Name, defaultK, defMs, bestK, bestMs,
+			entry.AdaptedKappa, entry.AdaptedMillis, runs, entry.Converged)
+	}
+	return report, nil
+}
+
+// WriteJSON emits the report as a schema-tagged JSON document.
+func (r *KappaAdaptReport) WriteJSON(w io.Writer) error {
+	return obs.WriteJSON(w, r)
+}
+
+// ValidateKappaAdaptReportJSON checks that data is a schema-conforming
+// KappaAdaptReport document (strict round-trip plus schema tag).
+func ValidateKappaAdaptReportJSON(data []byte) error {
+	var r KappaAdaptReport
+	if err := obs.RoundTrip(data, &r); err != nil {
+		return err
+	}
+	if r.Schema != KappaAdaptReportSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, KappaAdaptReportSchema)
+	}
+	return nil
+}

@@ -39,8 +39,10 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
+	scope := cfg.Recorder.StartRun()
+	defer scope.End()
 	poolPrior := cfg.Engine.Stats()
-	plan, err := planFor(ctx, cfg, pw, m, a, b)
+	plan, err := planFor(ctx, cfg, pw, m, a, b, scope)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -61,7 +63,7 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
-	recordPoolDelta(cfg, poolPrior)
+	recordPoolDelta(cfg, poolPrior, scope)
 	return c, nil
 }
 

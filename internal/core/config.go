@@ -101,6 +101,14 @@ type Config struct {
 	// smallest number of tiles a worker claims per atomic operation.
 	// 0 means 1. Ignored by Static and Dynamic.
 	GuidedMinChunk int
+	// FuseTileBudget is the fused-pipeline cache budget in bytes: a
+	// chained multiply stages a tile's intermediate product whole when
+	// its Eq. 2-estimated footprint (first-stage mask volume × entry
+	// size) fits the budget, and degrades to row-at-a-time streaming —
+	// one intermediate row live at a time — when it does not. 0 selects
+	// DefaultFuseTileBudget; negative is invalid. Only the fused entry
+	// points (FusedMaskedSpGEMM and friends) consult it.
+	FuseTileBudget int64
 	// Context, when non-nil, cancels or deadline-bounds the
 	// multiplication: the scheduler observes it between tile claims and
 	// between plan blocks, and a cancelled run returns ErrCanceled
@@ -191,7 +199,23 @@ func (c Config) Validate() error {
 	if c.GuidedMinChunk < 0 {
 		return errConfig("guided chunk floor must be >= 0, got %d", c.GuidedMinChunk)
 	}
+	if c.FuseTileBudget < 0 {
+		return errConfig("fuse tile budget must be >= 0, got %d", c.FuseTileBudget)
+	}
 	return nil
+}
+
+// DefaultFuseTileBudget is the fused-pipeline staging budget used when
+// Config.FuseTileBudget is 0: 1 MiB, sized to keep a staged
+// intermediate tile inside a typical per-core L2.
+const DefaultFuseTileBudget = 1 << 20
+
+// fuseTileBudget resolves the effective staging budget.
+func (c Config) fuseTileBudget() int64 {
+	if c.FuseTileBudget > 0 {
+		return c.FuseTileBudget
+	}
+	return DefaultFuseTileBudget
 }
 
 // planWorkers resolves the worker count for the plan-construction and

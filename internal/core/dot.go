@@ -45,6 +45,8 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 	//   W[i] = Σ_{M[i,j]≠0} (nnz(A[i,:]) + nnz(B[:,j])).
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
+	scope := cfg.Recorder.StartRun()
+	defer scope.End()
 	poolPrior := cfg.Engine.Stats()
 	var tiles []tiling.Tile
 	if cfg.Tiling == tiling.FlopBalanced {
@@ -111,7 +113,7 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
-	recordPoolDelta(cfg, poolPrior)
+	recordPoolDelta(cfg, poolPrior, scope)
 	return c, nil
 }
 

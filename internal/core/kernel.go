@@ -68,8 +68,10 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
+	scope := cfg.Recorder.StartRun()
+	defer scope.End()
 	poolPrior := cfg.Engine.Stats()
-	plan, err := planFor(ctx, cfg, pw, m, a, b)
+	plan, err := planFor(ctx, cfg, pw, m, a, b, scope)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -95,20 +97,20 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 		accs = wrapped
 	}
 	outs := ws.Outs[:len(tiles)]
-	prior := snapshotAccumStats(accs, cfg.Recorder)
+	prior := snapshotAccumStats(accs, scope)
 
-	if err := runKernelSpanned(ctx, cfg, workers, len(tiles), func(worker, t int, wc *obs.WorkerCounters) {
+	if err := runKernelSpanned(ctx, cfg, scope, workers, len(tiles), func(worker, t int, wc *obs.WorkerCounters) {
 		runTile(sr, accs[worker], m, a, b, cfg, tiles[t], &outs[t], wc)
 	}); err != nil {
 		return nil, wrapRunErr(err)
 	}
 
-	c, err := assembleSpanned(ctx, cfg, a.Rows, b.Cols, tiles, outs, pw)
+	c, err := assembleSpanned(ctx, cfg, scope, a.Rows, b.Cols, tiles, outs, pw)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
-	recordAccumDeltas(accs, prior, cfg.Recorder)
-	recordPoolDelta(cfg, poolPrior)
+	recordAccumDeltas(accs, prior, scope)
+	recordPoolDelta(cfg, poolPrior, scope)
 	return c, nil
 }
 
@@ -194,8 +196,20 @@ func rowVanilla[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int,
 	wc *obs.WorkerCounters,
 ) {
-	acc.BeginRow()
 	aCols, aVals := a.Row(i)
+	rowVanillaSlices(sr, acc, aCols, aVals, b, wc)
+}
+
+// rowVanillaSlices is rowVanilla over an explicit sparse left row —
+// the form the fused pipeline feeds with intermediate rows that never
+// became a CSR.
+//
+//spgemm:hotpath
+func rowVanillaSlices[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], aCols []sparse.Index, aVals []T, b *sparse.CSR[T],
+	wc *obs.WorkerCounters,
+) {
+	acc.BeginRow()
 	for kk, k := range aCols {
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
@@ -217,9 +231,19 @@ func rowMaskLoad[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int, maskCols []sparse.Index,
 	wc *obs.WorkerCounters,
 ) {
+	aCols, aVals := a.Row(i)
+	rowMaskLoadSlices(sr, acc, aCols, aVals, b, maskCols, wc)
+}
+
+// rowMaskLoadSlices is rowMaskLoad over an explicit sparse left row.
+//
+//spgemm:hotpath
+func rowMaskLoadSlices[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], aCols []sparse.Index, aVals []T, b *sparse.CSR[T],
+	maskCols []sparse.Index, wc *obs.WorkerCounters,
+) {
 	acc.BeginRow()
 	acc.LoadMask(maskCols)
-	aCols, aVals := a.Row(i)
 	for kk, k := range aCols {
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
@@ -241,8 +265,18 @@ func rowCoIter[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int, maskCols []sparse.Index,
 	wc *obs.WorkerCounters,
 ) {
-	acc.BeginRow()
 	aCols, aVals := a.Row(i)
+	rowCoIterSlices(sr, acc, aCols, aVals, b, maskCols, wc)
+}
+
+// rowCoIterSlices is rowCoIter over an explicit sparse left row.
+//
+//spgemm:hotpath
+func rowCoIterSlices[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], aCols []sparse.Index, aVals []T, b *sparse.CSR[T],
+	maskCols []sparse.Index, wc *obs.WorkerCounters,
+) {
+	acc.BeginRow()
 	for kk, k := range aCols {
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))
@@ -303,10 +337,20 @@ func rowHybrid[T sparse.Number, S semiring.Semiring[T]](
 	sr S, acc accum.Accumulator[T], a, b *sparse.CSR[T], i int,
 	maskCols []sparse.Index, kappa float64, wc *obs.WorkerCounters,
 ) {
+	aCols, aVals := a.Row(i)
+	rowHybridSlices(sr, acc, aCols, aVals, b, maskCols, kappa, wc)
+}
+
+// rowHybridSlices is rowHybrid over an explicit sparse left row.
+//
+//spgemm:hotpath
+func rowHybridSlices[T sparse.Number, S semiring.Semiring[T]](
+	sr S, acc accum.Accumulator[T], aCols []sparse.Index, aVals []T, b *sparse.CSR[T],
+	maskCols []sparse.Index, kappa float64, wc *obs.WorkerCounters,
+) {
 	acc.BeginRow()
 	acc.LoadMask(maskCols)
 	nnzM := len(maskCols)
-	aCols, aVals := a.Row(i)
 	for kk, k := range aCols {
 		aik := aVals[kk]
 		bCols, bVals := b.Row(int(k))

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"maskedspgemm/internal/accum"
@@ -45,6 +46,14 @@ type Multiplier[T sparse.Number, S semiring.Semiring[T]] struct {
 	// inUse; both stay nil/idle when cfg.Engine is set.
 	ws    *exec.Workspace[T, S]
 	inUse atomic.Bool
+	// kappaBits, when nonzero, overrides cfg.Kappa for subsequent runs
+	// (math.Float64bits encoding). The override is read once per Multiply
+	// into that run's private Config copy, so online recalibration can
+	// retune κ between runs without racing in-flight multiplies.
+	kappaBits atomic.Uint64
+	// lastRun holds the most recent completed run's scoped stats
+	// snapshot (nil until a run completes with a recorder configured).
+	lastRun atomic.Pointer[obs.Stats]
 }
 
 // NewMultiplier validates the problem and resolves the execution plan.
@@ -70,7 +79,11 @@ func NewMultiplier[T sparse.Number, S semiring.Semiring[T]](
 	mu.workers = sched.Workers(cfg.Workers)
 	mu.planWorkers = cfg.planWorkers()
 	if a.Rows > 0 {
-		plan, err := planFor(ctx, cfg, mu.planWorkers, m, a, b)
+		// Plan construction records its spans under a scope of its own,
+		// folded into the recorder's totals without counting as a run.
+		scope := cfg.Recorder.StartRun()
+		plan, err := planFor(ctx, cfg, mu.planWorkers, m, a, b, scope)
+		scope.End()
 		if err != nil {
 			return nil, wrapRunErr(err)
 		}
@@ -108,11 +121,23 @@ func (mu *Multiplier[T, S]) MultiplyCtx(ctx context.Context) (*sparse.CSR[T], er
 	if mu.a.Rows == 0 {
 		return sparse.NewCSR[T](mu.a.Rows, mu.b.Cols, 0), nil
 	}
-	poolPrior := mu.cfg.Engine.Stats()
+	// The run owns a private Config copy so the κ override (and any
+	// future per-run retuning) never races a concurrent Multiply.
+	cfg := mu.cfg
+	if bits := mu.kappaBits.Load(); bits != 0 {
+		cfg.Kappa = math.Float64frombits(bits)
+	}
+	scope := cfg.Recorder.StartRun()
+	defer func() {
+		if snap := scope.End(); snap.Runs > 0 {
+			mu.lastRun.Store(&snap)
+		}
+	}()
+	poolPrior := cfg.Engine.Stats()
 	ws := mu.ws
-	if mu.cfg.Engine != nil {
-		ws = exec.Masked[T, S](mu.cfg.Engine, mu.sr, mu.cfg.Accumulator,
-			mu.cfg.MarkerBits, mu.b.Cols, mu.rowCap, mu.workers, len(mu.tiles))
+	if cfg.Engine != nil {
+		ws = exec.Masked[T, S](cfg.Engine, mu.sr, cfg.Accumulator,
+			cfg.MarkerBits, mu.b.Cols, mu.rowCap, mu.workers, len(mu.tiles))
 		defer ws.Release()
 	} else {
 		if !mu.inUse.CompareAndSwap(false, true) {
@@ -125,19 +150,51 @@ func (mu *Multiplier[T, S]) MultiplyCtx(ctx context.Context) (*sparse.CSR[T], er
 	outs := ws.Outs[:len(mu.tiles)]
 	// The accumulators persist across runs, so deltas against a per-run
 	// snapshot keep each run's counts exact.
-	prior := snapshotAccumStats(accs, mu.cfg.Recorder)
-	if err := runKernelSpanned(ctx, mu.cfg, mu.workers, len(mu.tiles), func(worker, t int, wc *obs.WorkerCounters) {
-		runTile(mu.sr, accs[worker], mu.m, mu.a, mu.b, mu.cfg, mu.tiles[t], &outs[t], wc)
+	prior := snapshotAccumStats(accs, scope)
+	if err := runKernelSpanned(ctx, cfg, scope, mu.workers, len(mu.tiles), func(worker, t int, wc *obs.WorkerCounters) {
+		runTile(mu.sr, accs[worker], mu.m, mu.a, mu.b, cfg, mu.tiles[t], &outs[t], wc)
 	}); err != nil {
 		return nil, wrapRunErr(err)
 	}
-	c, err := assembleSpanned(ctx, mu.cfg, mu.a.Rows, mu.b.Cols, mu.tiles, outs, mu.planWorkers)
+	c, err := assembleSpanned(ctx, cfg, scope, mu.a.Rows, mu.b.Cols, mu.tiles, outs, mu.planWorkers)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
-	recordAccumDeltas(accs, prior, mu.cfg.Recorder)
-	recordPoolDelta(mu.cfg, poolPrior)
+	recordAccumDeltas(accs, prior, scope)
+	recordPoolDelta(cfg, poolPrior, scope)
 	return c, nil
+}
+
+// SetKappa overrides the configured Eq. 3 threshold κ for subsequent
+// Multiply calls. Non-positive values restore the constructed Config's
+// κ. Safe to call concurrently with in-flight multiplies: each run
+// reads the override once at start.
+func (mu *Multiplier[T, S]) SetKappa(kappa float64) {
+	if kappa <= 0 {
+		mu.kappaBits.Store(0)
+		return
+	}
+	mu.kappaBits.Store(math.Float64bits(kappa))
+}
+
+// Kappa returns the Eq. 3 threshold the next Multiply will use: the
+// SetKappa override when present, the constructed Config's otherwise.
+func (mu *Multiplier[T, S]) Kappa() float64 {
+	if bits := mu.kappaBits.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return mu.cfg.Kappa
+}
+
+// LastRunStats returns the scoped stats snapshot of the most recent
+// completed Multiply (isolated by its multiply sequence id, so
+// overlapping runs on a shared recorder do not bleed in). ok is false
+// until a run completes with a recorder configured.
+func (mu *Multiplier[T, S]) LastRunStats() (obs.Stats, bool) {
+	if s := mu.lastRun.Load(); s != nil {
+		return *s, true
+	}
+	return obs.Stats{}, false
 }
 
 // runTilePlanned is the buffer-reusing tile body: out's staging slices

@@ -19,23 +19,26 @@ func schedRun(ctx context.Context, cfg Config, workers, tiles int, fn func(worke
 // This file is the glue between the kernel pipeline and the obs
 // recorder: phase-spanned plan construction, per-run accumulator
 // counter deltas, and the spanned/labelled wrappers around the numeric
-// kernel and the assembly. Everything here nil-checks the recorder, so
-// the uninstrumented pipeline takes the exact pre-observability paths.
+// kernel and the assembly. Every helper takes the run's *obs.RunScope
+// (nil when observability is off, so the uninstrumented pipeline takes
+// the exact pre-observability paths); the scope isolates the run's
+// spans and counters under its multiply sequence id and folds them into
+// the recorder's cumulative totals exactly once at End.
 
 // planFor resolves the execution plan — tile partition plus accumulator
 // row-capacity bound — through the engine's fingerprint-keyed cache
-// when cfg.Engine is set, building (under the recorder's plan spans) on
-// a miss. Without an engine every call builds; a cached hit records no
+// when cfg.Engine is set, building (under the scope's plan spans) on a
+// miss. Without an engine every call builds; a cached hit records no
 // plan spans because no plan work happened.
 func planFor[T sparse.Number](
-	ctx context.Context, cfg Config, pw int, m, a, b *sparse.CSR[T],
+	ctx context.Context, cfg Config, pw int, m, a, b *sparse.CSR[T], scope *obs.RunScope,
 ) (exec.Plan, error) {
 	build := func() (exec.Plan, error) {
-		tiles, err := makeTiles(ctx, cfg, pw, a, b, m)
+		tiles, err := makeTiles(ctx, cfg, pw, a, b, m, scope)
 		if err != nil {
 			return exec.Plan{}, err
 		}
-		rowCap, err := rowCapacity(ctx, cfg, pw, a, b, m)
+		rowCap, err := rowCapacity(ctx, cfg, pw, a, b, m, scope)
 		if err != nil {
 			return exec.Plan{}, err
 		}
@@ -56,14 +59,14 @@ func planFor[T sparse.Number](
 }
 
 // recordPoolDelta folds the engine's pool-counter movement since prior
-// into the recorder. When several concurrent runs share the engine the
+// into the run scope. When several concurrent runs share the engine the
 // delta includes their overlapping traffic — attribution is per engine.
-func recordPoolDelta(cfg Config, prior exec.PoolStats) {
-	if cfg.Recorder == nil || cfg.Engine == nil {
+func recordPoolDelta(cfg Config, prior exec.PoolStats, scope *obs.RunScope) {
+	if !scope.Enabled() || cfg.Engine == nil {
 		return
 	}
 	d := cfg.Engine.Stats().Sub(prior)
-	cfg.Recorder.AddPool(obs.PoolCounters{
+	scope.AddPool(obs.PoolCounters{
 		Hits:       d.Hits,
 		Misses:     d.Misses,
 		Steals:     d.Steals,
@@ -74,41 +77,40 @@ func recordPoolDelta(cfg Config, prior exec.PoolStats) {
 	})
 }
 
-// makeTiles builds the tile partition. Without a recorder it defers to
+// makeTiles builds the tile partition. Without a scope it defers to
 // tiling.MakeParallelE unchanged; with one, the FLOP-balanced pipeline
 // is unrolled so each plan phase — Eq. 2 row-work estimation, prefix
 // sum, boundary placement — runs under its own span and pprof label.
 func makeTiles[T sparse.Number](
-	ctx context.Context, cfg Config, pw int, a, b, m *sparse.CSR[T],
+	ctx context.Context, cfg Config, pw int, a, b, m *sparse.CSR[T], scope *obs.RunScope,
 ) ([]tiling.Tile, error) {
-	rec := cfg.Recorder
-	if rec == nil {
+	if !scope.Enabled() {
 		return tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
 	}
 	switch cfg.Tiling {
 	case tiling.Uniform:
-		defer rec.Span(obs.PhasePlanTileBuild)()
+		defer scope.Span(obs.PhasePlanTileBuild)()
 		return tiling.UniformTiles(a.Rows, cfg.Tiles), nil
 	case tiling.FlopBalanced:
 		var work, prefix []int64
 		var err error
-		end := rec.Span(obs.PhasePlanRowWork)
-		rec.Do(ctx, obs.PhasePlanRowWork, func() {
+		end := scope.Span(obs.PhasePlanRowWork)
+		scope.Do(ctx, obs.PhasePlanRowWork, func() {
 			work, err = tiling.RowWorkParallelE(ctx, a, b, m, pw)
 		})
 		end()
 		if err != nil {
 			return nil, err
 		}
-		end = rec.Span(obs.PhasePlanPrefixSum)
-		rec.Do(ctx, obs.PhasePlanPrefixSum, func() {
+		end = scope.Span(obs.PhasePlanPrefixSum)
+		scope.Do(ctx, obs.PhasePlanPrefixSum, func() {
 			prefix, err = tiling.PrefixSumE(ctx, work, pw)
 		})
 		end()
 		if err != nil {
 			return nil, err
 		}
-		defer rec.Span(obs.PhasePlanTileBuild)()
+		defer scope.Span(obs.PhasePlanTileBuild)()
 		return tiling.BalancedFromPrefix(prefix, cfg.Tiles), nil
 	default:
 		return tiling.MakeParallelE(ctx, cfg.Tiling, cfg.Tiles, pw, a, b, m)
@@ -119,9 +121,9 @@ func makeTiles[T sparse.Number](
 // under the plan.row_cap span: max nnz of a mask row, or the flop upper
 // bound for the vanilla space.
 func rowCapacity[T sparse.Number](
-	ctx context.Context, cfg Config, pw int, a, b, m *sparse.CSR[T],
+	ctx context.Context, cfg Config, pw int, a, b, m *sparse.CSR[T], scope *obs.RunScope,
 ) (int64, error) {
-	defer cfg.Recorder.Span(obs.PhasePlanRowCap)()
+	defer scope.Span(obs.PhasePlanRowCap)()
 	rowCap, err := maxRowNNZ(ctx, m, pw)
 	if err != nil {
 		return 0, err
@@ -141,9 +143,9 @@ func rowCapacity[T sparse.Number](
 
 // snapshotAccumStats enables the gated accumulator counters and returns
 // their current values, so the post-run delta isolates this run even
-// when the accumulators are reused (Multiplier). Nil recorder → nil.
-func snapshotAccumStats[T sparse.Number](accs []accum.Accumulator[T], rec *obs.Recorder) []accum.Stats {
-	if rec == nil {
+// when the accumulators are reused (Multiplier). Nil scope → nil.
+func snapshotAccumStats[T sparse.Number](accs []accum.Accumulator[T], scope *obs.RunScope) []accum.Stats {
+	if !scope.Enabled() {
 		return nil
 	}
 	prior := make([]accum.Stats, len(accs))
@@ -157,9 +159,9 @@ func snapshotAccumStats[T sparse.Number](accs []accum.Accumulator[T], rec *obs.R
 }
 
 // recordAccumDeltas folds each accumulator's counter delta since prior
-// into the recorder and marks the run complete.
-func recordAccumDeltas[T sparse.Number](accs []accum.Accumulator[T], prior []accum.Stats, rec *obs.Recorder) {
-	if rec == nil || prior == nil {
+// into the run scope and marks the run complete.
+func recordAccumDeltas[T sparse.Number](accs []accum.Accumulator[T], prior []accum.Stats, scope *obs.RunScope) {
+	if !scope.Enabled() || prior == nil {
 		return
 	}
 	var delta accum.Stats
@@ -168,13 +170,13 @@ func recordAccumDeltas[T sparse.Number](accs []accum.Accumulator[T], prior []acc
 			delta.Add(in.AccumStats().Sub(prior[w]))
 		}
 	}
-	rec.AddAccum(obs.AccumCounters{
+	scope.AddAccum(obs.AccumCounters{
 		MarkerClears:   delta.Clears,
 		TableGrows:     delta.Grows,
 		HashProbes:     delta.Probes,
 		HashCollisions: delta.Collisions,
 	})
-	rec.AddRun()
+	scope.MarkComplete()
 }
 
 // runKernelSpanned executes the tile scheduler under the exec.kernel
@@ -182,21 +184,20 @@ func recordAccumDeltas[T sparse.Number](accs []accum.Accumulator[T], prior []acc
 // when disabled) and is also bracketed by a runtime/trace region per
 // tile batch while tracing is active.
 func runKernelSpanned(
-	ctx context.Context, cfg Config, workers, tiles int,
+	ctx context.Context, cfg Config, scope *obs.RunScope, workers, tiles int,
 	run func(worker, t int, wc *obs.WorkerCounters),
 ) error {
-	rec := cfg.Recorder
-	if rec == nil {
+	if !scope.Enabled() {
 		return schedRun(ctx, cfg, workers, tiles, func(worker, t int) {
 			run(worker, t, nil)
 		})
 	}
-	slots := rec.WorkerSlots(workers)
-	defer rec.Span(obs.PhaseExecKernel)()
+	slots := scope.WorkerSlots(workers)
+	defer scope.Span(obs.PhaseExecKernel)()
 	var err error
-	rec.Do(ctx, obs.PhaseExecKernel, func() {
+	scope.Do(ctx, obs.PhaseExecKernel, func() {
 		err = schedRun(ctx, cfg, workers, tiles, func(worker, t int) {
-			endRegion := rec.TileRegion(ctx)
+			endRegion := scope.TileRegion(ctx)
 			wc := &slots[worker]
 			wc.Tiles.Add(1)
 			run(worker, t, wc)
@@ -208,17 +209,16 @@ func runKernelSpanned(
 
 // assembleSpanned is assembleE under the exec.assemble span and label.
 func assembleSpanned[T sparse.Number](
-	ctx context.Context, cfg Config, rows, cols int,
+	ctx context.Context, cfg Config, scope *obs.RunScope, rows, cols int,
 	tiles []tiling.Tile, outs []exec.TileBuf[T], p int,
 ) (*sparse.CSR[T], error) {
-	rec := cfg.Recorder
-	if rec == nil {
+	if !scope.Enabled() {
 		return assembleE(ctx, rows, cols, tiles, outs, p)
 	}
-	defer rec.Span(obs.PhaseExecAssemble)()
+	defer scope.Span(obs.PhaseExecAssemble)()
 	var c *sparse.CSR[T]
 	var err error
-	rec.Do(ctx, obs.PhaseExecAssemble, func() {
+	scope.Do(ctx, obs.PhaseExecAssemble, func() {
 		c, err = assembleE(ctx, rows, cols, tiles, outs, p)
 	})
 	return c, err

@@ -52,8 +52,10 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 
 	ctx := cfg.Context
 	pw := cfg.planWorkers()
+	scope := cfg.Recorder.StartRun()
+	defer scope.End()
 	poolPrior := cfg.Engine.Stats()
-	plan, err := planFor(ctx, cfg, pw, m, a, b)
+	plan, err := planFor(ctx, cfg, pw, m, a, b, scope)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -86,7 +88,7 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
-	recordPoolDelta(cfg, poolPrior)
+	recordPoolDelta(cfg, poolPrior, scope)
 	return c, nil
 }
 

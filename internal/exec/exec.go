@@ -71,6 +71,9 @@ type Engine struct {
 	plans     map[PlanKey]*planEntry
 	planClock uint64
 
+	tunings   map[TuneKey]*tuneEntry
+	tuneClock uint64
+
 	hits      atomic.Int64
 	misses    atomic.Int64
 	steals    atomic.Int64

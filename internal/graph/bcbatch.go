@@ -20,6 +20,21 @@ import (
 // so the batch variant exercises the exact kernels this repository
 // studies, at batch width s instead of vector width 1.
 func BetweennessCentralityBatch(a *sparse.CSR[float64], sources []int, cfg core.Config) ([]float64, error) {
+	return bcBatch(a, sources, cfg, false)
+}
+
+// BetweennessCentralityBatchFused is BetweennessCentralityBatch with
+// the backward sweep's masked multiply streamed: each dependency row
+// T[u,:] = (F_{d-1} ⊙ (A × W_d))[u,:] is folded into the delta vector
+// straight from the worker's gather buffer via core.MaskedSpGEMMStream,
+// so the per-level dependency matrix is never assembled as a CSR. Rows
+// are delivered disjointly, and row u only writes delta[u*s..], so the
+// sink needs no locking. Results are identical to the unfused batch.
+func BetweennessCentralityBatchFused(a *sparse.CSR[float64], sources []int, cfg core.Config) ([]float64, error) {
+	return bcBatch(a, sources, cfg, true)
+}
+
+func bcBatch(a *sparse.CSR[float64], sources []int, cfg core.Config, fused bool) ([]float64, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("%w: adjacency must be square, got %dx%d",
 			sparse.ErrShape, a.Rows, a.Cols)
@@ -88,6 +103,19 @@ func BetweennessCentralityBatch(a *sparse.CSR[float64], sources []int, cfg core.
 		}
 		// T = F_{d-1} ⊙ (A × W_d): for u in front d-1, the sum over
 		// neighbors v in front d of (1+delta_v)/sigma_v.
+		if fused {
+			err := core.MaskedSpGEMMStream[float64](sr, fronts[d-1], a, w, cfg,
+				func(i int, cols []sparse.Index, vals []float64) {
+					base := i * s
+					for p, b := range cols {
+						delta[base+int(b)] += vals[p] * sigma[base+int(b)]
+					}
+				})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
 		tm, err := core.MaskedSpGEMM[float64](sr, fronts[d-1], a, w, cfg)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"maskedspgemm/internal/exec"
+	"maskedspgemm/internal/sparse"
+)
+
+func TestKTrussFusedMatchesUnfused(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 99} {
+		a := smallGraph(seed)
+		for _, k := range []int{3, 4, 5} {
+			want, err := KTruss(a, k, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := KTrussFused(a, k, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sparse.Equal(got.Truss, want.Truss) {
+				t.Fatalf("seed %d k=%d: fused truss differs", seed, k)
+			}
+			if got.Rounds != want.Rounds || got.Edges != want.Edges {
+				t.Fatalf("seed %d k=%d: fused rounds/edges %d/%d, want %d/%d",
+					seed, k, got.Rounds, got.Edges, want.Rounds, want.Edges)
+			}
+		}
+	}
+}
+
+func TestKTrussFusedWithEngine(t *testing.T) {
+	eng := exec.New(exec.Config{})
+	cfg := testCfg()
+	cfg.Engine = eng
+	a := smallGraph(7)
+	want, err := KTruss(a, 4, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run twice through the same engine: warm plans/workspaces must not
+	// change the result.
+	for i := 0; i < 2; i++ {
+		got, err := KTrussFused(a, 4, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.Equal(got.Truss, want.Truss) {
+			t.Fatalf("pass %d: fused truss differs under engine", i)
+		}
+	}
+}
+
+func TestKTrussFusedRejectsBadK(t *testing.T) {
+	if _, err := KTrussFused(smallGraph(1), 2, testCfg()); err == nil {
+		t.Error("k=2 accepted")
+	}
+}
+
+func TestBCBatchFusedMatchesUnfused(t *testing.T) {
+	for _, seed := range []uint64{5, 21} {
+		a := smallGraph(seed)
+		sources := []int{0, 3, 11, 17}
+		want, err := BetweennessCentralityBatch(a, sources, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BetweennessCentralityBatchFused(a, sources, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("length %d, want %d", len(got), len(want))
+		}
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 {
+				t.Fatalf("seed %d: bc[%d] = %v, want %v", seed, v, got[v], want[v])
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
 
@@ -57,6 +58,39 @@ func KTruss(a *sparse.CSR[float64], k int, cfg core.Config) (*KTrussResult, erro
 			}
 			next.AppendRow(i, rowCols, rowVals)
 		}
+		if kept == cur.NNZ() {
+			return &KTrussResult{Truss: cur, Rounds: rounds, Edges: kept / 2}, nil
+		}
+		cur = next
+		if kept == 0 {
+			return &KTrussResult{Truss: cur, Rounds: rounds, Edges: 0}, nil
+		}
+	}
+}
+
+// KTrussFused computes the same k-truss as KTruss through the fused
+// select pipeline: each round runs threshold(A ⊙ (A×A)) as one
+// core.MaskedSpGEMMSelect call, so the per-edge support matrix is never
+// materialized — entries below the support threshold are dropped inside
+// the tile gather and surviving edges are rewritten to 1 in place. The
+// result is identical to KTruss round for round; only the intermediate
+// allocations differ.
+func KTrussFused(a *sparse.CSR[float64], k int, cfg core.Config) (*KTrussResult, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("graph: k-truss needs k >= 3, got %d", k)
+	}
+	sr := semiring.PlusPair[float64]{}
+	cur := a.Clone()
+	need := float64(k - 2)
+	sel := func(v float64) (float64, bool) { return 1, v >= need }
+	rounds := 0
+	for {
+		rounds++
+		next, err := core.MaskedSpGEMMSelect[float64](sr, cur, cur, cur, cfg, sel)
+		if err != nil {
+			return nil, err
+		}
+		kept := next.NNZ()
 		if kept == cur.NNZ() {
 			return &KTrussResult{Truss: cur, Rounds: rounds, Edges: kept / 2}, nil
 		}

@@ -151,23 +151,34 @@ func Predict(f Features, th Thresholds, workers int) core.Config {
 	return cfg
 }
 
-// idleRetentionBudget bounds the memory the engine may pin in idle
+// DefaultRetentionBudget bounds the memory the engine may pin in idle
 // workspaces: beyond it, retention stops paying for itself against the
 // cache pressure the idle buffers add.
-const idleRetentionBudget = 256 << 20 // 256 MiB
+const DefaultRetentionBudget = 256 << 20 // 256 MiB
 
 // PredictEngine sizes an exec.Engine's retention bounds from the
-// problem's features. The dominant per-workspace cost is the dense
-// state: a dense accumulator (or complement/2D scratch) holds O(cols)
-// values and markers per worker, a hash accumulator O(MaxMaskRow)
-// slots. The idle cap is the retention budget divided by that
-// footprint, so small problems keep the default (deep) pool while
-// problems with huge columns retain only a few idle workspaces. The
-// plan cache is footprint-light (tile boundaries only) and stays at its
-// default depth.
+// problem's features under the default retention budget; see
+// PredictEngineBudget.
 func PredictEngine(f Features, cfg core.Config, workers int) exec.Config {
+	return PredictEngineBudget(f, cfg, workers, DefaultRetentionBudget)
+}
+
+// PredictEngineBudget sizes an exec.Engine's retention bounds from the
+// problem's features and an explicit retention budget in bytes
+// (budget <= 0 selects DefaultRetentionBudget). The dominant
+// per-workspace cost is the dense state: a dense accumulator (or
+// complement/2D scratch) holds O(cols) values and markers per worker, a
+// hash accumulator O(MaxMaskRow) slots. The idle cap is the retention
+// budget divided by that footprint, so small problems keep the default
+// (deep) pool while problems with huge columns retain only a few idle
+// workspaces. The plan cache is footprint-light (tile boundaries only)
+// and stays at its default depth.
+func PredictEngineBudget(f Features, cfg core.Config, workers int, budget int64) exec.Config {
 	if workers <= 0 {
 		workers = sched.Workers(workers)
+	}
+	if budget <= 0 {
+		budget = DefaultRetentionBudget
 	}
 	var perWorker int64
 	switch cfg.Accumulator {
@@ -181,7 +192,7 @@ func PredictEngine(f Features, cfg core.Config, workers int) exec.Config {
 	if footprint <= 0 {
 		footprint = 1
 	}
-	maxIdle := int(int64(idleRetentionBudget) / footprint)
+	maxIdle := int(budget / footprint)
 	if maxIdle > exec.DefaultMaxIdle {
 		maxIdle = exec.DefaultMaxIdle
 	}

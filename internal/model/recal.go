@@ -1,0 +1,401 @@
+package model
+
+import (
+	"math"
+	"sync"
+
+	"maskedspgemm/internal/exec"
+	"maskedspgemm/internal/obs"
+	"maskedspgemm/internal/sparse"
+)
+
+// RecalConfig tunes the online κ recalibrator. The zero value selects
+// the defaults below; every field is individually optional.
+type RecalConfig struct {
+	// DefaultKappa is the static κ the estimator starts from and snaps
+	// back to when the periodic reference run beats the adapted center.
+	// 0 means 1 (the paper's recommended default).
+	DefaultKappa float64
+	// Gamma is the initial multiplicative exploration step: the arms
+	// bracket the center at κc/γ and κc·γ. 0 means 2.
+	Gamma float64
+	// MinGamma is the convergence floor the step shrinks toward once the
+	// center keeps winning. 0 means 1.05.
+	MinGamma float64
+	// Alpha is the EWMA weight of the newest observation. 0 means 0.3.
+	Alpha float64
+	// RefPeriod re-proposes DefaultKappa as a reference arm every
+	// RefPeriod observations, so the adapted κ is continuously audited
+	// against the static default. 0 means 8.
+	RefPeriod int
+	// SnapbackMargin is the factor by which the reference arm's cost
+	// must undercut the center's before the estimator snaps back
+	// (refCost < SnapbackMargin·centerCost). 0 means 0.95.
+	SnapbackMargin float64
+	// ShrinkAfter is the number of consecutive center wins before γ
+	// shrinks toward MinGamma. 0 means 2.
+	ShrinkAfter int
+	// KappaMin and KappaMax clamp the adapted center. 0 means 1/64 and
+	// 64 respectively.
+	KappaMin, KappaMax float64
+	// DenseCollisionRate is the hash collision-per-probe EWMA above
+	// which the estimator recommends the dense accumulator (the hash
+	// table is thrashing). 0 means 0.5.
+	DenseCollisionRate float64
+}
+
+func (c RecalConfig) withDefaults() RecalConfig {
+	if c.DefaultKappa <= 0 {
+		c.DefaultKappa = 1
+	}
+	if c.Gamma <= 1 {
+		c.Gamma = 2
+	}
+	if c.MinGamma <= 1 {
+		c.MinGamma = 1.05
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.RefPeriod <= 0 {
+		c.RefPeriod = 8
+	}
+	if c.SnapbackMargin <= 0 || c.SnapbackMargin >= 1 {
+		c.SnapbackMargin = 0.95
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 2
+	}
+	if c.KappaMin <= 0 {
+		c.KappaMin = 1.0 / 64
+	}
+	if c.KappaMax <= c.KappaMin {
+		c.KappaMax = 64
+	}
+	if c.DenseCollisionRate <= 0 {
+		c.DenseCollisionRate = 0.5
+	}
+	return c
+}
+
+// Recalibrator arms: below-center, center, above-center, plus the
+// periodic static-default reference.
+const (
+	armLow = iota
+	armMid
+	armHigh
+	armRef
+	numArms
+)
+
+// Recalibrator adapts the co-iteration factor κ online, per operand
+// family. It runs a three-arm multiplicative search around the current
+// center κc — proposing κc/γ, κc and κc·γ in rotation — and feeds each
+// run's measured cost (wall time normalized by the run's Eq. 2 FLOPs,
+// so rounds over shrinking matrices stay comparable) into per-arm
+// exponentially weighted averages. When a bracket arm's average
+// undercuts the center's, the center recenters on it; when the center
+// keeps winning, γ shrinks toward 1 and the search converges. A
+// periodic reference run at the static default κ audits the whole
+// adaptation: if the default is measurably cheaper, the estimator
+// snaps back and re-widens γ, so adaptation can never lock in a κ
+// worse than not adapting at all.
+//
+// The hybrid pick counters bound the search behaviorally: a center run
+// in which every (i,k) pair already co-iterated (zero linear picks)
+// proves raising κ cannot change a single decision, so the high arm is
+// skipped — and symmetrically for the low arm. Hash accumulator
+// probe/collision rates feed a separate EWMA exposed as PreferDense.
+//
+// All methods are safe for concurrent use; a nil *Recalibrator
+// disables everything (Propose returns the static default).
+type Recalibrator struct {
+	mu  sync.Mutex
+	cfg RecalConfig
+
+	center float64
+	gamma  float64
+
+	// cost and seen are the per-arm EWMA cost and sample count since
+	// the last recenter; ref keeps its own longer-lived average.
+	cost [numArms]float64
+	seen [numArms]int
+
+	// pending is the arm the next Observe attributes to (set by
+	// Propose); -1 when no proposal is outstanding.
+	pending int
+	// rotate cycles the bracket arms; updates counts observations to
+	// schedule the reference arm.
+	rotate  int
+	updates int
+
+	// skipLow/skipHigh mark bracket directions proven behaviorally
+	// inert by the pick counters of the latest center observation.
+	skipLow, skipHigh bool
+
+	centerWins int
+	converged  bool
+
+	collisionRate float64
+	probesSeen    bool
+}
+
+// NewRecalibrator returns a recalibrator centered on the config's
+// static default κ.
+func NewRecalibrator(cfg RecalConfig) *Recalibrator {
+	cfg = cfg.withDefaults()
+	return &Recalibrator{
+		cfg:     cfg,
+		center:  cfg.DefaultKappa,
+		gamma:   cfg.Gamma,
+		pending: -1,
+	}
+}
+
+// Kappa returns the current adapted center κ (the static default on a
+// nil recalibrator).
+func (rc *Recalibrator) Kappa() float64 {
+	if rc == nil {
+		return RecalConfig{}.withDefaults().DefaultKappa
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.center
+}
+
+// Converged reports whether the search step has shrunk to its floor.
+func (rc *Recalibrator) Converged() bool {
+	if rc == nil {
+		return false
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.converged
+}
+
+// PreferDense reports the accumulator hint: prefer is true when the
+// observed hash collision rate exceeds the configured threshold; ok is
+// false until a run with hash probe traffic has been observed.
+func (rc *Recalibrator) PreferDense() (prefer, ok bool) {
+	if rc == nil {
+		return false, false
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.collisionRate > rc.cfg.DenseCollisionRate, rc.probesSeen
+}
+
+// Propose returns the κ to run next and records which arm it belongs
+// to, so the following Observe attributes the measurement correctly.
+// Arms rotate low/mid/high (skipping behaviorally inert directions),
+// with the static-default reference injected every RefPeriod
+// observations. A nil recalibrator proposes the static default.
+func (rc *Recalibrator) Propose() float64 {
+	if rc == nil {
+		return RecalConfig{}.withDefaults().DefaultKappa
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.updates > 0 && rc.updates%rc.cfg.RefPeriod == 0 && rc.pending != armRef &&
+		rc.seen[armMid] > 0 {
+		rc.pending = armRef
+		return rc.cfg.DefaultKappa
+	}
+	if rc.converged {
+		rc.pending = armMid
+		return rc.center
+	}
+	for range [3]int{} {
+		arm := []int{armLow, armMid, armHigh}[rc.rotate%3]
+		rc.rotate++
+		if (arm == armLow && rc.skipLow) || (arm == armHigh && rc.skipHigh) {
+			continue
+		}
+		rc.pending = arm
+		return rc.armKappa(arm)
+	}
+	rc.pending = armMid
+	return rc.center
+}
+
+// armKappa maps an arm to its κ, clamped. Caller holds rc.mu.
+func (rc *Recalibrator) armKappa(arm int) float64 {
+	k := rc.center
+	switch arm {
+	case armLow:
+		k = rc.center / rc.gamma
+	case armHigh:
+		k = rc.center * rc.gamma
+	case armRef:
+		return rc.cfg.DefaultKappa
+	}
+	return math.Min(rc.cfg.KappaMax, math.Max(rc.cfg.KappaMin, k))
+}
+
+// Observe feeds one run's measurement back: seconds is the run's wall
+// time, st its per-run stats snapshot (obs.Recorder.LastRun; the zero
+// value degrades to unnormalized cost). The returned counter delta is
+// ready for obs.Recorder.AddRecal. Nil recalibrators return zeros.
+func (rc *Recalibrator) Observe(seconds float64, st obs.Stats) obs.RecalCounters {
+	if rc == nil || !(seconds >= 0) {
+		return obs.RecalCounters{}
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+
+	arm := rc.pending
+	if arm < 0 {
+		arm = armMid
+	}
+	rc.pending = -1
+
+	flops := st.Totals.Flops
+	if flops <= 0 {
+		flops = 1
+	}
+	c := seconds / float64(flops)
+	a := rc.cfg.Alpha
+	if rc.seen[arm] == 0 {
+		rc.cost[arm] = c
+	} else {
+		rc.cost[arm] = (1-a)*rc.cost[arm] + a*c
+	}
+	rc.seen[arm]++
+	rc.updates++
+
+	delta := obs.RecalCounters{Updates: 1}
+	if arm != armMid {
+		delta.Explorations = 1
+	}
+
+	if arm == armMid {
+		// Pick counters bound the bracket: all-co-iterate means a higher
+		// κ changes nothing; all-linear means a lower κ changes nothing.
+		if picks := st.Totals.CoIterPicks + st.Totals.LinearPicks; picks > 0 {
+			rc.skipHigh = st.Totals.LinearPicks == 0
+			rc.skipLow = st.Totals.CoIterPicks == 0
+		}
+	}
+	if probes := st.Accum.HashProbes; probes > 0 {
+		r := float64(st.Accum.HashCollisions) / float64(probes)
+		if !rc.probesSeen {
+			rc.collisionRate = r
+			rc.probesSeen = true
+		} else {
+			rc.collisionRate = (1-a)*rc.collisionRate + a*r
+		}
+	}
+
+	switch arm {
+	case armRef:
+		if rc.seen[armMid] > 0 && rc.cost[armRef] < rc.cfg.SnapbackMargin*rc.cost[armMid] &&
+			rc.center != rc.cfg.DefaultKappa {
+			rc.snapbackLocked()
+			delta.Snapbacks = 1
+		}
+	case armLow, armMid, armHigh:
+		if rc.bracketReadyLocked() {
+			if rc.recenterLocked() {
+				delta.Recenters = 1
+			}
+		}
+	}
+	delta.KappaLast = rc.center
+	return delta
+}
+
+// bracketReadyLocked reports whether every live bracket arm has at
+// least one sample since the last recenter. Caller holds rc.mu.
+func (rc *Recalibrator) bracketReadyLocked() bool {
+	if rc.seen[armMid] == 0 {
+		return false
+	}
+	if !rc.skipLow && rc.seen[armLow] == 0 {
+		return false
+	}
+	if !rc.skipHigh && rc.seen[armHigh] == 0 {
+		return false
+	}
+	return true
+}
+
+// recenterLocked compares the bracket and either moves the center onto
+// the cheaper arm (returns true) or counts a center win and shrinks γ
+// once the center has defended its position ShrinkAfter times in a row.
+// Caller holds rc.mu.
+func (rc *Recalibrator) recenterLocked() bool {
+	best, bestCost := armMid, rc.cost[armMid]
+	if !rc.skipLow && rc.seen[armLow] > 0 && rc.cost[armLow] < bestCost {
+		best, bestCost = armLow, rc.cost[armLow]
+	}
+	if !rc.skipHigh && rc.seen[armHigh] > 0 && rc.cost[armHigh] < bestCost {
+		best = armHigh
+	}
+	if best == armMid {
+		rc.centerWins++
+		if rc.centerWins >= rc.cfg.ShrinkAfter && !rc.converged {
+			rc.gamma = 1 + (rc.gamma-1)/2
+			if rc.gamma <= rc.cfg.MinGamma {
+				rc.gamma = rc.cfg.MinGamma
+				rc.converged = true
+			}
+			rc.centerWins = 0
+		}
+		// Restart the bracket so stale arm averages do not mask drift.
+		rc.resetBracketLocked(rc.cost[armMid], 1)
+		return false
+	}
+	won := rc.armKappa(best)
+	oldCost := rc.cost[best]
+	rc.center = won
+	rc.centerWins = 0
+	rc.converged = false
+	// The winning arm's average becomes the new center's; the proven
+	// inert directions are re-examined at the new center.
+	rc.skipLow, rc.skipHigh = false, false
+	rc.resetBracketLocked(oldCost, 1)
+	return true
+}
+
+// resetBracketLocked clears the bracket arms, seeding the center with
+// the given average and sample count. Caller holds rc.mu.
+func (rc *Recalibrator) resetBracketLocked(midCost float64, midSeen int) {
+	rc.cost[armLow], rc.seen[armLow] = 0, 0
+	rc.cost[armHigh], rc.seen[armHigh] = 0, 0
+	rc.cost[armMid], rc.seen[armMid] = midCost, midSeen
+}
+
+// snapbackLocked resets the estimator onto the static default and
+// re-widens the search. Caller holds rc.mu.
+func (rc *Recalibrator) snapbackLocked() {
+	rc.center = rc.cfg.DefaultKappa
+	rc.gamma = rc.cfg.Gamma
+	rc.converged = false
+	rc.centerWins = 0
+	rc.skipLow, rc.skipHigh = false, false
+	rc.resetBracketLocked(rc.cost[armRef], 1)
+}
+
+// TuneFor returns the recalibrator bound to the engine's tuning cell
+// for the operand family of C = M ⊙ (A × B), creating it on first use.
+// The cell (and therefore the adapted κ) is shared by every multiply
+// whose operands fall in the same ceil-log2 size classes — exactly the
+// reuse an iterative algorithm's rounds exhibit. Returns nil when the
+// engine is nil or its cache is disabled: adaptation needs somewhere to
+// persist between calls.
+func TuneFor[T sparse.Number](engine *exec.Engine, m, a, b *sparse.CSR[T], cfg RecalConfig) *Recalibrator {
+	tun := engine.Tuning(exec.TuneKeyOf(m, a, b))
+	if tun == nil {
+		return nil
+	}
+	var rc *Recalibrator
+	tun.Update(func(state any) any {
+		if existing, ok := state.(*Recalibrator); ok {
+			rc = existing
+			return state
+		}
+		rc = NewRecalibrator(cfg)
+		return rc
+	})
+	return rc
+}

@@ -119,6 +119,17 @@ func (c *WorkerCounters) copyFrom(o *WorkerCounters) {
 	c.Gathered.Store(o.Gathered.Load())
 }
 
+// addFrom accumulates o's values into c (used when a run scope folds
+// its per-run worker blocks into the cumulative totals).
+func (c *WorkerCounters) addFrom(o *WorkerCounters) {
+	c.Tiles.Add(o.Tiles.Load())
+	c.Rows.Add(o.Rows.Load())
+	c.Flops.Add(o.Flops.Load())
+	c.CoIterPicks.Add(o.CoIterPicks.Load())
+	c.LinearPicks.Add(o.LinearPicks.Load())
+	c.Gathered.Add(o.Gathered.Load())
+}
+
 // AccumCounters are the accumulator-side statistics, aggregated over
 // all worker accumulators (see internal/accum.Stats).
 type AccumCounters struct {
@@ -158,21 +169,97 @@ type PoolCounters struct {
 	PlanMisses int64 `json:"plan_misses"`
 }
 
+// FusedCounters are the fused-pipeline statistics: how chained
+// multiplies were executed and how much intermediate data stayed in
+// tile staging buffers instead of a fully assembled CSR (see
+// internal/core's fused pipeline).
+type FusedCounters struct {
+	// ChainRuns counts fused two-multiply chains; SelectRuns counts
+	// multiply+select fusions (k-truss prune); StreamRuns counts
+	// multiply+consume fusions that skipped assembly entirely.
+	ChainRuns  int64 `json:"chain_runs"`
+	SelectRuns int64 `json:"select_runs"`
+	StreamRuns int64 `json:"stream_runs"`
+	// StagedTiles counts intermediate tiles staged whole (the Eq. 2
+	// fusion model predicted the tile fits the cache budget);
+	// StreamedTiles counts tiles processed row-at-a-time because their
+	// estimated intermediate footprint exceeded it.
+	StagedTiles   int64 `json:"staged_tiles"`
+	StreamedTiles int64 `json:"streamed_tiles"`
+	// MidEntries is the number of intermediate entries that lived only
+	// in tile staging buffers; MidBytes is their payload volume — the
+	// DRAM traffic a materialized intermediate CSR would have cost.
+	MidEntries int64 `json:"mid_entries"`
+	MidBytes   int64 `json:"mid_bytes"`
+	// SelectKept and SelectDropped count the per-entry outcomes of
+	// fused selects.
+	SelectKept    int64 `json:"select_kept"`
+	SelectDropped int64 `json:"select_dropped"`
+}
+
+func (f *FusedCounters) Add(o FusedCounters) {
+	f.ChainRuns += o.ChainRuns
+	f.SelectRuns += o.SelectRuns
+	f.StreamRuns += o.StreamRuns
+	f.StagedTiles += o.StagedTiles
+	f.StreamedTiles += o.StreamedTiles
+	f.MidEntries += o.MidEntries
+	f.MidBytes += o.MidBytes
+	f.SelectKept += o.SelectKept
+	f.SelectDropped += o.SelectDropped
+}
+
+func (f *FusedCounters) sub(o FusedCounters) {
+	f.ChainRuns -= o.ChainRuns
+	f.SelectRuns -= o.SelectRuns
+	f.StreamRuns -= o.StreamRuns
+	f.StagedTiles -= o.StagedTiles
+	f.StreamedTiles -= o.StreamedTiles
+	f.MidEntries -= o.MidEntries
+	f.MidBytes -= o.MidBytes
+	f.SelectKept -= o.SelectKept
+	f.SelectDropped -= o.SelectDropped
+}
+
+// RecalCounters are the online cost-model recalibration statistics (see
+// internal/model's recalibrator): how often the κ estimator observed a
+// run, explored a neighboring κ, recentered on a better one, or snapped
+// back to the static default. KappaLast is a gauge — the most recently
+// applied κ — not a counter.
+type RecalCounters struct {
+	Updates      int64   `json:"updates"`
+	Explorations int64   `json:"explorations"`
+	Recenters    int64   `json:"recenters"`
+	Snapbacks    int64   `json:"snapbacks"`
+	KappaLast    float64 `json:"kappa_last"`
+}
+
 // Recorder collects phase spans, per-worker counters and accumulator
 // statistics for one kernel (or a sequence of runs of the same kernel).
 // A nil *Recorder disables all collection: every method is nil-safe and
-// the nil paths allocate nothing. A Recorder must not be shared by
-// concurrent kernel runs — like core.Multiplier, it assumes one run at
-// a time (workers within a run write disjoint counter blocks, which is
-// safe).
+// the nil paths allocate nothing.
+//
+// The cumulative totals aggregate across runs; per-run attribution goes
+// through StartRun/RunScope, which scopes spans and counters by a
+// multiply sequence id so overlapping runs (fused chains, concurrent
+// Multiply calls sharing a recorder) never bleed into each other's
+// per-run snapshots.
 type Recorder struct {
 	mu      sync.Mutex
+	seq     int64
 	spans   [numPhases]time.Duration
 	counts  [numPhases]int64
 	workers []WorkerCounters
 	accum   AccumCounters
 	pool    PoolCounters
+	fused   FusedCounters
+	recal   RecalCounters
 	runs    int64
+	// lastRun is the snapshot of the most recently ended run scope.
+	lastRun Stats
+	hasLast bool
+	// scopePool recycles per-run worker counter blocks across scopes.
+	scopePool [][]WorkerCounters
 }
 
 // NewRecorder returns an empty enabled recorder.
@@ -195,7 +282,11 @@ func (r *Recorder) Reset() {
 	}
 	r.accum = AccumCounters{}
 	r.pool = PoolCounters{}
+	r.fused = FusedCounters{}
+	r.recal = RecalCounters{}
 	r.runs = 0
+	r.lastRun = Stats{}
+	r.hasLast = false
 }
 
 // nop is the shared no-op span closer: the nil fast path returns it
@@ -298,6 +389,33 @@ func (r *Recorder) AddPool(p PoolCounters) {
 	r.pool.Evictions += p.Evictions
 	r.pool.PlanHits += p.PlanHits
 	r.pool.PlanMisses += p.PlanMisses
+	r.mu.Unlock()
+}
+
+// AddFused folds fused-pipeline statistics into the totals.
+func (r *Recorder) AddFused(f FusedCounters) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.fused.Add(f)
+	r.mu.Unlock()
+}
+
+// AddRecal folds recalibration statistics into the totals. KappaLast,
+// being a gauge, replaces the stored value when nonzero.
+func (r *Recorder) AddRecal(c RecalCounters) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.recal.Updates += c.Updates
+	r.recal.Explorations += c.Explorations
+	r.recal.Recenters += c.Recenters
+	r.recal.Snapbacks += c.Snapbacks
+	if c.KappaLast != 0 {
+		r.recal.KappaLast = c.KappaLast
+	}
 	r.mu.Unlock()
 }
 

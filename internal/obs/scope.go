@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// RunScope scopes one multiply's observability data under a unique
+// sequence id. Before scopes, every span and counter went straight into
+// the Recorder's shared totals, so two multiplies in flight on one
+// Recorder — a fused chain interleaving its two products, or concurrent
+// Multiply calls sharing a recorder — bled into each other and
+// Stats.Sub double-counted the overlap. A scope collects one run's
+// spans, worker counters and accumulator/pool/fused deltas privately;
+// End folds them into the recorder's cumulative totals exactly once and
+// publishes the per-run snapshot (Recorder.LastRun), so per-multiply
+// attribution no longer depends on subtracting racing global snapshots.
+//
+// A nil *RunScope (from a nil Recorder) disables everything: every
+// method nil-checks and the disabled paths allocate nothing. A scope is
+// owned by one run: its methods may be called from that run's worker
+// goroutines (WorkerSlots hands each worker a private padded block),
+// but Start/End pair once.
+type RunScope struct {
+	r   *Recorder
+	seq int64
+
+	spans  [numPhases]time.Duration
+	counts [numPhases]int64
+	// workers is checked out of the recorder's scope pool and returned
+	// by End, so warm loops do not allocate a counter block per run.
+	workers []WorkerCounters
+	accum   AccumCounters
+	pool    PoolCounters
+	fused   FusedCounters
+	// completed marks the run as having finished its kernel; End counts
+	// only completed runs toward Runs and LastRun, so a run that errors
+	// out mid-pipeline still folds its partial spans into the cumulative
+	// totals without inflating the run count.
+	completed bool
+}
+
+// StartRun opens a new run scope with a fresh sequence id. Nil
+// recorders return a nil scope (whose methods are all no-ops).
+func (r *Recorder) StartRun() *RunScope {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.seq++
+	seq := r.seq
+	var workers []WorkerCounters
+	if n := len(r.scopePool); n > 0 {
+		workers = r.scopePool[n-1]
+		r.scopePool[n-1] = nil
+		r.scopePool = r.scopePool[:n-1]
+	}
+	r.mu.Unlock()
+	return &RunScope{r: r, seq: seq, workers: workers}
+}
+
+// Seq returns the scope's multiply sequence id (0 for nil scopes).
+func (s *RunScope) Seq() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.seq
+}
+
+// Enabled reports whether the scope records anything (false for nil).
+func (s *RunScope) Enabled() bool { return s != nil }
+
+// Span starts a phase span scoped to this run and returns its closer.
+// The span accumulates into the scope only; End publishes it. Safe to
+// call from the single goroutine driving the run's phases.
+func (s *RunScope) Span(p Phase) func() {
+	if s == nil {
+		return nop
+	}
+	start := time.Now()
+	return func() {
+		s.spans[p] += time.Since(start)
+		s.counts[p]++
+	}
+}
+
+// Do runs f under the recorder's pprof phase label (see Recorder.Do).
+func (s *RunScope) Do(ctx context.Context, p Phase, f func()) {
+	if s == nil {
+		f()
+		return
+	}
+	s.r.Do(ctx, p, f)
+}
+
+// TileRegion opens a runtime/trace region for one tile batch (see
+// Recorder.TileRegion).
+func (s *RunScope) TileRegion(ctx context.Context) func() {
+	if s == nil {
+		return nop
+	}
+	return s.r.TileRegion(ctx)
+}
+
+// WorkerSlots returns n per-worker counter blocks private to this run,
+// growing the scope's pooled backing array if needed. Returns nil on a
+// nil scope.
+func (s *RunScope) WorkerSlots(n int) []WorkerCounters {
+	if s == nil {
+		return nil
+	}
+	if len(s.workers) < n {
+		grown := make([]WorkerCounters, n)
+		for i := range s.workers {
+			grown[i].copyFrom(&s.workers[i])
+		}
+		s.workers = grown
+	}
+	return s.workers[:n]
+}
+
+// AddAccum folds accumulator statistics (a per-run delta) into the scope.
+func (s *RunScope) AddAccum(a AccumCounters) {
+	if s == nil {
+		return
+	}
+	s.accum.MarkerClears += a.MarkerClears
+	s.accum.TableGrows += a.TableGrows
+	s.accum.HashProbes += a.HashProbes
+	s.accum.HashCollisions += a.HashCollisions
+}
+
+// AddPool folds execution-engine pool statistics into the scope.
+func (s *RunScope) AddPool(p PoolCounters) {
+	if s == nil {
+		return
+	}
+	s.pool.Hits += p.Hits
+	s.pool.Misses += p.Misses
+	s.pool.Steals += p.Steals
+	s.pool.Resizes += p.Resizes
+	s.pool.Evictions += p.Evictions
+	s.pool.PlanHits += p.PlanHits
+	s.pool.PlanMisses += p.PlanMisses
+}
+
+// AddFused folds fused-pipeline statistics into the scope.
+func (s *RunScope) AddFused(f FusedCounters) {
+	if s == nil {
+		return
+	}
+	s.fused.Add(f)
+}
+
+// MarkComplete flags the run as having finished successfully, so End
+// counts it toward Recorder runs and publishes it as LastRun.
+func (s *RunScope) MarkComplete() {
+	if s == nil {
+		return
+	}
+	s.completed = true
+}
+
+// stats renders the scope's private data as a per-run Stats snapshot.
+// Runs is 1 only once the run is marked complete.
+func (s *RunScope) stats() Stats {
+	out := Stats{Schema: StatsSchema, Seq: s.seq}
+	if s.completed {
+		out.Runs = 1
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		if s.counts[p] == 0 {
+			continue
+		}
+		out.Phases = append(out.Phases, PhaseStats{
+			Phase:  Phase(p).String(),
+			Millis: float64(s.spans[p]) / float64(time.Millisecond),
+			Count:  s.counts[p],
+		})
+	}
+	for w := range s.workers {
+		c := &s.workers[w]
+		out.Workers = append(out.Workers, WorkerStats{
+			Worker: w,
+			CounterSet: CounterSet{
+				Tiles:       c.Tiles.Load(),
+				Rows:        c.Rows.Load(),
+				Flops:       c.Flops.Load(),
+				CoIterPicks: c.CoIterPicks.Load(),
+				LinearPicks: c.LinearPicks.Load(),
+				Gathered:    c.Gathered.Load(),
+			},
+		})
+	}
+	out.Accum = s.accum
+	out.Pool = s.pool
+	out.Fused = s.fused
+	out.finalize()
+	return out
+}
+
+// End folds the scope into the recorder's cumulative totals exactly
+// once, publishes the per-run snapshot as Recorder.LastRun, recycles
+// the worker blocks, and returns the snapshot. Safe on nil scopes
+// (returns a zero snapshot). The scope must not be used after End.
+func (s *RunScope) End() Stats {
+	if s == nil {
+		return Stats{Schema: StatsSchema}
+	}
+	snap := s.stats()
+	s.r.foldScope(s, snap)
+	s.r = nil
+	s.workers = nil
+	return snap
+}
+
+// foldScope merges one ended scope into the cumulative totals, counts
+// completed runs, publishes the snapshot as LastRun, and returns the
+// scope's worker blocks to the pool. Called exactly once per scope, by
+// End, which guarantees a non-nil receiver.
+func (r *Recorder) foldScope(s *RunScope, snap Stats) {
+	r.mu.Lock()
+	for p := Phase(0); p < numPhases; p++ {
+		r.spans[p] += s.spans[p]
+		r.counts[p] += s.counts[p]
+	}
+	if len(r.workers) < len(s.workers) {
+		grown := make([]WorkerCounters, len(s.workers))
+		for i := range r.workers {
+			grown[i].copyFrom(&r.workers[i])
+		}
+		r.workers = grown
+	}
+	for w := range s.workers {
+		r.workers[w].addFrom(&s.workers[w])
+		s.workers[w].reset()
+	}
+	r.accum.MarkerClears += s.accum.MarkerClears
+	r.accum.TableGrows += s.accum.TableGrows
+	r.accum.HashProbes += s.accum.HashProbes
+	r.accum.HashCollisions += s.accum.HashCollisions
+	r.pool.Hits += s.pool.Hits
+	r.pool.Misses += s.pool.Misses
+	r.pool.Steals += s.pool.Steals
+	r.pool.Resizes += s.pool.Resizes
+	r.pool.Evictions += s.pool.Evictions
+	r.pool.PlanHits += s.pool.PlanHits
+	r.pool.PlanMisses += s.pool.PlanMisses
+	r.fused.Add(s.fused)
+	if s.completed {
+		r.runs++
+		r.lastRun = snap
+		r.hasLast = true
+	}
+	if s.workers != nil {
+		r.scopePool = append(r.scopePool, s.workers)
+	}
+	r.mu.Unlock()
+}
+
+// LastRun returns the per-run snapshot of the most recently ended run
+// scope — the run's own spans and counters, isolated by its sequence id
+// rather than by subtracting global snapshots (which double-counts when
+// runs overlap). ok is false when no scoped run has completed (or the
+// recorder is nil).
+func (r *Recorder) LastRun() (Stats, bool) {
+	if r == nil {
+		return Stats{Schema: StatsSchema}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastRun, r.hasLast
+}

@@ -95,6 +95,9 @@ func distOf(values []int64) Dist {
 type Stats struct {
 	// Schema is always StatsSchema.
 	Schema string `json:"schema"`
+	// Seq is the multiply sequence id for per-run snapshots (RunScope /
+	// Recorder.LastRun); 0 for cumulative snapshots.
+	Seq int64 `json:"seq,omitempty"`
 	// Runs is the number of kernel runs folded into the snapshot.
 	Runs int64 `json:"runs"`
 	// Phases is the per-phase wall-time breakdown.
@@ -111,6 +114,12 @@ type Stats struct {
 	// Pool is the execution-engine workspace-pool and plan-cache
 	// statistics (zero when no engine is configured).
 	Pool PoolCounters `json:"pool"`
+	// Fused is the fused-pipeline statistics (zero when no fused
+	// multiplies ran).
+	Fused FusedCounters `json:"fused"`
+	// Recal is the online cost-model recalibration statistics (zero
+	// when adaptive tuning is off).
+	Recal RecalCounters `json:"recal"`
 }
 
 // Stats snapshots the recorder. Nil recorders return a zero snapshot
@@ -151,6 +160,8 @@ func (r *Recorder) Stats() Stats {
 	}
 	s.Accum = r.accum
 	s.Pool = r.pool
+	s.Fused = r.fused
+	s.Recal = r.recal
 	s.finalize()
 	return s
 }
@@ -214,6 +225,16 @@ func (s Stats) Sub(prev Stats) Stats {
 		PlanHits:   s.Pool.PlanHits - prev.Pool.PlanHits,
 		PlanMisses: s.Pool.PlanMisses - prev.Pool.PlanMisses,
 	}
+	out.Fused = s.Fused
+	out.Fused.sub(prev.Fused)
+	// Recal counters subtract; KappaLast is a gauge and carries over.
+	out.Recal = RecalCounters{
+		Updates:      s.Recal.Updates - prev.Recal.Updates,
+		Explorations: s.Recal.Explorations - prev.Recal.Explorations,
+		Recenters:    s.Recal.Recenters - prev.Recal.Recenters,
+		Snapbacks:    s.Recal.Snapbacks - prev.Recal.Snapbacks,
+		KappaLast:    s.Recal.KappaLast,
+	}
 	out.finalize()
 	return out
 }
@@ -244,6 +265,16 @@ func (s Stats) WriteTable(w io.Writer) {
 	a := s.Accum
 	fmt.Fprintf(w, "  accum: marker-clears=%d table-grows=%d hash-probes=%d hash-collisions=%d\n",
 		a.MarkerClears, a.TableGrows, a.HashProbes, a.HashCollisions)
+	if f := s.Fused; f.ChainRuns+f.SelectRuns+f.StreamRuns > 0 {
+		fmt.Fprintf(w, "  fused: chains=%d selects=%d streams=%d tiles staged/streamed=%d/%d mid entries=%d (%d bytes) select kept/dropped=%d/%d\n",
+			f.ChainRuns, f.SelectRuns, f.StreamRuns,
+			f.StagedTiles, f.StreamedTiles, f.MidEntries, f.MidBytes,
+			f.SelectKept, f.SelectDropped)
+	}
+	if c := s.Recal; c.Updates > 0 {
+		fmt.Fprintf(w, "  recal: updates=%d explorations=%d recenters=%d snapbacks=%d κ=%g\n",
+			c.Updates, c.Explorations, c.Recenters, c.Snapbacks, c.KappaLast)
+	}
 	if p := s.Pool; p.Hits+p.Misses+p.Steals+p.PlanHits+p.PlanMisses > 0 {
 		lookups := p.Hits + p.Steals + p.Misses
 		fmt.Fprintf(w, "  pool: hits=%d misses=%d steals=%d (%.1f%% hit) resizes=%d evictions=%d plan hits/misses=%d/%d\n",

@@ -26,9 +26,16 @@ func TriangleCountLL(a *Matrix, opts Options) (int64, error) {
 
 // KTruss computes the k-truss subgraph of a: the maximal subgraph whose
 // every edge lies in at least k-2 triangles. It returns the truss
-// adjacency and the number of prune rounds.
+// adjacency and the number of prune rounds. With Options.Fuse set, each
+// support-and-prune round runs as one fused select multiply — the
+// per-edge support matrix is thresholded inside the tile gather and
+// never materialized; the result is identical.
 func KTruss(a *Matrix, k int, opts Options) (*Matrix, int, error) {
-	res, err := graph.KTruss(a.csr, k, opts.config())
+	run := graph.KTruss
+	if opts.Fuse {
+		run = graph.KTrussFused
+	}
+	res, err := run(a.csr, k, opts.config())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -63,8 +70,13 @@ func KCore(a *Matrix) ([]int32, int32, error) {
 
 // BetweennessCentralityBatch is BetweennessCentrality computed for all
 // sources simultaneously as rectangular masked matrix products — the
-// batched-Brandes formulation.
+// batched-Brandes formulation. With Options.Fuse set, the backward
+// sweep streams each dependency row straight into the delta vector
+// instead of assembling a per-level CSR; the result is identical.
 func BetweennessCentralityBatch(a *Matrix, sources []int, opts Options) ([]float64, error) {
+	if opts.Fuse {
+		return graph.BetweennessCentralityBatchFused(a.csr, sources, opts.config())
+	}
 	return graph.BetweennessCentralityBatch(a.csr, sources, opts.config())
 }
 

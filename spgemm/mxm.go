@@ -2,9 +2,11 @@ package spgemm
 
 import (
 	"context"
-	"sync"
+	"time"
 
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/model"
+	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -35,6 +37,11 @@ func MxM(mask, a, b *Matrix, opts Options) (_ *Matrix, err error) {
 	if opts.ValuedMask {
 		mask = wrap(sparse.PruneZeros(mask.csr))
 	}
+	rc := opts.recalibrator(mask, a, b)
+	if rc != nil {
+		cfg.Kappa = rc.Propose()
+	}
+	start := time.Now()
 	var c *sparse.CSR[float64]
 	switch opts.Semiring {
 	case SRPlusPair:
@@ -47,7 +54,89 @@ func MxM(mask, a, b *Matrix, opts Options) (_ *Matrix, err error) {
 	if err != nil {
 		return nil, err
 	}
+	observeRecal(rc, opts.Stats, start)
 	return wrap(c), nil
+}
+
+// recalibrator resolves the online-κ estimator for this call's operand
+// family, or nil when adaptation is off (no AdaptiveKappa, no Engine to
+// persist state on, or a non-hybrid iteration space where κ is unused).
+func (o Options) recalibrator(mask, a, b *Matrix) *model.Recalibrator {
+	if !o.AdaptiveKappa || o.Iteration != IterHybrid {
+		return nil
+	}
+	return model.TuneFor(o.Engine.internal(), mask.csr, a.csr, b.csr,
+		model.RecalConfig{DefaultKappa: o.Kappa})
+}
+
+// observeRecal feeds one timed run back into the estimator, preferring
+// the run-scoped per-run stats (FLOP-normalized cost) when a recorder
+// is attached. The counter delta lands in the recorder's recal block.
+func observeRecal(rc *model.Recalibrator, stats *StatsRecorder, start time.Time) {
+	if rc == nil {
+		return
+	}
+	var st obs.Stats
+	if snap, ok := stats.recorder().LastRun(); ok {
+		st = snap
+	}
+	stats.recorder().AddRecal(rc.Observe(time.Since(start).Seconds(), st))
+}
+
+// MxMChain computes the chained masked product
+//
+//	D = m2 ⊙ ((m1 ⊙ (a × b)) × c)
+//
+// — two dependent masked multiplies in one call. With Options.Fuse set
+// the intermediate product m1 ⊙ (a×b) is never materialized: each
+// FLOP-balanced output tile of the first multiply is staged in
+// workspace buffers (bounded by Options.FuseTileBudget, degrading to
+// row streaming beyond it) and consumed by the second multiply while
+// hot. Without Fuse the chain runs as two ordinary MxM calls. Both
+// paths return bit-identical results.
+//
+// Shape requirements: a is m×k, b is k×n, m1 is m×n, c is n×q, m2 is
+// m×q.
+func MxMChain(m1, a, b, m2, c *Matrix, opts Options) (_ *Matrix, err error) {
+	defer recoverAsError(&err)
+	if opts.ValidateInputs {
+		if err := validateInputs(opts.planP(),
+			namedOperand{"m1", m1}, namedOperand{"a", a}, namedOperand{"b", b},
+			namedOperand{"m2", m2}, namedOperand{"c", c}); err != nil {
+			return nil, err
+		}
+	}
+	if opts.ValuedMask {
+		m1 = wrap(sparse.PruneZeros(m1.csr))
+		m2 = wrap(sparse.PruneZeros(m2.csr))
+	}
+	if !opts.Fuse {
+		inner := opts
+		inner.ValidateInputs = false
+		inner.ValuedMask = false
+		mid, err := MxM(m1, a, b, inner)
+		if err != nil {
+			return nil, err
+		}
+		return MxM(m2, mid, c, inner)
+	}
+	cfg := opts.config()
+	var d *sparse.CSR[float64]
+	switch opts.Semiring {
+	case SRPlusPair:
+		d, err = core.FusedMaskedSpGEMM[float64](semiring.PlusPair[float64]{},
+			m1.csr, a.csr, b.csr, m2.csr, c.csr, cfg)
+	case SROrAnd:
+		d, err = core.FusedMaskedSpGEMM[float64](semiring.OrAnd[float64]{},
+			m1.csr, a.csr, b.csr, m2.csr, c.csr, cfg)
+	default:
+		d, err = core.FusedMaskedSpGEMM[float64](semiring.PlusTimes[float64]{},
+			m1.csr, a.csr, b.csr, m2.csr, c.csr, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap(d), nil
 }
 
 // MxMContext is MxM under an explicit context: the multiplication is
@@ -126,12 +215,19 @@ func MxMUnmasked(a, b *Matrix, opts Options) (_ *Matrix, err error) {
 // A Multiply call that fails (ErrCanceled, ErrPanic) leaves the plan
 // intact: the same Multiplier can run again once the cause is resolved.
 type Multiplier struct {
-	run   func(ctx context.Context) (*sparse.CSR[float64], error)
+	mu    coreMultiplier
 	stats *StatsRecorder
+	recal *model.Recalibrator
+}
 
-	mu      sync.Mutex // guards last/hasLast under concurrent Multiply
-	last    KernelStats
-	hasLast bool
+// coreMultiplier is the non-generic surface of core.Multiplier[T, S]
+// the facade drives, so one wrapper serves every semiring
+// instantiation.
+type coreMultiplier interface {
+	MultiplyCtx(ctx context.Context) (*sparse.CSR[float64], error)
+	SetKappa(kappa float64)
+	Kappa() float64
+	LastRunStats() (obs.Stats, bool)
 }
 
 // NewMultiplier builds a reusable plan for C = mask ⊙ (a × b). Plan
@@ -145,26 +241,19 @@ func NewMultiplier(mask, a, b *Matrix, opts Options) (_ *Multiplier, err error) 
 		}
 	}
 	cfg := opts.config()
+	var cm coreMultiplier
 	switch opts.Semiring {
 	case SRPlusPair:
-		mu, err := core.NewMultiplier[float64](semiring.PlusPair[float64]{}, mask.csr, a.csr, b.csr, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Multiplier{run: mu.MultiplyCtx, stats: opts.Stats}, nil
+		cm, err = core.NewMultiplier[float64](semiring.PlusPair[float64]{}, mask.csr, a.csr, b.csr, cfg)
 	case SROrAnd:
-		mu, err := core.NewMultiplier[float64](semiring.OrAnd[float64]{}, mask.csr, a.csr, b.csr, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Multiplier{run: mu.MultiplyCtx, stats: opts.Stats}, nil
+		cm, err = core.NewMultiplier[float64](semiring.OrAnd[float64]{}, mask.csr, a.csr, b.csr, cfg)
 	default:
-		mu, err := core.NewMultiplier[float64](semiring.PlusTimes[float64]{}, mask.csr, a.csr, b.csr, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Multiplier{run: mu.MultiplyCtx, stats: opts.Stats}, nil
+		cm, err = core.NewMultiplier[float64](semiring.PlusTimes[float64]{}, mask.csr, a.csr, b.csr, cfg)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return &Multiplier{mu: cm, stats: opts.Stats, recal: opts.recalibrator(mask, a, b)}, nil
 }
 
 // NewMultiplierContext is NewMultiplier under an explicit context,
@@ -184,34 +273,38 @@ func (mu *Multiplier) Multiply() (*Matrix, error) {
 // MultiplyContext executes the plan under ctx, overriding the plan's
 // own context. A cancelled or panicked run returns ErrCanceled/ErrPanic
 // and leaves the plan reusable. nil falls back to the plan's context.
+//
+// Under Options.AdaptiveKappa the call first applies the estimator's
+// proposed κ, then feeds the measured run back — so a warm Multiply
+// loop is exactly the feedback loop the online recalibration adapts in.
 func (mu *Multiplier) MultiplyContext(ctx context.Context) (_ *Matrix, err error) {
 	defer recoverAsError(&err)
-	var before KernelStats
-	if mu.stats != nil {
-		before = mu.stats.Stats()
+	if mu.recal != nil {
+		mu.mu.SetKappa(mu.recal.Propose())
 	}
-	c, err := mu.run(ctx)
+	start := time.Now()
+	c, err := mu.mu.MultiplyCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if mu.stats != nil {
-		delta := mu.stats.Stats().Sub(before)
-		mu.mu.Lock()
-		mu.last = delta
-		mu.hasLast = true
-		mu.mu.Unlock()
+	if mu.recal != nil {
+		var st obs.Stats
+		if snap, ok := mu.mu.LastRunStats(); ok {
+			st = snap
+		}
+		mu.stats.recorder().AddRecal(mu.recal.Observe(time.Since(start).Seconds(), st))
 	}
 	return wrap(c), nil
 }
 
 // LastStats returns the observability snapshot of the most recent
-// successful Multiply call alone (not the recorder's running totals —
-// those stay in the Options.Stats recorder). ok is false when the plan
-// was built without a StatsRecorder or nothing has run yet.
+// successful Multiply call alone — the run's own scoped spans and
+// counters, isolated by its multiply sequence id rather than by
+// subtracting recorder totals (which double-counts when runs overlap).
+// ok is false when the plan was built without a StatsRecorder or
+// nothing has run yet.
 func (mu *Multiplier) LastStats() (_ KernelStats, ok bool) {
-	mu.mu.Lock()
-	defer mu.mu.Unlock()
-	return mu.last, mu.hasLast
+	return mu.mu.LastRunStats()
 }
 
 // EWiseAdd returns the element-wise union a ⊕ b: coinciding entries

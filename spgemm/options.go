@@ -100,6 +100,28 @@ type Options struct {
 	GuidedMinChunk int
 	// Semiring is the multiplication algebra. Default SRPlusTimes.
 	Semiring Semiring
+	// Fuse enables the tile-granular fused pipeline for chained
+	// products: MxMChain streams each tile of its first product into the
+	// second while hot instead of materializing the intermediate matrix,
+	// and the algorithm wrappers with fused formulations (KTruss's
+	// support-and-prune round, BetweennessCentralityBatch's backward
+	// sweep) use them. Results are bit-identical to the unfused paths;
+	// only intermediate allocations and locality change.
+	Fuse bool
+	// FuseTileBudget caps the bytes a fused chain may stage per tile for
+	// the intermediate product; tiles whose Eq. 2-estimated footprint
+	// exceeds it degrade to row-at-a-time streaming. 0 = 1 MiB;
+	// negative is invalid. Only consulted when Fuse is set.
+	FuseTileBudget int64
+	// AdaptiveKappa turns on online recalibration of the co-iteration
+	// factor κ: every hybrid-iteration run through an Engine feeds its
+	// measured cost back into a per-operand-family estimator (cached on
+	// the Engine) that brackets the current κ, recenters on cheaper
+	// neighbors, and periodically audits itself against the static
+	// Kappa — snapping back if adaptation ever loses to it. Requires a
+	// non-nil Engine (the estimator must persist between calls) and
+	// IterHybrid; otherwise it is ignored.
+	AdaptiveKappa bool
 	// ValuedMask switches the mask from structural semantics (any stored
 	// entry allows the position — GraphBLAS GrB_STRUCTURE, the paper's
 	// setting) to valued semantics (the stored value must be nonzero).
@@ -156,6 +178,7 @@ func (o Options) config() core.Config {
 		Workers:        o.Workers,
 		PlanWorkers:    o.PlanWorkers,
 		GuidedMinChunk: o.GuidedMinChunk,
+		FuseTileBudget: o.FuseTileBudget,
 		Context:        o.Context,
 		Engine:         o.Engine.internal(),
 		Recorder:       o.Stats.recorder(),
