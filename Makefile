@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck govulncheck race check fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa
+.PHONY: build test vet lint staticcheck govulncheck race check chaos fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,19 @@ govulncheck:
 race:
 	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/exec/... ./internal/tiling/... ./spgemm/...
 
-check: vet lint staticcheck govulncheck race test bench-engine bench-fusion
+check: vet lint staticcheck govulncheck race test bench-engine bench-fusion chaos
+
+# chaos is the fault-injection gate: the seeded chaos suite runs under
+# the race detector (fault matrix, quarantine, retry ladder, stall
+# watchdog), then the bench drill replays the matrix against a shared
+# engine and pins the nil-injector fast path's allocations. Both fail
+# on any pool-invariant violation (Engine.SelfCheck), untyped error, or
+# result divergence. Part of `make check`; see docs/RESILIENCE.md.
+CHAOS_SEED ?= 1
+chaos:
+	$(GO) test -race -run 'Chaos|Retry|Stall|Injected|Quarantine|SelfCheck|PanicErrorUnwrap|Seeded|NilInjector|StepExecutes' \
+		./internal/chaos/... ./internal/sched/... ./internal/exec/... ./internal/core/... ./spgemm/...
+	$(GO) run ./cmd/spgemm-bench -experiment chaos -chaos-seed $(CHAOS_SEED)
 
 # Short fuzz passes over the hostile-input surface: the MatrixMarket
 # text parser and the binary CSR container.

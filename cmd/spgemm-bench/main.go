@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|engine|fusion|kappa-adapt|all [flags]
+//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|engine|fusion|kappa-adapt|chaos|all [flags]
 //
 // Flags:
 //
@@ -29,6 +29,18 @@
 //	-adaptive-kappa  run the online-κ experiment (= -experiment kappa-adapt)
 //	-kappa-json      with the κ experiment, write BENCH_kappa_adapt.json
 //	-kappa-slack F   fail if adapted κ is more than F worse than best/default
+//	-chaos-seed N    run the seeded chaos drill (= -experiment chaos)
+//
+// The chaos drill (-chaos-seed N or -experiment chaos) replays the
+// seeded fault matrix of the chaos test suite against one shared
+// engine — every injection point under every scheduling policy — and
+// requires each cell to surface a typed error or reproduce the
+// fault-free result bit-identically, with the workspace pool's
+// invariants (Engine.SelfCheck) holding after every cell. It then pins
+// the nil-injector fast path: a warm serial multiply with chaos
+// disabled must not allocate more than the armed-but-quiet injector
+// path, nor exceed the pre-chaos steady-state budget. Any violation
+// exits nonzero; `make chaos` runs it alongside the -race chaos tests.
 //
 // The fusion experiment (-experiment fusion) times the fused
 // formulations of the iterative workloads — k-truss with the
@@ -94,6 +106,7 @@ func main() {
 	adaptiveKappa := flag.Bool("adaptive-kappa", false, "run the online-κ recalibration experiment (same as -experiment kappa-adapt)")
 	kappaJSON := flag.Bool("kappa-json", false, "with the κ experiment, write the report to BENCH_kappa_adapt.json")
 	kappaSlack := flag.Float64("kappa-slack", 0, "with the κ experiment, fail if the adapted κ's warm time is more than this fraction over the best swept κ or the static default")
+	chaosSeed := flag.Int64("chaos-seed", 0, "run the seeded chaos drill with this seed (0 = off; same as -experiment chaos with seed 1)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the measurement loop between repetitions
@@ -297,6 +310,21 @@ func main() {
 					*kappaSlack*100)
 			}
 			return nil
+		})
+		ran = true
+	}
+	// The chaos drill deliberately injects faults, so "all" skips it;
+	// -chaos-seed (or -experiment chaos) selects it. It exits nonzero on
+	// any pool-invariant violation, untyped failure, or result
+	// divergence, and on any allocation the nil-injector fast path adds
+	// to the warm tile loop — the `make chaos` gate.
+	if *experiment == "chaos" || *chaosSeed != 0 {
+		run("chaos", func() error {
+			seed := *chaosSeed
+			if seed == 0 {
+				seed = 1
+			}
+			return bench.ChaosDrill(w, o, seed)
 		})
 		ran = true
 	}

@@ -36,6 +36,10 @@ type Hash[T sparse.Number, S semiring.Semiring[T], M Marker] struct {
 	// behind a pointer so the disabled hot path is one predictable
 	// nil-check per probe sequence.
 	stats *Stats
+	// growHook, when non-nil, runs at the entry of every table grow
+	// before any state moves — the chaos layer's AccumGrow seam
+	// (SetGrowHook). nil is the disabled state.
+	growHook func()
 }
 
 // NewHash returns a hash accumulator able to hold rowCap entries per row
@@ -139,6 +143,9 @@ func (h *Hash[T, S, M]) BeginRow() {
 func (h *Hash[T, S, M]) maybeGrow() {
 	if 2*h.used <= len(h.keys) {
 		return
+	}
+	if h.growHook != nil {
+		h.growHook()
 	}
 	h.Grows++
 	oldKeys, oldVals, oldState := h.keys, h.vals, h.state

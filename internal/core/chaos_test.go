@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maskedspgemm/internal/chaos"
+	"maskedspgemm/internal/exec"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// swapInjector routes Decide to a swappable Seeded injector, so one
+// engine — whose Config.Chaos is fixed at construction — can serve an
+// entire fault matrix with a fresh trigger set per cell.
+type swapInjector struct {
+	cur atomic.Pointer[chaos.Seeded]
+}
+
+func (s *swapInjector) Decide(p chaos.Point) chaos.Fault {
+	if inj := s.cur.Load(); inj != nil {
+		return inj.Decide(p)
+	}
+	return chaos.Fault{}
+}
+
+// runContained converts an escaping panic into an error, standing in
+// for the facade's recover layer so the matrix can also drive faults at
+// seams outside the scheduler's containment (workspace checkout and
+// release, the plan-cache store).
+func runContained(f func() (*sparse.CSR[float64], error)) (c *sparse.CSR[float64], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("contained panic: %w", e)
+				return
+			}
+			err = fmt.Errorf("contained panic: %v", r)
+		}
+	}()
+	return f()
+}
+
+// typedChaosErr reports whether err belongs to the fault taxonomy a
+// chaos run may legitimately surface.
+func typedChaosErr(err error) bool {
+	return errors.Is(err, ErrPanic) || errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrStalled) || errors.Is(err, chaos.ErrInjected)
+}
+
+// TestChaosMatrix drives a seeded fault through every injection point
+// under every scheduling policy, all against one shared engine. The
+// contract per cell: the fault run either fails with a typed error or
+// succeeds bit-identically to the engineless reference; the engine's
+// pool invariants hold immediately afterwards (no dirty or leaked
+// workspace survived quarantine); and a clean rerun on the same engine
+// reproduces the reference exactly.
+func TestChaosMatrix(t *testing.T) {
+	swap := &swapInjector{}
+	eng := exec.New(exec.Config{Chaos: swap})
+	sr := semiring.PlusTimes[float64]{}
+	const seed = int64(0xC04F5)
+
+	cells := []struct {
+		p      chaos.Point
+		k      chaos.Kind
+		maxNth int64
+	}{
+		{chaos.WorkspaceCheckout, chaos.KindPanic, 1},
+		{chaos.WorkspaceRelease, chaos.KindPanic, 1},
+		{chaos.TileClaim, chaos.KindCancel, 8},
+		{chaos.WorkerSpawn, chaos.KindPanic, 2},
+		{chaos.AccumGrow, chaos.KindPanic, 1},
+		{chaos.PlanStore, chaos.KindError, 1},
+		{chaos.RowKernel, chaos.KindPressure, 16},
+	}
+	for _, policy := range []sched.Policy{sched.Static, sched.Dynamic, sched.Guided} {
+		for _, cell := range cells {
+			t.Run(fmt.Sprintf("%v/%v/%v", policy, cell.p, cell.k), func(t *testing.T) {
+				// Fresh operands per cell so the fault run builds (and can
+				// fault in) its own plan instead of hitting the shared cache.
+				r := rand.New(rand.NewSource(seed ^ int64(cell.p)<<16 ^ int64(policy)<<8))
+				a := randMatrix(140, 140, 0.06, r)
+				m := randMatrix(140, 140, 0.10, r)
+				cfg := DefaultConfig()
+				cfg.Schedule = policy
+				cfg.Tiles = 16
+				cfg.Workers = 4
+
+				refCfg := cfg
+				ref, err := MaskedSpGEMM[float64](sr, m, a, a, refCfg)
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+
+				sd := chaos.NewSeeded(seed)
+				sd.ArmSeeded(cell.p, cell.k, cell.maxNth, time.Millisecond)
+				swap.cur.Store(sd)
+				cfg.Engine = eng
+				cfg.Resilience = &Resilience{Chaos: swap}
+				got, ferr := runContained(func() (*sparse.CSR[float64], error) {
+					return MaskedSpGEMM[float64](sr, m, a, a, cfg)
+				})
+				swap.cur.Store(nil)
+				switch {
+				case ferr != nil:
+					if !typedChaosErr(ferr) {
+						t.Fatalf("fault run failed with untyped error: %v", ferr)
+					}
+				case !sparse.Equal(ref, got):
+					t.Fatal("fault run succeeded but result differs from reference")
+				}
+				if err := eng.SelfCheck(); err != nil {
+					t.Fatalf("pool invariants violated after fault: %v", err)
+				}
+
+				// Clean rerun on the same engine: the pool must serve a
+				// pristine workspace and reproduce the reference exactly.
+				cfg.Resilience = nil
+				clean, err := MaskedSpGEMM[float64](sr, m, a, a, cfg)
+				if err != nil {
+					t.Fatalf("clean rerun: %v", err)
+				}
+				if !sparse.Equal(ref, clean) {
+					t.Fatal("clean rerun differs from reference")
+				}
+				if err := eng.SelfCheck(); err != nil {
+					t.Fatalf("pool invariants violated after clean rerun: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosStallWatchdog arms a long delay on the first tile claim of a
+// single-worker run with a much shorter stall window: the watchdog must
+// fail the run with ErrStalled carrying a *sched.StallError whose
+// snapshot holds goroutine stacks.
+func TestChaosStallWatchdog(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	a := randMatrix(100, 100, 0.08, r)
+	sr := semiring.PlusTimes[float64]{}
+	sd := chaos.NewSeeded(302)
+	sd.Arm(chaos.TileClaim, chaos.KindDelay, 1, 500*time.Millisecond)
+
+	cfg := DefaultConfig()
+	cfg.Tiles = 16
+	cfg.Workers = 1
+	cfg.Resilience = &Resilience{Chaos: sd, StallTimeout: 25 * time.Millisecond}
+	_, err := MaskedSpGEMM[float64](sr, a, a, a, cfg)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	var se *sched.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("error chain lacks *sched.StallError: %v", err)
+	}
+	if len(se.Stacks) == 0 {
+		t.Fatal("stall verdict carries no goroutine stacks")
+	}
+	if se.Done >= se.Tiles {
+		t.Fatalf("stall verdict claims %d/%d tiles done", se.Done, se.Tiles)
+	}
+}
+
+// TestChaosMultiplierReuseAfterFault injects a panic into a shared-
+// engine Multiplier's row kernel, then requires subsequent multiplies —
+// same Multiplier, same engine — to recover bit-identical results, with
+// the poisoned workspace quarantined rather than reused.
+func TestChaosMultiplierReuseAfterFault(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	a := randMatrix(120, 120, 0.08, r)
+	sr := semiring.PlusTimes[float64]{}
+	swap := &swapInjector{}
+	eng := exec.New(exec.Config{Chaos: swap})
+
+	cfg := DefaultConfig()
+	cfg.Tiles = 8
+	cfg.Workers = 2
+	cfg.Engine = eng
+	cfg.Resilience = &Resilience{Chaos: swap}
+
+	ref, err := MaskedSpGEMM[float64](sr, a, a, a, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := NewMultiplier[float64](sr, a, a, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantinesBefore := eng.Stats().Quarantines
+	sd := chaos.NewSeeded(304)
+	sd.Arm(chaos.RowKernel, chaos.KindPanic, 5, 0)
+	swap.cur.Store(sd)
+	if _, err := mu.Multiply(); !errors.Is(err, ErrPanic) || !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("faulted multiply: %v, want ErrPanic matching chaos.ErrInjected", err)
+	}
+	swap.cur.Store(nil)
+	if q := eng.Stats().Quarantines; q != quarantinesBefore+1 {
+		t.Fatalf("quarantines = %d, want %d", q, quarantinesBefore+1)
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatalf("pool invariants violated after quarantine: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := mu.Multiply()
+		if err != nil {
+			t.Fatalf("reuse %d after fault: %v", i, err)
+		}
+		if !sparse.Equal(ref, got) {
+			t.Fatalf("reuse %d after fault differs from reference", i)
+		}
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatalf("pool invariants violated after reuse: %v", err)
+	}
+}
+
+// TestChaosDegradedLadderRecovers proves MultiplyDegraded's rungs
+// escape a persistently faulting engine path: the unpooled rung uses no
+// pooled workspace, so an injector that always panics on checkout
+// cannot touch it.
+func TestChaosDegradedLadderRecovers(t *testing.T) {
+	r := rand.New(rand.NewSource(305))
+	a := randMatrix(90, 90, 0.1, r)
+	sr := semiring.PlusTimes[float64]{}
+	always := chaos.Func(func(p chaos.Point) chaos.Fault {
+		if p == chaos.WorkspaceCheckout {
+			return chaos.Fault{Kind: chaos.KindPanic}
+		}
+		return chaos.Fault{}
+	})
+	eng := exec.New(exec.Config{Chaos: always})
+
+	cfg := DefaultConfig()
+	cfg.Tiles = 8
+	cfg.Workers = 2
+	cfg.Engine = eng
+
+	ref, err := MaskedSpGEMM[float64](sr, a, a, a, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := NewMultiplier[float64](sr, a, a, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine path panics at every checkout: containment converts it,
+	// but no amount of plain retrying helps.
+	if _, err := runContained(func() (*sparse.CSR[float64], error) { return mu.Multiply() }); err == nil {
+		t.Fatal("engine-path multiply unexpectedly survived a checkout fault")
+	}
+	// The unpooled rung sidesteps the engine entirely.
+	got, err := mu.MultiplyDegraded(nil, DegradeUnpooled)
+	if err != nil {
+		t.Fatalf("degraded multiply: %v", err)
+	}
+	if !sparse.Equal(ref, got) {
+		t.Fatal("degraded multiply differs from reference")
+	}
+}

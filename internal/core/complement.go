@@ -50,10 +50,18 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 	workers := sched.Workers(cfg.Workers)
 
 	ws := exec.Dense[T, S](cfg.Engine, sr, b.Cols, workers, len(tiles))
-	defer ws.Release()
+	// Poison-on-error: a failed run can leave the dense scratch's
+	// state vector mid-reset, so quarantine unless fully successful.
+	clean := false
+	defer func() {
+		if !clean {
+			ws.Poison()
+		}
+		ws.Release()
+	}()
 	outs := ws.Outs[:len(tiles)]
 
-	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
+	if err := schedRun(ctx, cfg, workers, len(tiles), func(worker, t int) {
 		runTileComp(sr, &ws.Dense[worker], m, a, b, tiles[t], &outs[t])
 	}); err != nil {
 		return nil, wrapRunErr(err)
@@ -64,6 +72,7 @@ func MaskedSpGEMMComp[T sparse.Number, S semiring.Semiring[T]](
 		return nil, wrapRunErr(err)
 	}
 	recordPoolDelta(cfg, poolPrior, scope)
+	clean = true
 	return c, nil
 }
 

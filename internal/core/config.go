@@ -124,6 +124,12 @@ type Config struct {
 	// nil Engine reproduces the one-shot behavior: every run constructs
 	// (and discards) its own workspace.
 	Engine *exec.Engine
+	// Resilience, when non-nil, arms the failure-hardening extras: the
+	// fault-injection seams and the scheduler's stall watchdog. It is a
+	// pointer deliberately — the production configuration carries (and
+	// every per-run Config copy and closure capture pays for) only a
+	// nil word. See Resilience.
+	Resilience *Resilience
 	// Recorder, when non-nil, collects observability data for every run
 	// under this configuration: phase spans (plan row-work/prefix-sum/
 	// tile-build/row-cap, exec kernel/assembly), exact per-worker
@@ -201,6 +207,9 @@ func (c Config) Validate() error {
 	}
 	if c.FuseTileBudget < 0 {
 		return errConfig("fuse tile budget must be >= 0, got %d", c.FuseTileBudget)
+	}
+	if c.Resilience != nil && c.Resilience.StallTimeout < 0 {
+		return errConfig("stall timeout must be >= 0, got %v", c.Resilience.StallTimeout)
 	}
 	return nil
 }

@@ -75,10 +75,19 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 	// The dot traversal needs no accumulator or dense scratch — only the
 	// per-tile staging buffers — so it checks out a zero-worker workspace.
 	ws := exec.Dense[T, S](cfg.Engine, sr, 1, 0, len(tiles))
-	defer ws.Release()
+	// Poison-on-error: the dot workspace is staging-only, but a failed
+	// run can still leave per-tile buffers mid-write; quarantine unless
+	// fully successful.
+	clean := false
+	defer func() {
+		if !clean {
+			ws.Poison()
+		}
+		ws.Release()
+	}()
 	outs := ws.Outs[:len(tiles)]
 
-	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(_, t int) {
+	if err := schedRun(ctx, cfg, workers, len(tiles), func(_, t int) {
 		tile := tiles[t]
 		out := &outs[t]
 		maskVol := m.RowPtr[tile.Hi] - m.RowPtr[tile.Lo]
@@ -114,6 +123,7 @@ func MaskedSpGEMMDot[T sparse.Number, S semiring.Semiring[T]](
 		return nil, wrapRunErr(err)
 	}
 	recordPoolDelta(cfg, poolPrior, scope)
+	clean = true
 	return c, nil
 }
 

@@ -32,6 +32,12 @@ var (
 	// a *sched.PanicError carrying the panic value and stack.
 	ErrPanic = errors.New("core: kernel panic")
 
+	// ErrStalled marks a multiplication failed by the stall watchdog
+	// (Config.StallTimeout): no tile completed for a full timeout while
+	// work remained. It wraps a *sched.StallError carrying the
+	// completed/total tile counts and an all-goroutine stack snapshot.
+	ErrStalled = errors.New("core: multiplication stalled")
+
 	// ErrConcurrentMultiply marks overlapping Multiply calls on a
 	// Multiplier that has no Engine: the engineless path owns a single
 	// workspace, so a second concurrent call would race on it. The
@@ -48,9 +54,12 @@ func errConfig(format string, args ...any) error {
 
 // wrapRunErr maps a scheduler/plan-phase error into the taxonomy:
 // worker panics become ErrPanic (still errors.As-able to
-// *sched.PanicError), context errors become ErrCanceled (still
-// errors.Is-able to the underlying context error), anything else passes
-// through unchanged.
+// *sched.PanicError), stall verdicts become ErrStalled (still
+// errors.As-able to *sched.StallError), context errors become
+// ErrCanceled (still errors.Is-able to the underlying context error),
+// anything else passes through unchanged. An injected spurious cancel
+// reaches ErrCanceled too, but additionally matches chaos.ErrInjected,
+// which is how the retry layer tells it apart from a caller's cancel.
 func wrapRunErr(err error) error {
 	if err == nil {
 		return nil
@@ -58,6 +67,10 @@ func wrapRunErr(err error) error {
 	var pe *sched.PanicError
 	if errors.As(err, &pe) {
 		return fmt.Errorf("%w: %w", ErrPanic, pe)
+	}
+	var se *sched.StallError
+	if errors.As(err, &se) {
+		return fmt.Errorf("%w: %w", ErrStalled, se)
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("%w: %w", ErrCanceled, err)

@@ -5,6 +5,7 @@ import (
 	"unsafe"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/chaos"
 	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
@@ -155,12 +156,30 @@ func FusedMaskedSpGEMM[T sparse.Number, S semiring.Semiring[T]](
 	// RowCap2) and its per-tile Outs hold the final output staging.
 	ws1 := exec.Masked[T, S](cfg.Engine, sr, cfg.Accumulator, cfg.MarkerBits,
 		b.Cols, plan.RowCap1, workers, workers)
-	defer ws1.Release()
+	// Poison-on-error (both stages): a failed run may leave either
+	// stage's accumulators or staging mid-mutation, so both workspaces
+	// are quarantined unless the run reaches its fully-successful exit.
+	clean := false
+	defer func() {
+		if !clean {
+			ws1.Poison()
+		}
+		ws1.Release()
+	}()
 	ws2 := exec.Masked[T, S](cfg.Engine, sr, cfg.Accumulator, cfg.MarkerBits,
 		c.Cols, plan.RowCap2, workers, len(tiles))
-	defer ws2.Release()
+	defer func() {
+		if !clean {
+			ws2.Poison()
+		}
+		ws2.Release()
+	}()
 	accs1 := ws1.Accs[:workers]
 	accs2 := ws2.Accs[:workers]
+	if cfg.Resilience != nil {
+		defer armAccumChaos(cfg, accs1)()
+		defer armAccumChaos(cfg, accs2)()
+	}
 	mids := ws1.Outs[:workers]
 	outs := ws2.Outs[:len(tiles)]
 	prior1 := snapshotAccumStats(accs1, scope)
@@ -184,6 +203,7 @@ func FusedMaskedSpGEMM[T sparse.Number, S semiring.Semiring[T]](
 	recordAccumDeltas(accs2, prior2, scope)
 	recordPoolDelta(cfg, poolPrior, scope)
 	foldFused(scope, fcs, obs.FusedCounters{ChainRuns: 1})
+	clean = true
 	return d, nil
 }
 
@@ -248,6 +268,7 @@ func runTileFused[T sparse.Number, S semiring.Semiring[T]](
 	}
 
 	staged := mask1Vol*entrySize <= budget
+	inj := cfg.chaosInjector()
 	var midEntries int64
 	if staged {
 		// Stage 1, whole tile: the intermediate rows land back-to-back in
@@ -265,6 +286,12 @@ func runTileFused[T sparse.Number, S semiring.Semiring[T]](
 			mid.Vals = mid.Vals[:0]
 		}
 		for i := tile.Lo; i < tile.Hi; i++ {
+			if inj != nil {
+				// RowKernel seam, fused formulation: panics here unwind with
+				// both accumulators mid-flight.
+				//lint:ignore hotpathalloc allocates only when a fault fires, and the run dies with it
+				chaos.StepHard(inj, chaos.RowKernel)
+			}
 			before := len(mid.Cols)
 			if m2.RowNNZ(i) > 0 {
 				fusedRowStage1(sr, acc1, m1, a, b, cfg, i, mid, wc)
@@ -284,6 +311,10 @@ func runTileFused[T sparse.Number, S semiring.Semiring[T]](
 		// Streamed: one intermediate row live at a time.
 		mid.RowNNZ = mid.RowNNZ[:0]
 		for i := tile.Lo; i < tile.Hi; i++ {
+			if inj != nil {
+				//lint:ignore hotpathalloc allocates only when a fault fires, and the run dies with it
+				chaos.StepHard(inj, chaos.RowKernel)
+			}
 			mid.Cols = mid.Cols[:0]
 			mid.Vals = mid.Vals[:0]
 			if m2.RowNNZ(i) > 0 {
@@ -402,8 +433,19 @@ func MaskedSpGEMMSelect[T sparse.Number, S semiring.Semiring[T]](
 
 	ws := exec.Masked[T, S](cfg.Engine, sr, cfg.Accumulator, cfg.MarkerBits,
 		b.Cols, plan.RowCap, workers, len(tiles))
-	defer ws.Release()
+	// Poison-on-error: quarantine the workspace unless the run reaches
+	// its fully-successful exit (see maskedRun).
+	clean := false
+	defer func() {
+		if !clean {
+			ws.Poison()
+		}
+		ws.Release()
+	}()
 	accs := ws.Accs[:workers]
+	if cfg.Resilience != nil {
+		defer armAccumChaos(cfg, accs)()
+	}
 	outs := ws.Outs[:len(tiles)]
 	prior := snapshotAccumStats(accs, scope)
 	fcs := fusedSlots(scope, workers)
@@ -421,6 +463,7 @@ func MaskedSpGEMMSelect[T sparse.Number, S semiring.Semiring[T]](
 	recordAccumDeltas(accs, prior, scope)
 	recordPoolDelta(cfg, poolPrior, scope)
 	foldFused(scope, fcs, obs.FusedCounters{SelectRuns: 1})
+	clean = true
 	return c, nil
 }
 
@@ -534,8 +577,19 @@ func MaskedSpGEMMStream[T sparse.Number, S semiring.Semiring[T]](
 	// staging is needed.
 	ws := exec.Masked[T, S](cfg.Engine, sr, cfg.Accumulator, cfg.MarkerBits,
 		b.Cols, plan.RowCap, workers, workers)
-	defer ws.Release()
+	// Poison-on-error: quarantine the workspace unless the run reaches
+	// its fully-successful exit (see maskedRun).
+	clean := false
+	defer func() {
+		if !clean {
+			ws.Poison()
+		}
+		ws.Release()
+	}()
 	accs := ws.Accs[:workers]
+	if cfg.Resilience != nil {
+		defer armAccumChaos(cfg, accs)()
+	}
 	bufs := ws.Outs[:workers]
 	prior := snapshotAccumStats(accs, scope)
 	fcs := fusedSlots(scope, workers)
@@ -551,6 +605,7 @@ func MaskedSpGEMMStream[T sparse.Number, S semiring.Semiring[T]](
 	recordAccumDeltas(accs, prior, scope)
 	recordPoolDelta(cfg, poolPrior, scope)
 	foldFused(scope, fcs, obs.FusedCounters{StreamRuns: 1})
+	clean = true
 	return nil
 }
 

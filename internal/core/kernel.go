@@ -85,8 +85,22 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 	// fresh when cfg.Engine is nil.
 	ws := exec.Masked[T, S](cfg.Engine, sr, cfg.Accumulator, cfg.MarkerBits,
 		b.Cols, plan.RowCap, workers, len(tiles))
-	defer ws.Release()
+	// Poison-on-error: a run that fails after checkout (panic, cancel,
+	// injected fault) may leave accumulators or staging buffers
+	// mid-mutation, so the workspace is quarantined instead of pooled.
+	// The flag flips only on the fully-successful exit, so error returns
+	// and panic unwinding take the same quarantine path.
+	clean := false
+	defer func() {
+		if !clean {
+			ws.Poison()
+		}
+		ws.Release()
+	}()
 	accs := ws.Accs[:workers]
+	if cfg.Resilience != nil {
+		defer armAccumChaos(cfg, accs)()
+	}
 	if wrap != nil {
 		// The decorators are per run by design (they are drained after the
 		// run); never let them leak into the pooled workspace.
@@ -111,6 +125,7 @@ func maskedRun[T sparse.Number, S semiring.Semiring[T]](
 	}
 	recordAccumDeltas(accs, prior, scope)
 	recordPoolDelta(cfg, poolPrior, scope)
+	clean = true
 	return c, nil
 }
 

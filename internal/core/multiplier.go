@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/chaos"
 	"maskedspgemm/internal/exec"
 	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
@@ -115,18 +116,26 @@ func (mu *Multiplier[T, S]) Multiply() (*sparse.CSR[T], error) {
 // failed run had never happened. nil falls back to the Config's
 // Context.
 func (mu *Multiplier[T, S]) MultiplyCtx(ctx context.Context) (*sparse.CSR[T], error) {
+	return mu.MultiplyDegraded(ctx, DegradeNone)
+}
+
+// MultiplyDegraded is MultiplyCtx on an explicitly degraded execution
+// path — the retry layer's ladder after a transient failure. The plan
+// (tiling, row capacity) is reused unchanged on every rung; only the
+// execution strategy narrows. See Degradation for the rungs.
+func (mu *Multiplier[T, S]) MultiplyDegraded(ctx context.Context, d Degradation) (*sparse.CSR[T], error) {
 	if ctx == nil {
 		ctx = mu.cfg.Context
 	}
 	if mu.a.Rows == 0 {
 		return sparse.NewCSR[T](mu.a.Rows, mu.b.Cols, 0), nil
 	}
-	// The run owns a private Config copy so the κ override (and any
-	// future per-run retuning) never races a concurrent Multiply.
-	cfg := mu.cfg
-	if bits := mu.kappaBits.Load(); bits != 0 {
-		cfg.Kappa = math.Float64frombits(bits)
-	}
+	// The run owns a private Config copy so the κ override, the
+	// degradation rung, and any future per-run retuning never race a
+	// concurrent Multiply. Built in one assignment and never mutated
+	// after, so the tile closure below captures it by value (one heap
+	// object instead of a closure plus an escaping copy).
+	cfg, workers, pw := mu.runConfig(d)
 	scope := cfg.Recorder.StartRun()
 	defer func() {
 		if snap := scope.End(); snap.Runs > 0 {
@@ -134,35 +143,86 @@ func (mu *Multiplier[T, S]) MultiplyCtx(ctx context.Context) (*sparse.CSR[T], er
 		}
 	}()
 	poolPrior := cfg.Engine.Stats()
-	ws := mu.ws
-	if cfg.Engine != nil {
+	// clean flips only on the fully-successful exit; the acquisition
+	// branches below hang their failure handling (quarantine, owned-
+	// workspace rebuild) off it so error returns and panic unwinding
+	// take the same path.
+	clean := false
+	var ws *exec.Workspace[T, S]
+	switch {
+	case cfg.Engine != nil:
 		ws = exec.Masked[T, S](cfg.Engine, mu.sr, cfg.Accumulator,
-			cfg.MarkerBits, mu.b.Cols, mu.rowCap, mu.workers, len(mu.tiles))
-		defer ws.Release()
-	} else {
+			cfg.MarkerBits, mu.b.Cols, mu.rowCap, workers, len(mu.tiles))
+		defer func() {
+			if !clean {
+				ws.Poison()
+			}
+			ws.Release()
+		}()
+	case mu.ws != nil && d < DegradeUnpooled:
 		if !mu.inUse.CompareAndSwap(false, true) {
 			return nil, fmt.Errorf("%w (give the Multiplier an exec.Engine for concurrent serving)",
 				ErrConcurrentMultiply)
 		}
 		defer mu.inUse.Store(false)
+		ws = mu.ws
+		// The owned workspace has no pool to quarantine into; a failed
+		// run rebuilds it fresh (at full width, for future undegraded
+		// runs) so the next Multiply starts from pristine state. Runs
+		// while inUse is still held, so no concurrent run sees the swap.
+		defer func() {
+			if !clean {
+				mu.ws = exec.Masked[T, S](nil, mu.sr, mu.cfg.Accumulator,
+					mu.cfg.MarkerBits, mu.b.Cols, mu.rowCap, mu.workers, len(mu.tiles))
+			}
+		}()
+	default:
+		// DegradeUnpooled with no engine of record: a fresh one-shot
+		// workspace, discarded after the run.
+		ws = exec.Masked[T, S](nil, mu.sr, cfg.Accumulator,
+			cfg.MarkerBits, mu.b.Cols, mu.rowCap, workers, len(mu.tiles))
 	}
-	accs := ws.Accs[:mu.workers]
+	accs := ws.Accs[:workers]
+	if cfg.Resilience != nil {
+		defer armAccumChaos(cfg, accs)()
+	}
 	outs := ws.Outs[:len(mu.tiles)]
 	// The accumulators persist across runs, so deltas against a per-run
 	// snapshot keep each run's counts exact.
 	prior := snapshotAccumStats(accs, scope)
-	if err := runKernelSpanned(ctx, cfg, scope, mu.workers, len(mu.tiles), func(worker, t int, wc *obs.WorkerCounters) {
+	if err := runKernelSpanned(ctx, cfg, scope, workers, len(mu.tiles), func(worker, t int, wc *obs.WorkerCounters) {
 		runTile(mu.sr, accs[worker], mu.m, mu.a, mu.b, cfg, mu.tiles[t], &outs[t], wc)
 	}); err != nil {
 		return nil, wrapRunErr(err)
 	}
-	c, err := assembleSpanned(ctx, cfg, scope, mu.a.Rows, mu.b.Cols, mu.tiles, outs, mu.planWorkers)
+	c, err := assembleSpanned(ctx, cfg, scope, mu.a.Rows, mu.b.Cols, mu.tiles, outs, pw)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
 	recordAccumDeltas(accs, prior, scope)
 	recordPoolDelta(cfg, poolPrior, scope)
+	clean = true
 	return c, nil
+}
+
+// runConfig assembles one run's private Config — the κ override and the
+// degradation rung applied — plus the effective worker counts. Kept
+// write-free at the call site so the run's tile closure can capture the
+// copy by value.
+func (mu *Multiplier[T, S]) runConfig(d Degradation) (cfg Config, workers, pw int) {
+	cfg = mu.cfg
+	if bits := mu.kappaBits.Load(); bits != 0 {
+		cfg.Kappa = math.Float64frombits(bits)
+	}
+	workers, pw = mu.workers, mu.planWorkers
+	if d >= DegradeSerial {
+		cfg.Workers, cfg.PlanWorkers, cfg.Schedule = 1, 1, sched.Static
+		workers, pw = 1, 1
+	}
+	if d >= DegradeUnpooled {
+		cfg.Engine = nil
+	}
+	return cfg, workers, pw
 }
 
 // SetKappa overrides the configured Eq. 3 threshold κ for subsequent
@@ -212,7 +272,14 @@ func runTilePlanned[T sparse.Number, S semiring.Semiring[T]](
 		out.RowNNZ = make([]int32, tile.Rows()) //lint:ignore hotpathalloc amortized: grows once per tile-height high-water mark
 	}
 	out.RowNNZ = out.RowNNZ[:tile.Rows()]
+	inj := cfg.chaosInjector()
 	for i := tile.Lo; i < tile.Hi; i++ {
+		if inj != nil {
+			// RowKernel seam: panics here exercise mid-tile unwinding with
+			// the accumulator in an arbitrary intermediate state.
+			//lint:ignore hotpathalloc allocates only when a fault fires, and the run dies with it
+			chaos.StepHard(inj, chaos.RowKernel)
+		}
 		maskCols := m.RowCols(i)
 		before := len(out.Cols)
 		if len(maskCols) > 0 || cfg.Iteration == Vanilla {

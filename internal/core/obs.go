@@ -11,9 +11,17 @@ import (
 	"maskedspgemm/internal/tiling"
 )
 
-// schedRun dispatches tiles to workers under the configured policy.
+// schedRun dispatches tiles to workers under the configured policy,
+// threading through the resilience knobs (chaos seams, stall watchdog).
 func schedRun(ctx context.Context, cfg Config, workers, tiles int, fn func(worker, t int)) error {
-	return sched.RunChunkedE(ctx, cfg.Schedule, workers, tiles, cfg.GuidedMinChunk, fn)
+	if cfg.Resilience == nil {
+		return sched.RunChunkedE(ctx, cfg.Schedule, workers, tiles, cfg.GuidedMinChunk, fn)
+	}
+	return sched.RunChunkedOpts(ctx, cfg.Schedule, workers, tiles, sched.RunOpts{
+		MinChunk:     cfg.GuidedMinChunk,
+		Chaos:        cfg.Resilience.Chaos,
+		StallTimeout: cfg.Resilience.StallTimeout,
+	}, fn)
 }
 
 // This file is the glue between the kernel pipeline and the obs
@@ -67,13 +75,14 @@ func recordPoolDelta(cfg Config, prior exec.PoolStats, scope *obs.RunScope) {
 	}
 	d := cfg.Engine.Stats().Sub(prior)
 	scope.AddPool(obs.PoolCounters{
-		Hits:       d.Hits,
-		Misses:     d.Misses,
-		Steals:     d.Steals,
-		Resizes:    d.Resizes,
-		Evictions:  d.Evictions,
-		PlanHits:   d.PlanHits,
-		PlanMisses: d.PlanMisses,
+		Hits:        d.Hits,
+		Misses:      d.Misses,
+		Steals:      d.Steals,
+		Resizes:     d.Resizes,
+		Evictions:   d.Evictions,
+		Quarantined: d.Quarantines,
+		PlanHits:    d.PlanHits,
+		PlanMisses:  d.PlanMisses,
 	})
 }
 

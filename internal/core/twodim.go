@@ -63,7 +63,15 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 	workers := sched.Workers(cfg.Workers)
 
 	ws := exec.Dense[T, S](cfg.Engine, sr, b.Cols, workers, len(tiles))
-	defer ws.Release()
+	// Poison-on-error: a failed run can leave the dense scratch's
+	// state vector mid-reset, so quarantine unless fully successful.
+	clean := false
+	defer func() {
+		if !clean {
+			ws.Poison()
+		}
+		ws.Release()
+	}()
 	outs := ws.Outs[:len(tiles)]
 
 	// Panel boundaries in the k dimension, uniform cuts of [0, a.Cols),
@@ -78,7 +86,7 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 	}
 	ws.ScratchCols = bounds
 
-	if err := sched.RunChunkedE(ctx, cfg.Schedule, workers, len(tiles), cfg.GuidedMinChunk, func(worker, t int) {
+	if err := schedRun(ctx, cfg, workers, len(tiles), func(worker, t int) {
 		runTile2D(sr, m, a, b, tiles[t], bounds, &outs[t], &ws.Dense[worker])
 	}); err != nil {
 		return nil, wrapRunErr(err)
@@ -89,6 +97,7 @@ func MaskedSpGEMM2D[T sparse.Number, S semiring.Semiring[T]](
 		return nil, wrapRunErr(err)
 	}
 	recordPoolDelta(cfg, poolPrior, scope)
+	clean = true
 	return c, nil
 }
 

@@ -34,6 +34,8 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+
+	"maskedspgemm/internal/chaos"
 )
 
 // DefaultMaxIdle is the default cap on idle workspaces retained in the
@@ -54,6 +56,11 @@ type Config struct {
 	// MaxPlans caps the plan cache; least recently used plans are
 	// evicted. 0 means DefaultMaxPlans; negative disables plan caching.
 	MaxPlans int
+	// Chaos, when non-nil, arms the engine's fault-injection seams
+	// (workspace checkout/release, plan-cache store). nil — the
+	// production configuration — disables injection at the cost of one
+	// nil check per seam crossing.
+	Chaos chaos.Injector
 }
 
 // Engine is a concurrency-safe pool of execution workspaces plus a
@@ -82,6 +89,8 @@ type Engine struct {
 
 	planHits   atomic.Int64
 	planMisses atomic.Int64
+
+	quarantines atomic.Int64
 }
 
 // New returns an Engine with the given retention configuration.
@@ -133,6 +142,10 @@ type PoolStats struct {
 	// PlanHits and PlanMisses count plan-cache outcomes.
 	PlanHits   int64 `json:"plan_hits"`
 	PlanMisses int64 `json:"plan_misses"`
+	// Quarantines counts workspaces poisoned after a panic or
+	// mid-run cancellation and dropped at Release instead of being
+	// returned to the pool (see Workspace.Poison).
+	Quarantines int64 `json:"quarantines"`
 }
 
 // Stats snapshots the engine's counters. Nil engines return zeros.
@@ -141,26 +154,28 @@ func (e *Engine) Stats() PoolStats {
 		return PoolStats{}
 	}
 	return PoolStats{
-		Hits:       e.hits.Load(),
-		Misses:     e.misses.Load(),
-		Steals:     e.steals.Load(),
-		Resizes:    e.resizes.Load(),
-		Evictions:  e.evictions.Load(),
-		PlanHits:   e.planHits.Load(),
-		PlanMisses: e.planMisses.Load(),
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Steals:      e.steals.Load(),
+		Resizes:     e.resizes.Load(),
+		Evictions:   e.evictions.Load(),
+		PlanHits:    e.planHits.Load(),
+		PlanMisses:  e.planMisses.Load(),
+		Quarantines: e.quarantines.Load(),
 	}
 }
 
 // Sub returns the counter-wise difference s − o.
 func (s PoolStats) Sub(o PoolStats) PoolStats {
 	return PoolStats{
-		Hits:       s.Hits - o.Hits,
-		Misses:     s.Misses - o.Misses,
-		Steals:     s.Steals - o.Steals,
-		Resizes:    s.Resizes - o.Resizes,
-		Evictions:  s.Evictions - o.Evictions,
-		PlanHits:   s.PlanHits - o.PlanHits,
-		PlanMisses: s.PlanMisses - o.PlanMisses,
+		Hits:        s.Hits - o.Hits,
+		Misses:      s.Misses - o.Misses,
+		Steals:      s.Steals - o.Steals,
+		Resizes:     s.Resizes - o.Resizes,
+		Evictions:   s.Evictions - o.Evictions,
+		PlanHits:    s.PlanHits - o.PlanHits,
+		PlanMisses:  s.PlanMisses - o.PlanMisses,
+		Quarantines: s.Quarantines - o.Quarantines,
 	}
 }
 

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"maskedspgemm/internal/chaos"
 	"maskedspgemm/internal/sparse"
 	"maskedspgemm/internal/tiling"
 )
@@ -84,6 +85,12 @@ func (e *Engine) Plan(key PlanKey, build func() (Plan, error)) (Plan, error) {
 	p, err := build()
 	if err != nil {
 		return Plan{}, err
+	}
+	// Plan-store injection: an error or cancel fault skips caching —
+	// the freshly built plan is still returned, degrading to per-call
+	// planning rather than failing the run. Panic faults propagate.
+	if k := chaos.Step(e.cfg.Chaos, chaos.PlanStore); k != chaos.KindNone {
+		return p, nil
 	}
 	e.mu.Lock()
 	if _, ok := e.plans[key]; !ok {

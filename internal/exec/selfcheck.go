@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"maskedspgemm/internal/accum"
+)
+
+// poolChecker is implemented by every pooled object so SelfCheck can
+// validate the clean-reuse invariant without knowing the generic
+// instantiation.
+type poolChecker interface {
+	poolCheck() error
+}
+
+// SelfCheck validates the engine's pool invariants: the idle gauge
+// matches the hot-tier population, and every pooled workspace is
+// released (unbound from any engine), unpoisoned, and clean — dense
+// scratch fully reset, explicit-reset accumulators with every live slot
+// accounted for. It is the chaos suite's gate: after a seeded fault
+// matrix, a non-nil result means a dirty or leaked workspace survived
+// quarantine. O(pooled state), intended for tests and admin probes,
+// not hot paths. Nil engines trivially pass.
+//
+// Only the counted hot tier is walked: the overflow sync.Pool tier is
+// GC-owned and cannot be enumerated, but workspaces only reach it
+// through put, which quarantine already guards.
+func (e *Engine) SelfCheck() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	population := 0
+	for key, b := range e.buckets {
+		for i := range b.hot {
+			population++
+			pc, ok := b.hot[i].ws.(poolChecker)
+			if !ok {
+				return fmt.Errorf("exec: pooled object %T is not self-checkable", b.hot[i].ws)
+			}
+			if err := pc.poolCheck(); err != nil {
+				return fmt.Errorf("exec: bucket %v slot %d: %w", key, i, err)
+			}
+		}
+	}
+	if population != e.idle {
+		return fmt.Errorf("exec: idle gauge %d != hot-tier population %d", e.idle, population)
+	}
+	return nil
+}
+
+// poolCheck validates one pooled workspace's clean-reuse invariant.
+func (ws *Workspace[T, S]) poolCheck() error {
+	if ws.engine != nil {
+		return errors.New("pooled workspace still bound to an engine")
+	}
+	if ws.poisoned {
+		return errors.New("poisoned workspace present in pool")
+	}
+	for w := range ws.Dense {
+		d := &ws.Dense[w]
+		if len(d.Touched) != 0 {
+			return fmt.Errorf("dense scratch %d holds %d unreset touched slots", w, len(d.Touched))
+		}
+		for j, s := range d.State {
+			if s != 0 {
+				return fmt.Errorf("dense scratch %d state[%d] = %d, want 0", w, j, s)
+			}
+		}
+	}
+	for w, acc := range ws.Accs {
+		if c, ok := acc.(accum.Checkable); ok {
+			if err := c.CheckClean(); err != nil {
+				return fmt.Errorf("accumulator %d: %w", w, err)
+			}
+		}
+	}
+	return nil
+}

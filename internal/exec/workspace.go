@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/chaos"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -31,6 +32,11 @@ import (
 type Workspace[T sparse.Number, S semiring.Semiring[T]] struct {
 	engine *Engine
 	key    wsKey
+	// poisoned marks a workspace whose clean-reuse invariant can no
+	// longer be trusted — its run panicked or was cancelled mid-tile.
+	// Release drops a poisoned workspace (counted as a quarantine)
+	// instead of returning it to the pool.
+	poisoned bool
 
 	sr         S
 	kind       accum.Kind
@@ -178,6 +184,10 @@ func Masked[T sparse.Number, S semiring.Semiring[T]](
 	workers, tiles int,
 ) *Workspace[T, S] {
 	key := maskedKey[T, S](kind, markerBits, cols, rowCap)
+	if e != nil {
+		//lint:ignore hotpathalloc allocates only when a fault fires, and the checkout dies with it
+		chaos.StepHard(e.cfg.Chaos, chaos.WorkspaceCheckout)
+	}
 	ws := checkout[T, S](e, key)
 	fresh := ws == nil
 	if fresh {
@@ -208,6 +218,10 @@ func Dense[T sparse.Number, S semiring.Semiring[T]](
 	e *Engine, sr S, cols, workers, tiles int,
 ) *Workspace[T, S] {
 	key := wsKey{typ: wsType[T, S](), class: classDense, colsClass: sizeClass(cols)}
+	if e != nil {
+		//lint:ignore hotpathalloc allocates only when a fault fires, and the checkout dies with it
+		chaos.StepHard(e.cfg.Chaos, chaos.WorkspaceCheckout)
+	}
 	ws := checkout[T, S](e, key)
 	fresh := ws == nil
 	if fresh {
@@ -221,9 +235,30 @@ func Dense[T sparse.Number, S semiring.Semiring[T]](
 	return ws
 }
 
-// Release returns the workspace to its engine's pool. Safe on nil
-// workspaces; a no-op for unpooled (nil-engine) checkouts. The caller
-// must not use the workspace after Release.
+// Poison marks the workspace as untrusted for pooled reuse: its run
+// panicked, was cancelled mid-tile, or otherwise ended before the
+// kernels could restore the clean-state invariant. A poisoned
+// workspace is quarantined by Release — dropped and counted, never
+// returned to the pool. Safe on nil workspaces; idempotent.
+func (ws *Workspace[T, S]) Poison() {
+	if ws == nil {
+		return
+	}
+	ws.poisoned = true
+}
+
+// Poisoned reports whether the workspace has been marked for
+// quarantine. Nil workspaces report false.
+func (ws *Workspace[T, S]) Poisoned() bool {
+	return ws != nil && ws.poisoned
+}
+
+// Release returns the workspace to its engine's pool — unless it has
+// been poisoned, in which case it is quarantined: dropped for the
+// garbage collector and counted in PoolStats.Quarantines, so a dirty
+// workspace can never serve a later checkout. Safe on nil workspaces;
+// a no-op for unpooled (nil-engine) checkouts. The caller must not use
+// the workspace after Release.
 //
 //spgemm:hotpath
 func (ws *Workspace[T, S]) Release() {
@@ -231,6 +266,13 @@ func (ws *Workspace[T, S]) Release() {
 		return
 	}
 	e := ws.engine
+	if ws.poisoned {
+		ws.engine = nil
+		e.quarantines.Add(1)
+		return
+	}
+	//lint:ignore hotpathalloc allocates only when a fault fires, and the release dies with it
+	chaos.StepHard(e.cfg.Chaos, chaos.WorkspaceRelease)
 	ws.engine = nil
 	e.put(ws.key, ws)
 }

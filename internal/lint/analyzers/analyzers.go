@@ -6,6 +6,7 @@ package analyzers
 import (
 	"maskedspgemm/internal/lint"
 	"maskedspgemm/internal/lint/atomicpad"
+	"maskedspgemm/internal/lint/checkoutrelease"
 	"maskedspgemm/internal/lint/ctxcancel"
 	"maskedspgemm/internal/lint/errtaxonomy"
 	"maskedspgemm/internal/lint/hotpathalloc"
@@ -16,6 +17,7 @@ import (
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		atomicpad.Analyzer,
+		checkoutrelease.Analyzer,
 		ctxcancel.Analyzer,
 		errtaxonomy.Analyzer,
 		hotpathalloc.Analyzer,

@@ -1,0 +1,12 @@
+package checkoutrelease_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/checkoutrelease"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+func TestCheckoutRelease(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), checkoutrelease.Analyzer, "wsuse")
+}

@@ -1,0 +1,19 @@
+// Package exec is the checkoutrelease fixture's stand-in for the real
+// workspace pool: just enough surface — generic Masked, plain Dense,
+// Release/Poison — for the analyzer's type-based matching.
+package exec
+
+type Engine struct{}
+
+type Workspace[T any] struct{ _ []T }
+
+func (ws *Workspace[T]) Release() {}
+func (ws *Workspace[T]) Poison()  {}
+
+func Masked[T any, S any](e *Engine, cols, rowCap, workers, tiles int) *Workspace[T] {
+	return &Workspace[T]{}
+}
+
+func Dense(e *Engine, n, workers, tiles int) *Workspace[int] {
+	return &Workspace[int]{}
+}

@@ -1,0 +1,111 @@
+// Package wsuse is the checkoutrelease fixture: workspace checkouts
+// with and without deferred releases, plus every exempt ownership
+// shape.
+package wsuse
+
+import "exec"
+
+// leak checks out and never releases.
+func leak(e *exec.Engine) {
+	ws := exec.Masked[int, int](e, 64, 8, 2, 4) // want `workspace ws from exec.Masked has no deferred Release`
+	_ = ws
+}
+
+// direct releases through a plain defer.
+func direct(e *exec.Engine) {
+	ws := exec.Masked[int, int](e, 64, 8, 2, 4)
+	defer ws.Release()
+	_ = ws
+}
+
+// cleanFlag releases inside a deferred cleanup closure — the
+// quarantine pattern used throughout internal/core.
+func cleanFlag(e *exec.Engine) error {
+	ws := exec.Dense(e, 64, 1, 0)
+	clean := false
+	defer func() {
+		if !clean {
+			ws.Poison()
+		}
+		ws.Release()
+	}()
+	clean = true
+	return nil
+}
+
+// pairCleanup releases two workspaces from one deferred closure, like
+// the fused pipeline.
+func pairCleanup(e *exec.Engine) {
+	ws1 := exec.Masked[int, int](e, 64, 8, 2, 4)
+	ws2 := exec.Masked[int, int](e, 32, 8, 2, 4)
+	defer func() {
+		ws1.Release()
+		ws2.Release()
+	}()
+	_, _ = ws1, ws2
+}
+
+// lateRelease calls Release without defer: an early return or panic
+// skips it, so the checkout must still be reported.
+func lateRelease(e *exec.Engine, fail bool) error {
+	ws := exec.Masked[int, int](e, 64, 8, 2, 4) // want `workspace ws from exec.Masked has no deferred Release`
+	if fail {
+		return errFailed
+	}
+	ws.Release()
+	return nil
+}
+
+var errFailed error
+
+type holder struct{ ws *exec.Workspace[int] }
+
+// fieldTransfer hands the workspace to a longer-lived owner.
+func fieldTransfer(h *holder, e *exec.Engine) {
+	h.ws = exec.Masked[int, int](e, 64, 8, 2, 4)
+}
+
+// returned hands the workspace to the caller.
+func returned(e *exec.Engine) *exec.Workspace[int] {
+	ws := exec.Masked[int, int](e, 64, 8, 2, 4)
+	return ws
+}
+
+// nilEngine builds an unpooled workspace: nothing to release.
+func nilEngine() {
+	ws := exec.Masked[int, int](nil, 64, 8, 2, 4)
+	_ = ws
+}
+
+// discarded drops the workspace on the floor.
+func discarded(e *exec.Engine) {
+	exec.Dense(e, 64, 1, 0) // want `result of exec.Dense is discarded`
+}
+
+// blanked discards through the blank identifier.
+func blanked(e *exec.Engine) {
+	_ = exec.Dense(e, 64, 1, 0) // want `result of exec.Dense is discarded`
+}
+
+// suppressed carries an ignore directive.
+func suppressed(e *exec.Engine) {
+	//lint:ignore checkoutrelease fixture exercises the suppression path
+	ws := exec.Dense(e, 64, 1, 0)
+	_ = ws
+}
+
+// closureUnits: each function literal is its own scope — the leaking
+// one fires even though its sibling releases correctly.
+func closureUnits(e *exec.Engine) {
+	bad := func() {
+		ws := exec.Dense(e, 64, 1, 0) // want `workspace ws from exec.Dense has no deferred Release`
+		_ = ws
+	}
+	good := func() {
+		ws := exec.Dense(e, 64, 1, 0)
+		defer ws.Release()
+		_ = ws
+	}
+	bad()
+	good()
+}

@@ -232,6 +232,19 @@ func (rc *Recalibrator) armKappa(arm int) float64 {
 	return math.Min(rc.cfg.KappaMax, math.Max(rc.cfg.KappaMin, k))
 }
 
+// ObserveFailure discards the outstanding proposal: a run that failed
+// (or completed on a degraded retry path) measured something other than
+// the proposed κ's cost, so feeding it to Observe would corrupt the
+// arm's EWMA. The next Propose starts clean. Nil-safe.
+func (rc *Recalibrator) ObserveFailure() {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	rc.pending = -1
+	rc.mu.Unlock()
+}
+
 // Observe feeds one run's measurement back: seconds is the run's wall
 // time, st its per-run stats snapshot (obs.Recorder.LastRun; the zero
 // value degrades to unnormalized cost). The returned counter delta is

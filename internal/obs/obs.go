@@ -164,6 +164,10 @@ type PoolCounters struct {
 	// Evictions counts demotions from the bounded hot tier to the
 	// GC-managed overflow tier.
 	Evictions int64 `json:"evictions"`
+	// Quarantined counts workspaces dropped at release because their run
+	// poisoned them (panic, cancellation or injected fault mid-run); a
+	// quarantined workspace is never pooled again.
+	Quarantined int64 `json:"quarantined"`
 	// PlanHits and PlanMisses count plan-cache outcomes.
 	PlanHits   int64 `json:"plan_hits"`
 	PlanMisses int64 `json:"plan_misses"`
@@ -254,6 +258,7 @@ type Recorder struct {
 	pool    PoolCounters
 	fused   FusedCounters
 	recal   RecalCounters
+	retry   RetryCounters
 	runs    int64
 	// lastRun is the snapshot of the most recently ended run scope.
 	lastRun Stats
@@ -284,6 +289,7 @@ func (r *Recorder) Reset() {
 	r.pool = PoolCounters{}
 	r.fused = FusedCounters{}
 	r.recal = RecalCounters{}
+	r.retry = RetryCounters{}
 	r.runs = 0
 	r.lastRun = Stats{}
 	r.hasLast = false
@@ -387,8 +393,42 @@ func (r *Recorder) AddPool(p PoolCounters) {
 	r.pool.Steals += p.Steals
 	r.pool.Resizes += p.Resizes
 	r.pool.Evictions += p.Evictions
+	r.pool.Quarantined += p.Quarantined
 	r.pool.PlanHits += p.PlanHits
 	r.pool.PlanMisses += p.PlanMisses
+	r.mu.Unlock()
+}
+
+// RetryCounters are the retry-and-degradation statistics of the facade's
+// resilience layer: per-attempt and per-outcome counts of the retry
+// ladder around Multiply/MxM (see spgemm.Options.Retry).
+type RetryCounters struct {
+	// Attempts counts every execution attempt, including first tries.
+	Attempts int64 `json:"attempts"`
+	// Retries counts attempts after the first (Attempts - calls that
+	// needed no retry is not derivable from this pair alone, so both are
+	// kept).
+	Retries int64 `json:"retries"`
+	// Degradations counts attempts that ran on a narrowed execution path
+	// (serial, unpooled) rather than the configured one.
+	Degradations int64 `json:"degradations"`
+	// Failures counts operations whose final attempt still failed.
+	Failures int64 `json:"failures"`
+	// Stalls counts attempts that failed with ErrStalled specifically.
+	Stalls int64 `json:"stalls"`
+}
+
+// AddRetry folds retry-ladder statistics into the totals.
+func (r *Recorder) AddRetry(c RetryCounters) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.retry.Attempts += c.Attempts
+	r.retry.Retries += c.Retries
+	r.retry.Degradations += c.Degradations
+	r.retry.Failures += c.Failures
+	r.retry.Stalls += c.Stalls
 	r.mu.Unlock()
 }
 

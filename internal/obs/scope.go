@@ -140,6 +140,7 @@ func (s *RunScope) AddPool(p PoolCounters) {
 	s.pool.Steals += p.Steals
 	s.pool.Resizes += p.Resizes
 	s.pool.Evictions += p.Evictions
+	s.pool.Quarantined += p.Quarantined
 	s.pool.PlanHits += p.PlanHits
 	s.pool.PlanMisses += p.PlanMisses
 }
@@ -244,6 +245,7 @@ func (r *Recorder) foldScope(s *RunScope, snap Stats) {
 	r.pool.Steals += s.pool.Steals
 	r.pool.Resizes += s.pool.Resizes
 	r.pool.Evictions += s.pool.Evictions
+	r.pool.Quarantined += s.pool.Quarantined
 	r.pool.PlanHits += s.pool.PlanHits
 	r.pool.PlanMisses += s.pool.PlanMisses
 	r.fused.Add(s.fused)

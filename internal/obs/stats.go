@@ -120,6 +120,9 @@ type Stats struct {
 	// Recal is the online cost-model recalibration statistics (zero
 	// when adaptive tuning is off).
 	Recal RecalCounters `json:"recal"`
+	// Retry is the retry-ladder statistics of the facade's resilience
+	// layer (zero when no retry policy is configured).
+	Retry RetryCounters `json:"retry"`
 }
 
 // Stats snapshots the recorder. Nil recorders return a zero snapshot
@@ -162,6 +165,7 @@ func (r *Recorder) Stats() Stats {
 	s.Pool = r.pool
 	s.Fused = r.fused
 	s.Recal = r.recal
+	s.Retry = r.retry
 	s.finalize()
 	return s
 }
@@ -217,13 +221,14 @@ func (s Stats) Sub(prev Stats) Stats {
 		HashCollisions: s.Accum.HashCollisions - prev.Accum.HashCollisions,
 	}
 	out.Pool = PoolCounters{
-		Hits:       s.Pool.Hits - prev.Pool.Hits,
-		Misses:     s.Pool.Misses - prev.Pool.Misses,
-		Steals:     s.Pool.Steals - prev.Pool.Steals,
-		Resizes:    s.Pool.Resizes - prev.Pool.Resizes,
-		Evictions:  s.Pool.Evictions - prev.Pool.Evictions,
-		PlanHits:   s.Pool.PlanHits - prev.Pool.PlanHits,
-		PlanMisses: s.Pool.PlanMisses - prev.Pool.PlanMisses,
+		Hits:        s.Pool.Hits - prev.Pool.Hits,
+		Misses:      s.Pool.Misses - prev.Pool.Misses,
+		Steals:      s.Pool.Steals - prev.Pool.Steals,
+		Resizes:     s.Pool.Resizes - prev.Pool.Resizes,
+		Evictions:   s.Pool.Evictions - prev.Pool.Evictions,
+		Quarantined: s.Pool.Quarantined - prev.Pool.Quarantined,
+		PlanHits:    s.Pool.PlanHits - prev.Pool.PlanHits,
+		PlanMisses:  s.Pool.PlanMisses - prev.Pool.PlanMisses,
 	}
 	out.Fused = s.Fused
 	out.Fused.sub(prev.Fused)
@@ -234,6 +239,13 @@ func (s Stats) Sub(prev Stats) Stats {
 		Recenters:    s.Recal.Recenters - prev.Recal.Recenters,
 		Snapbacks:    s.Recal.Snapbacks - prev.Recal.Snapbacks,
 		KappaLast:    s.Recal.KappaLast,
+	}
+	out.Retry = RetryCounters{
+		Attempts:     s.Retry.Attempts - prev.Retry.Attempts,
+		Retries:      s.Retry.Retries - prev.Retry.Retries,
+		Degradations: s.Retry.Degradations - prev.Retry.Degradations,
+		Failures:     s.Retry.Failures - prev.Retry.Failures,
+		Stalls:       s.Retry.Stalls - prev.Retry.Stalls,
 	}
 	out.finalize()
 	return out
@@ -275,11 +287,15 @@ func (s Stats) WriteTable(w io.Writer) {
 		fmt.Fprintf(w, "  recal: updates=%d explorations=%d recenters=%d snapbacks=%d κ=%g\n",
 			c.Updates, c.Explorations, c.Recenters, c.Snapbacks, c.KappaLast)
 	}
-	if p := s.Pool; p.Hits+p.Misses+p.Steals+p.PlanHits+p.PlanMisses > 0 {
+	if p := s.Pool; p.Hits+p.Misses+p.Steals+p.Quarantined+p.PlanHits+p.PlanMisses > 0 {
 		lookups := p.Hits + p.Steals + p.Misses
-		fmt.Fprintf(w, "  pool: hits=%d misses=%d steals=%d (%.1f%% hit) resizes=%d evictions=%d plan hits/misses=%d/%d\n",
+		fmt.Fprintf(w, "  pool: hits=%d misses=%d steals=%d (%.1f%% hit) resizes=%d evictions=%d quarantined=%d plan hits/misses=%d/%d\n",
 			p.Hits, p.Misses, p.Steals,
 			100*float64(p.Hits+p.Steals)/float64(max(lookups, 1)),
-			p.Resizes, p.Evictions, p.PlanHits, p.PlanMisses)
+			p.Resizes, p.Evictions, p.Quarantined, p.PlanHits, p.PlanMisses)
+	}
+	if c := s.Retry; c.Attempts > 0 {
+		fmt.Fprintf(w, "  retry: attempts=%d retries=%d degradations=%d failures=%d stalls=%d\n",
+			c.Attempts, c.Retries, c.Degradations, c.Failures, c.Stalls)
 	}
 }

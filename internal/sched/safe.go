@@ -37,13 +37,33 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sched: worker %d panicked: %v\n%s", e.Worker, e.Value, e.Stack)
 }
 
+// Unwrap exposes an error-typed panic value to errors.Is/As chains, so
+// a worker that panicked with a classifiable error — an injected chaos
+// fault, an out-of-memory sentinel — stays classifiable after
+// containment. Non-error panic values unwrap to nothing.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // runState is the shared control block of one fault-contained run.
 type runState struct {
 	// stop is set on cancellation or first panic; workers observe it
 	// between tile claims and drain without starting new work.
 	stop atomic.Bool
+	// done counts completed tiles; the stall watchdog samples it.
+	// Incremented only when a watchdog is armed, so the plain paths
+	// stay increment-free.
+	done atomic.Int64
 	mu   sync.Mutex
 	pe   *PanicError
+	// se records a stall-watchdog verdict; cause records an injected
+	// spurious cancel. Both must carry an error — a stop flag with no
+	// recorded cause would silently truncate the result.
+	se    *StallError
+	cause error
 }
 
 // capture records the first panic and tells every worker to drain.
@@ -74,12 +94,13 @@ func (st *runState) watch(ctx context.Context) (finish func()) {
 	return func() { close(quit) }
 }
 
-// err resolves the run's outcome: a worker panic wins over
-// cancellation; a cancelled context is reported even if it raced with
-// completion (matching the context package's own convention).
+// err resolves the run's outcome: a worker panic wins over everything;
+// a genuinely cancelled context is reported even if it raced with
+// completion (matching the context package's own convention); then a
+// stall verdict; then an injected spurious cancel.
 func (st *runState) err(ctx context.Context) error {
 	st.mu.Lock()
-	pe := st.pe
+	pe, se, cause := st.pe, st.se, st.cause
 	st.mu.Unlock()
 	if pe != nil {
 		return pe
@@ -89,7 +110,10 @@ func (st *runState) err(ctx context.Context) error {
 			return err
 		}
 	}
-	return nil
+	if se != nil {
+		return se
+	}
+	return cause
 }
 
 // guard runs loop with a recover frame, capturing any panic into st.
@@ -116,6 +140,14 @@ func RunE(ctx context.Context, policy Policy, p, tiles int, fn func(worker, tile
 // tiles on every policy, so a cancel or deadline stops the run within
 // one tile's latency plus the watcher's wakeup.
 func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn func(worker, tile int)) error {
+	return RunChunkedOpts(ctx, policy, p, tiles, RunOpts{MinChunk: minChunk}, fn)
+}
+
+// RunChunkedOpts is RunChunkedE with the resilience extras: an optional
+// chaos injector armed at the tile-claim and worker-spawn seams, and an
+// optional stall watchdog (see RunOpts). The zero RunOpts reproduces
+// RunChunkedE exactly.
+func RunChunkedOpts(ctx context.Context, policy Policy, p, tiles int, opt RunOpts, fn func(worker, tile int)) error {
 	switch policy {
 	case Static, Dynamic, Guided:
 	default:
@@ -130,19 +162,31 @@ func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn 
 	if p > tiles {
 		p = tiles
 	}
+	minChunk := opt.MinChunk
 	if minChunk < 1 {
 		minChunk = 1
 	}
 	var st runState
 	defer st.watch(ctx)()
+	defer st.watchStall(opt.StallTimeout, int64(tiles))()
+	inj := opt.Chaos
+	// tick counts completed tiles for the watchdog; without one the
+	// loops stay increment-free.
+	wd := opt.StallTimeout > 0
 
 	if p <= 1 {
 		st.guard(0, func() {
+			if st.injectSpawn(inj) {
+				return
+			}
 			for t := 0; t < tiles; t++ {
-				if st.stop.Load() {
+				if st.stop.Load() || st.injectClaim(inj) {
 					return
 				}
 				fn(0, t)
+				if wd {
+					st.done.Add(1)
+				}
 			}
 		})
 		return st.err(ctx)
@@ -153,7 +197,12 @@ func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn 
 	spawn := func(w int, loop func()) {
 		go func() {
 			defer wg.Done()
-			st.guard(w, loop)
+			st.guard(w, func() {
+				if st.injectSpawn(inj) {
+					return
+				}
+				loop()
+			})
 		}()
 	}
 	switch policy {
@@ -162,10 +211,13 @@ func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn 
 			w := w
 			spawn(w, func() {
 				for t := w; t < tiles; t += p {
-					if st.stop.Load() {
+					if st.stop.Load() || st.injectClaim(inj) {
 						return
 					}
 					fn(w, t)
+					if wd {
+						st.done.Add(1)
+					}
 				}
 			})
 		}
@@ -175,7 +227,7 @@ func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn 
 			w := w
 			spawn(w, func() {
 				for {
-					if st.stop.Load() {
+					if st.stop.Load() || st.injectClaim(inj) {
 						return
 					}
 					t := int(next.Add(1)) - 1
@@ -183,6 +235,9 @@ func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn 
 						return
 					}
 					fn(w, t)
+					if wd {
+						st.done.Add(1)
+					}
 				}
 			})
 		}
@@ -200,10 +255,13 @@ func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn 
 						return
 					}
 					for t := lo; t < hi; t++ {
-						if st.stop.Load() {
+						if st.stop.Load() || st.injectClaim(inj) {
 							return
 						}
 						fn(w, t)
+						if wd {
+							st.done.Add(1)
+						}
 					}
 				}
 			})

@@ -105,6 +105,22 @@ func (e *Engine) Idle() int {
 	return e.eng.Idle()
 }
 
+// SelfCheck validates the engine's pool invariants: every idle pooled
+// workspace must be detached, unpoisoned and reset to its clean state
+// (no marked accumulator slots, no touched dense scratch), and the idle
+// gauge must match the enumerable population. It returns nil when the
+// pool is consistent and a descriptive error naming the first violation
+// otherwise. Chaos harnesses call it after every injected fault to
+// prove that no corrupted workspace survived into the pool; it is also
+// safe (if rarely useful) to call in production, e.g. from a health
+// endpoint. A nil engine trivially passes.
+func (e *Engine) SelfCheck() error {
+	if e == nil {
+		return nil
+	}
+	return e.eng.SelfCheck()
+}
+
 // internal returns the exec-layer engine (nil-safe).
 func (e *Engine) internal() *exec.Engine {
 	if e == nil {

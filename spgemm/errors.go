@@ -37,12 +37,23 @@ var (
 	// single workspace, so a second concurrent call is rejected instead
 	// of racing. Set Options.Engine to serve concurrent multiplies.
 	ErrConcurrentMultiply = core.ErrConcurrentMultiply
+	// ErrStalled marks a run stopped by the Options.StallTimeout
+	// watchdog: no tile completed for a full timeout window. The chain
+	// carries a *StallError with the progress count and the stacks of
+	// every goroutine at verdict time.
+	ErrStalled = core.ErrStalled
 )
 
 // PanicError is the typed capture of a contained kernel panic:
 // errors.As(err, &pe) on an ErrPanic chain recovers the original panic
 // value, the worker that hit it, and its stack trace.
 type PanicError = sched.PanicError
+
+// StallError is the typed capture of a stall-watchdog verdict:
+// errors.As(err, &se) on an ErrStalled chain recovers the configured
+// timeout, the tile progress at verdict time, and the stacks of every
+// goroutine — including the stuck workers.
+type StallError = sched.StallError
 
 // recoverAsError converts a panic on the calling goroutine into an
 // ErrPanic-wrapped error. The scheduler already contains worker-side

@@ -2,6 +2,7 @@ package spgemm
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"maskedspgemm/internal/core"
@@ -25,6 +26,10 @@ func (o Options) planP() int {
 // product over the semiring selected in opts. The mask is structural.
 //
 // Shape requirements: a is m×k, b is k×n, mask is m×n.
+//
+// With Options.Retry set, transient failures (ErrPanic, ErrStalled,
+// injected faults) are re-attempted on progressively degraded execution
+// paths — see Retry.
 func MxM(mask, a, b *Matrix, opts Options) (_ *Matrix, err error) {
 	defer recoverAsError(&err)
 	if opts.ValidateInputs {
@@ -33,11 +38,35 @@ func MxM(mask, a, b *Matrix, opts Options) (_ *Matrix, err error) {
 			return nil, err
 		}
 	}
-	cfg := opts.config()
 	if opts.ValuedMask {
 		mask = wrap(sparse.PruneZeros(mask.csr))
 	}
-	rc := opts.recalibrator(mask, a, b)
+	c, err := retryLoop(opts, func(o Options) (*sparse.CSR[float64], error) {
+		return mxmAttempt(mask, a, b, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(c), nil
+}
+
+// mxmAttempt runs one execution attempt of the masked product under the
+// (possibly degraded) options, containing panics on the caller's own
+// goroutine so the retry ladder can classify them. Failed attempts
+// never feed the κ estimator.
+func mxmAttempt(mask, a, b *Matrix, opts Options) (_ *sparse.CSR[float64], err error) {
+	var rc *model.Recalibrator
+	// Registered before the recover guard so it runs after it (LIFO):
+	// by then a contained panic has been converted into err, and the
+	// armed κ proposal is discarded instead of pairing with a later run.
+	defer func() {
+		if err != nil {
+			rc.ObserveFailure()
+		}
+	}()
+	defer recoverAsError(&err)
+	cfg := opts.config()
+	rc = opts.recalibrator(mask, a, b)
 	if rc != nil {
 		cfg.Kappa = rc.Propose()
 	}
@@ -55,7 +84,7 @@ func MxM(mask, a, b *Matrix, opts Options) (_ *Matrix, err error) {
 		return nil, err
 	}
 	observeRecal(rc, opts.Stats, start)
-	return wrap(c), nil
+	return c, nil
 }
 
 // recalibrator resolves the online-κ estimator for this call's operand
@@ -120,6 +149,38 @@ func MxMChain(m1, a, b, m2, c *Matrix, opts Options) (_ *Matrix, err error) {
 		}
 		return MxM(m2, mid, c, inner)
 	}
+	// The fused path rides the same retry ladder as MxM: rung one
+	// retries the fused pipeline serially, rung two drops Fuse — the
+	// fused→staged degradation — and reruns as two ordinary multiplies
+	// with fresh unpooled buffers.
+	d, err := retryLoop(opts, func(o Options) (*sparse.CSR[float64], error) {
+		if o.Fuse {
+			return fusedChainAttempt(m1, a, b, m2, c, o)
+		}
+		inner := o
+		inner.ValidateInputs = false
+		inner.ValuedMask = false
+		inner.Retry = Retry{} // the outer loop owns the attempt budget
+		mid, err := MxM(m1, a, b, inner)
+		if err != nil {
+			return nil, err
+		}
+		out, err := MxM(m2, mid, c, inner)
+		if err != nil {
+			return nil, err
+		}
+		return out.csr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(d), nil
+}
+
+// fusedChainAttempt runs one attempt of the fused chained product,
+// containing panics so the retry ladder can classify them.
+func fusedChainAttempt(m1, a, b, m2, c *Matrix, opts Options) (_ *sparse.CSR[float64], err error) {
+	defer recoverAsError(&err)
 	cfg := opts.config()
 	var d *sparse.CSR[float64]
 	switch opts.Semiring {
@@ -133,10 +194,7 @@ func MxMChain(m1, a, b, m2, c *Matrix, opts Options) (_ *Matrix, err error) {
 		d, err = core.FusedMaskedSpGEMM[float64](semiring.PlusTimes[float64]{},
 			m1.csr, a.csr, b.csr, m2.csr, c.csr, cfg)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return wrap(d), nil
+	return d, err
 }
 
 // MxMContext is MxM under an explicit context: the multiplication is
@@ -218,6 +276,7 @@ type Multiplier struct {
 	mu    coreMultiplier
 	stats *StatsRecorder
 	recal *model.Recalibrator
+	retry Retry
 }
 
 // coreMultiplier is the non-generic surface of core.Multiplier[T, S]
@@ -225,6 +284,7 @@ type Multiplier struct {
 // instantiation.
 type coreMultiplier interface {
 	MultiplyCtx(ctx context.Context) (*sparse.CSR[float64], error)
+	MultiplyDegraded(ctx context.Context, d core.Degradation) (*sparse.CSR[float64], error)
 	SetKappa(kappa float64)
 	Kappa() float64
 	LastRunStats() (obs.Stats, bool)
@@ -253,7 +313,12 @@ func NewMultiplier(mask, a, b *Matrix, opts Options) (_ *Multiplier, err error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Multiplier{mu: cm, stats: opts.Stats, recal: opts.recalibrator(mask, a, b)}, nil
+	return &Multiplier{
+		mu:    cm,
+		stats: opts.Stats,
+		recal: opts.recalibrator(mask, a, b),
+		retry: opts.Retry,
+	}, nil
 }
 
 // NewMultiplierContext is NewMultiplier under an explicit context,
@@ -277,24 +342,91 @@ func (mu *Multiplier) Multiply() (*Matrix, error) {
 // Under Options.AdaptiveKappa the call first applies the estimator's
 // proposed κ, then feeds the measured run back — so a warm Multiply
 // loop is exactly the feedback loop the online recalibration adapts in.
+//
+// With Options.Retry set on the plan, transient failures re-attempt on
+// the degradation ladder: first serially, then additionally on fresh
+// unpooled buffers — see Retry.
 func (mu *Multiplier) MultiplyContext(ctx context.Context) (_ *Matrix, err error) {
 	defer recoverAsError(&err)
+	budget := mu.retry.MaxAttempts
+	if budget < 1 {
+		budget = 1
+	}
+	rec := mu.stats.recorder()
+	record := mu.retry.MaxAttempts > 1
+	backoff := mu.retry.Backoff
+	var lastErr error
+	for try := 0; try < budget; try++ {
+		d := core.DegradeNone
+		if try > 0 && !mu.retry.NoDegrade {
+			d = core.DegradeSerial
+			if try >= 2 {
+				d = core.DegradeUnpooled
+			}
+		}
+		c, err := mu.multiplyAttempt(ctx, d)
+		if record {
+			rec.AddRetry(obs.RetryCounters{
+				Attempts:     1,
+				Retries:      b2i(try > 0),
+				Degradations: b2i(d != core.DegradeNone),
+				Stalls:       b2i(errors.Is(err, ErrStalled)),
+			})
+		}
+		if err == nil {
+			return wrap(c), nil
+		}
+		lastErr = err
+		if !retryable(err) || try == budget-1 {
+			break
+		}
+		if backoff > 0 {
+			if sleepCtx(ctx, backoff) != nil {
+				break
+			}
+			backoff *= 2
+		}
+	}
+	if record {
+		rec.AddRetry(obs.RetryCounters{Failures: 1})
+	}
+	return nil, lastErr
+}
+
+// multiplyAttempt runs one attempt of the plan at degradation rung d,
+// containing panics so the retry ladder can classify them. κ adaptation
+// applies only on the undegraded rung; failed attempts discard their
+// armed proposal instead of feeding the estimator.
+func (mu *Multiplier) multiplyAttempt(ctx context.Context, d core.Degradation) (_ *sparse.CSR[float64], err error) {
+	adapt := mu.recal != nil && d == core.DegradeNone
 	if mu.recal != nil {
+		// Registered before the recover guard so it runs after it
+		// (LIFO), covering contained panics as well as plain error
+		// returns. Skipped entirely without an estimator, keeping the
+		// warm path's allocation budget untouched.
+		defer func() {
+			if err != nil {
+				mu.recal.ObserveFailure()
+			}
+		}()
+	}
+	defer recoverAsError(&err)
+	if adapt {
 		mu.mu.SetKappa(mu.recal.Propose())
 	}
 	start := time.Now()
-	c, err := mu.mu.MultiplyCtx(ctx)
+	c, err := mu.mu.MultiplyDegraded(ctx, d)
 	if err != nil {
 		return nil, err
 	}
-	if mu.recal != nil {
+	if adapt {
 		var st obs.Stats
 		if snap, ok := mu.mu.LastRunStats(); ok {
 			st = snap
 		}
 		mu.stats.recorder().AddRecal(mu.recal.Observe(time.Since(start).Seconds(), st))
 	}
-	return wrap(c), nil
+	return c, nil
 }
 
 // LastStats returns the observability snapshot of the most recent

@@ -1,0 +1,151 @@
+package spgemm
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"maskedspgemm/internal/chaos"
+	"maskedspgemm/internal/obs"
+	"maskedspgemm/internal/sparse"
+)
+
+// Retry is the automatic re-execution policy applied by MxM, MxMChain
+// and Multiplier.Multiply when Options.Retry is set. Only transient
+// failures are retried — contained kernel panics (ErrPanic),
+// stall-watchdog verdicts (ErrStalled) and injected faults; real
+// cancellation, shape, configuration and input-validation errors return
+// immediately.
+//
+// Unless NoDegrade is set, each retry descends one rung of the
+// degradation ladder, trading throughput for isolation from whatever
+// tripped the previous attempt:
+//
+//	attempt 1   the configured path, as tuned
+//	attempt 2   serial: one worker, one plan worker, static schedule
+//	attempt 3+  additionally unfused (chains run staged) and unpooled
+//	            (no Engine — fresh buffers, no shared workspace state)
+//
+// The final rung shares nothing mutable with other runs, so a fault
+// rooted in concurrency, fusion staging or pooled-workspace state
+// cannot recur there. Results on every rung are bit-identical to the
+// configured path. Attempt outcomes are recorded in the stats/v1 retry
+// block when a StatsRecorder is attached.
+type Retry struct {
+	// MaxAttempts is the total execution budget, first try included.
+	// 0 or 1 disables retrying.
+	MaxAttempts int
+	// Backoff is the wait before the second attempt, doubling on each
+	// subsequent one. The wait observes Options.Context. 0 retries
+	// immediately.
+	Backoff time.Duration
+	// NoDegrade retries on the configured path instead of descending
+	// the degradation ladder — for callers that would rather fail than
+	// run serially.
+	NoDegrade bool
+}
+
+// retryable reports whether err is a transient failure the retry
+// ladder may re-attempt. Real cancellation is not retryable — the
+// caller asked the run to stop — but a spurious injected cancel (which
+// also matches chaos.ErrInjected) is.
+func retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrPanic), errors.Is(err, ErrStalled):
+		return true
+	case errors.Is(err, ErrCanceled):
+		return errors.Is(err, chaos.ErrInjected)
+	}
+	return false
+}
+
+// degradeOptions returns the options for retry attempt `try` (1-based
+// over retries): rung one forces the serial path, rung two and beyond
+// additionally drop fusion and the engine. Adaptive κ is disabled on
+// every degraded rung — a degraded run measures a different execution
+// path and must not steer the estimator.
+func degradeOptions(opts Options, try int) Options {
+	o := opts
+	o.Workers, o.PlanWorkers = 1, 1
+	o.Schedule = SchedStatic
+	o.AdaptiveKappa = false
+	if try >= 2 {
+		o.Fuse = false
+		o.Engine = nil
+	}
+	return o
+}
+
+// retryLoop drives Options.Retry around attempt: the first try runs
+// with the configured options, each retry re-runs with the next rung's
+// degraded options, with a doubling context-aware backoff in between.
+// Retry counters are recorded only when a retry policy is configured,
+// so plain calls leave the stats/v1 retry block untouched.
+func retryLoop(opts Options, attempt func(Options) (*sparse.CSR[float64], error)) (*sparse.CSR[float64], error) {
+	budget := opts.Retry.MaxAttempts
+	if budget < 1 {
+		budget = 1
+	}
+	rec := opts.Stats.recorder()
+	record := opts.Retry.MaxAttempts > 1
+	backoff := opts.Retry.Backoff
+	var lastErr error
+	for try := 0; try < budget; try++ {
+		o := opts
+		if try > 0 && !opts.Retry.NoDegrade {
+			o = degradeOptions(opts, try)
+		}
+		c, err := attempt(o)
+		if record {
+			rec.AddRetry(obs.RetryCounters{
+				Attempts:     1,
+				Retries:      b2i(try > 0),
+				Degradations: b2i(try > 0 && !opts.Retry.NoDegrade),
+				Stalls:       b2i(errors.Is(err, ErrStalled)),
+			})
+		}
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if !retryable(err) || try == budget-1 {
+			break
+		}
+		if backoff > 0 {
+			if sleepCtx(opts.Context, backoff) != nil {
+				break
+			}
+			backoff *= 2
+		}
+	}
+	if record {
+		rec.AddRetry(obs.RetryCounters{Failures: 1})
+	}
+	return nil, lastErr
+}
+
+// sleepCtx waits d, returning early with the context's error if ctx is
+// done first. A nil ctx waits unconditionally.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
