@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck govulncheck race check chaos fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa
+.PHONY: build test vet lint staticcheck govulncheck race check chaos fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,20 @@ govulncheck:
 # panic containment, cancellation and parallel plan paths exercised by
 # their tests.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/exec/... ./internal/tiling/... ./spgemm/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/exec/... ./internal/tiling/... ./internal/obs/... ./internal/telemetry/... ./spgemm/...
 
-check: vet lint staticcheck govulncheck race test bench-engine bench-fusion chaos
+check: vet lint staticcheck govulncheck race test bench-engine bench-fusion chaos telemetry-smoke
+
+# telemetry-smoke is the live-observability gate: run a small stats
+# experiment with an ephemeral debug listener attached, then have the
+# tool self-check its own server before exiting — /metrics must parse
+# as Prometheus text exposition with every required series present and
+# a nonzero run count, /stats must pass stats/v1 validation, /flight
+# must pass flightrec/v1 validation, /healthz must answer. Part of
+# `make check`; see docs/OBSERVABILITY.md, "Live telemetry".
+telemetry-smoke:
+	$(GO) run ./cmd/spgemm-bench -experiment stats -shift 6 \
+		-graphs GAP-road-sim -reps 2 -budget 1s -telemetry-check
 
 # chaos is the fault-injection gate: the seeded chaos suite runs under
 # the race detector (fault matrix, quarantine, retry ladder, stall

@@ -30,6 +30,11 @@
 //	-kappa-json      with the κ experiment, write BENCH_kappa_adapt.json
 //	-kappa-slack F   fail if adapted κ is more than F worse than best/default
 //	-chaos-seed N    run the seeded chaos drill (= -experiment chaos)
+//	-listen ADDR     serve live telemetry (/metrics, /stats, /flight,
+//	                 expvar, pprof) on ADDR while the experiments run
+//	-telemetry-check self-scrape the telemetry endpoints after the run
+//	                 and fail unless they parse with every required
+//	                 series (implies -listen 127.0.0.1:0)
 //
 // The chaos drill (-chaos-seed N or -experiment chaos) replays the
 // seeded fault matrix of the chaos test suite against one shared
@@ -81,6 +86,7 @@ import (
 	"maskedspgemm/internal/bench"
 	"maskedspgemm/internal/core"
 	"maskedspgemm/internal/exec"
+	"maskedspgemm/internal/telemetry"
 )
 
 func main() {
@@ -107,6 +113,8 @@ func main() {
 	kappaJSON := flag.Bool("kappa-json", false, "with the κ experiment, write the report to BENCH_kappa_adapt.json")
 	kappaSlack := flag.Float64("kappa-slack", 0, "with the κ experiment, fail if the adapted κ's warm time is more than this fraction over the best swept κ or the static default")
 	chaosSeed := flag.Int64("chaos-seed", 0, "run the seeded chaos drill with this seed (0 = off; same as -experiment chaos with seed 1)")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /stats, /flight, pprof) on this address while experiments run (e.g. :6060 or 127.0.0.1:0)")
+	telemetryCheck := flag.Bool("telemetry-check", false, "after the experiments, self-scrape the telemetry server and fail unless /metrics, /stats and /flight parse with all required series (implies -listen 127.0.0.1:0)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the measurement loop between repetitions
@@ -149,6 +157,31 @@ func main() {
 		o.Engine = eng
 	case *useEngine:
 		o.Engine = exec.New(exec.Config{MaxIdle: *poolCap})
+	}
+
+	// -listen serves the live registry while the experiments run;
+	// -telemetry-check additionally self-scrapes it afterwards (binding
+	// an ephemeral loopback port when no -listen was given) — the
+	// `make telemetry-smoke` gate.
+	var telSrv *telemetry.Server
+	tel := (*telemetry.Telemetry)(nil)
+	addr := *listen
+	if addr == "" && *telemetryCheck {
+		addr = "127.0.0.1:0"
+	}
+	if addr != "" {
+		tel = telemetry.New(telemetry.Config{})
+		tel.AttachEngine(o.Engine)
+		o.Telemetry = tel
+		srv, err := tel.Start(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-listen %s: %v\n", addr, err)
+			os.Exit(2)
+		}
+		telSrv = srv
+		defer telSrv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry listening on %s (metrics: %s/metrics)\n",
+			telSrv.Addr(), telSrv.URL())
 	}
 
 	w := os.Stdout
@@ -359,6 +392,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+	if *telemetryCheck {
+		if err := telemetry.SelfCheck(telSrv.URL()); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry-check: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, "telemetry self-check passed: /metrics, /stats and /flight all parse with every required series")
 	}
 }
 

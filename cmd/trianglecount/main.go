@@ -27,6 +27,7 @@ import (
 	"maskedspgemm/internal/mtx"
 	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	useEngine := flag.Bool("engine", false, "pool workspaces and plans in an execution engine across -repeat runs")
 	repeat := flag.Int("repeat", 1, "count this many times (with -engine, later runs recycle pooled workspaces)")
 	adaptKappa := flag.Bool("adaptive-kappa", false, "recalibrate κ online across -repeat runs, starting from -kappa (requires -engine)")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /stats, /flight, pprof) on this address while counting (e.g. :6060)")
 	flag.Parse()
 
 	var a *sparse.CSR[float64]
@@ -98,13 +100,28 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Kappa = *kappa
 	cfg.Context = ctx
-	if *statsFlag || *statsJSON != "" {
+	if *statsFlag || *statsJSON != "" || *listen != "" {
 		cfg.Recorder = obs.NewRecorder()
 	}
 	var eng *exec.Engine
 	if *useEngine {
 		eng = exec.New(exec.Config{})
 		cfg.Engine = eng
+	}
+	// -listen serves the live registry for the duration of the count:
+	// latency histograms fed by the run's recorder, pool gauges from the
+	// engine when -engine is set, pprof and expvar for deeper digging.
+	if *listen != "" {
+		tel := telemetry.New(telemetry.Config{})
+		tel.AttachRecorder(cfg.Recorder)
+		tel.AttachEngine(eng)
+		srv, err := tel.Start(*listen)
+		if err != nil {
+			fatal(fmt.Errorf("-listen %s: %w", *listen, err))
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry listening on %s (metrics: %s/metrics)\n",
+			srv.Addr(), srv.URL())
 	}
 	// Online κ recalibration: each repeat proposes a κ, runs, and feeds
 	// the measured cost back into the estimator cached on the engine.

@@ -134,7 +134,7 @@ func FusionBench(w io.Writer, o Options) (*FusionReport, error) {
 			eng := exec.New(exec.Config{})
 			cfgRec := base
 			cfgRec.Engine = eng
-			cfgRec.Recorder = obs.NewRecorder()
+			cfgRec.Recorder = o.newRecorder()
 			if _, err := wl.fused(cfgRec)(); err != nil {
 				return nil, fmt.Errorf("%s/%s fused warm-up: %w", wl.name, g.Name, err)
 			}
@@ -309,7 +309,7 @@ func KappaAdaptBench(w io.Writer, o Options) (*KappaAdaptReport, error) {
 		// starts cold, like a fresh process would.
 		engA := exec.New(exec.Config{})
 		rc := model.TuneFor(engA, a, a, a, model.RecalConfig{DefaultKappa: defaultK})
-		rec := obs.NewRecorder()
+		rec := o.newRecorder()
 		cfgA := base
 		cfgA.Engine = engA
 		cfgA.Recorder = rec

@@ -110,7 +110,7 @@ func CollectStats(o Options) (*StatsReport, error) {
 	for _, g := range o.corpus() {
 		a := g.Build(o.Shift)
 		cfg := o.planify(tunedConfig(o.Workers))
-		cfg.Recorder = obs.NewRecorder()
+		cfg.Recorder = o.newRecorder()
 		meas, err := TimeMasked(a, cfg, o.Method)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.Name, err)

@@ -202,13 +202,23 @@ func runKernelSpanned(
 		})
 	}
 	slots := scope.WorkerSlots(workers)
+	// Tile-batch progress events for the flight recorder: every worker
+	// emits one event per stride tiles (~32 per run across workers), so
+	// a stall dump shows how far the tile loop got without flooding the
+	// ring on large runs.
+	stride := int64(tiles / 32)
+	if stride < 1 {
+		stride = 1
+	}
 	defer scope.Span(obs.PhaseExecKernel)()
 	var err error
 	scope.Do(ctx, obs.PhaseExecKernel, func() {
 		err = schedRun(ctx, cfg, workers, tiles, func(worker, t int) {
 			endRegion := scope.TileRegion(ctx)
 			wc := &slots[worker]
-			wc.Tiles.Add(1)
+			if n := wc.Tiles.Add(1); n%stride == 0 {
+				scope.Event(obs.EventTileBatch, obs.PhaseExecKernel, int64(t), n)
+			}
 			run(worker, t, wc)
 			endRegion()
 		})

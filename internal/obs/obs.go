@@ -23,6 +23,7 @@ package obs
 
 import (
 	"context"
+	"math"
 	"runtime/pprof"
 	"runtime/trace"
 	"sync"
@@ -260,6 +261,9 @@ type Recorder struct {
 	recal   RecalCounters
 	retry   RetryCounters
 	runs    int64
+	// sink is the optional live-telemetry tap (see Sink); stored behind
+	// an atomic pointer so recording paths read it without the mutex.
+	sink atomic.Pointer[Sink]
 	// lastRun is the snapshot of the most recently ended run scope.
 	lastRun Stats
 	hasLast bool
@@ -314,6 +318,7 @@ func (r *Recorder) Span(p Phase) func() {
 		r.spans[p] += d
 		r.counts[p]++
 		r.mu.Unlock()
+		r.emitPhase(0, p, d)
 	}
 }
 
@@ -430,6 +435,15 @@ func (r *Recorder) AddRetry(c RetryCounters) {
 	r.retry.Failures += c.Failures
 	r.retry.Stalls += c.Stalls
 	r.mu.Unlock()
+	if c.Attempts > 0 {
+		r.Event(EventRetry, PhaseNone, c.Retries, c.Degradations)
+	}
+	if c.Stalls > 0 {
+		r.Event(EventStall, PhaseNone, c.Stalls, 0)
+	}
+	if c.Failures > 0 {
+		r.Event(EventFailure, PhaseNone, c.Failures, 0)
+	}
 }
 
 // AddFused folds fused-pipeline statistics into the totals.
@@ -457,6 +471,9 @@ func (r *Recorder) AddRecal(c RecalCounters) {
 		r.recal.KappaLast = c.KappaLast
 	}
 	r.mu.Unlock()
+	if c.Snapbacks > 0 {
+		r.Event(EventSnapback, PhaseNone, c.Snapbacks, int64(math.Float64bits(c.KappaLast)))
+	}
 }
 
 // AddRun marks the completion of one kernel run.

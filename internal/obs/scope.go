@@ -24,6 +24,9 @@ import (
 type RunScope struct {
 	r   *Recorder
 	seq int64
+	// start anchors the run's wall-clock latency, pushed to the live
+	// telemetry sink (Recorder.emitRun) when a completed scope ends.
+	start time.Time
 
 	spans  [numPhases]time.Duration
 	counts [numPhases]int64
@@ -56,7 +59,8 @@ func (r *Recorder) StartRun() *RunScope {
 		r.scopePool = r.scopePool[:n-1]
 	}
 	r.mu.Unlock()
-	return &RunScope{r: r, seq: seq, workers: workers}
+	r.EventSeq(seq, EventRunStart, PhaseNone, 0, 0)
+	return &RunScope{r: r, seq: seq, start: time.Now(), workers: workers}
 }
 
 // Seq returns the scope's multiply sequence id (0 for nil scopes).
@@ -79,9 +83,23 @@ func (s *RunScope) Span(p Phase) func() {
 	}
 	start := time.Now()
 	return func() {
-		s.spans[p] += time.Since(start)
+		d := time.Since(start)
+		s.spans[p] += d
 		s.counts[p]++
+		s.r.emitPhase(s.seq, p, d)
 	}
+}
+
+// Event forwards a structured flight-recorder event scoped to this
+// run's sequence id. Nil-safe; with no sink attached the cost is one
+// nil check and one atomic load.
+//
+//spgemm:hotpath
+func (s *RunScope) Event(k EventKind, p Phase, a, b int64) {
+	if s == nil {
+		return
+	}
+	s.r.EventSeq(s.seq, k, p, a, b)
 }
 
 // Do runs f under the recorder's pprof phase label (see Recorder.Do).
@@ -209,6 +227,10 @@ func (s *RunScope) End() Stats {
 		return Stats{Schema: StatsSchema}
 	}
 	snap := s.stats()
+	if s.completed {
+		s.r.emitRun(time.Since(s.start))
+		s.r.EventSeq(s.seq, EventRunEnd, PhaseNone, snap.Totals.Tiles, snap.Totals.Gathered)
+	}
 	s.r.foldScope(s, snap)
 	s.r = nil
 	s.workers = nil

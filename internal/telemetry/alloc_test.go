@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"maskedspgemm/internal/obs"
+)
+
+// These pins back the hotpathalloc annotations with measurements: the
+// telemetry record path — from a recorder's sink forwarding down to
+// histogram buckets and the flight-recorder ring — must not allocate in
+// steady state. The CI race/test targets run them, so a regression fails
+// the build, not just the linter.
+
+func mustZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s allocates %.1f times per op, want exactly 0", name, n)
+	}
+}
+
+func TestRecordPathZeroAlloc(t *testing.T) {
+	clk := &testClock{t: 1}
+	tel := testTelemetry(t, clk)
+	h := NewHist()
+	w := NewWindowed(int64(time.Hour), 2, clk.now)
+	f := NewFlightRecorder(64, clk.now)
+	v := int64(0)
+
+	mustZeroAllocs(t, "Hist.Record", func() { h.Record(v); v += 997 })
+	mustZeroAllocs(t, "Windowed.Record", func() { w.Record(v); v += 997 })
+	mustZeroAllocs(t, "FlightRecorder.Append", func() {
+		f.Append(1, obs.EventPhase, obs.PhaseExecKernel, v, 0)
+	})
+	mustZeroAllocs(t, "Telemetry.RecordPhase", func() {
+		tel.RecordPhase(obs.PhaseExecKernel, time.Duration(v))
+	})
+	mustZeroAllocs(t, "Telemetry.RecordRun", func() {
+		tel.RecordRun(time.Duration(v))
+	})
+	mustZeroAllocs(t, "Telemetry.Event", func() {
+		tel.Event(1, obs.EventTileBatch, obs.PhaseExecKernel, v, 0)
+	})
+}
+
+// TestSinkForwardingZeroAlloc pins the obs-side forwarders: with a live
+// sink attached, a recorder's event emission allocates nothing — the
+// kernel's per-tile and per-counter-fold costs must not grow when an
+// operator turns telemetry on.
+func TestSinkForwardingZeroAlloc(t *testing.T) {
+	clk := &testClock{t: 1}
+	tel := testTelemetry(t, clk)
+	rec := obs.NewRecorder()
+	tel.AttachRecorder(rec)
+	scope := rec.StartRun()
+	defer scope.End()
+
+	mustZeroAllocs(t, "Recorder.Event (sink attached)", func() {
+		rec.Event(obs.EventTileBatch, obs.PhaseExecKernel, 1, 2)
+	})
+	mustZeroAllocs(t, "RunScope.Event (sink attached)", func() {
+		scope.Event(obs.EventTileBatch, obs.PhaseExecKernel, 1, 2)
+	})
+
+	var detached *obs.Recorder // nil recorder: the disabled path
+	mustZeroAllocs(t, "Recorder.Event (nil recorder)", func() {
+		detached.Event(obs.EventTileBatch, obs.PhaseExecKernel, 1, 2)
+	})
+}

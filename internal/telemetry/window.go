@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Windowed is a rolling time-series view over a Hist: observations land
+// in the current slot's histogram, and every windowNanos the slot
+// rotates into a ring of retired snapshots. Readers merge the live slot
+// with the retained ring, so quantiles reflect (roughly) the last
+// slots × window of activity instead of the process's whole lifetime —
+// the difference between "p99 right now" and "p99 since boot".
+//
+// Record is lock-free: one atomic pointer load plus a Hist.Record.
+// Rotation is lazy — it happens on the read path (Snapshot/Cumulative),
+// driven by an injectable clock, so an idle series costs nothing and
+// tests control time exactly. The cost of lazy rotation: observations
+// recorded between a slot's deadline passing and the next read land in
+// the stale slot and are retired with it, shifting them one window
+// earlier. For latency telemetry that skew is benign and bounded by the
+// read interval.
+type Windowed struct {
+	// cur is the live histogram; swapped wholesale at rotation so the
+	// record path never takes the mutex.
+	cur atomic.Pointer[Hist]
+
+	mu sync.Mutex
+	// spare is the histogram that becomes live at the next rotation; the
+	// retired one is snapshotted, reset, and becomes the new spare, so a
+	// Windowed allocates exactly two Hists over its lifetime.
+	spare *Hist
+	// ring holds the retired per-window snapshots, oldest first.
+	ring []HistSnapshot
+	// cum accumulates every retired snapshot, so Cumulative (lifetime
+	// totals for Prometheus counters) survives ring eviction.
+	cum HistSnapshot
+	// rotateAt is the wall deadline (nanos) of the current slot.
+	rotateAt    int64
+	windowNanos int64
+	now         func() int64
+}
+
+// NewWindowed returns a rolling view with the given slot width in
+// nanoseconds and slots retired snapshots of history. now supplies
+// wall time in nanoseconds (injectable for tests).
+func NewWindowed(windowNanos int64, slots int, now func() int64) *Windowed {
+	if windowNanos <= 0 {
+		windowNanos = 60e9
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	w := &Windowed{
+		spare:       NewHist(),
+		ring:        make([]HistSnapshot, 0, slots),
+		windowNanos: windowNanos,
+		now:         now,
+	}
+	w.cur.Store(NewHist())
+	w.rotateAt = now() + windowNanos
+	return w
+}
+
+// Record folds one observation into the live slot. Lock-free and
+// allocation-free.
+//
+//spgemm:hotpath
+func (w *Windowed) Record(v int64) {
+	w.cur.Load().Record(v)
+}
+
+// rotateLocked retires expired slots. Caller holds w.mu.
+func (w *Windowed) rotateLocked() {
+	t := w.now()
+	if t < w.rotateAt {
+		return
+	}
+	// Swap the live histogram for the spare, snapshot and reset the
+	// retired one. If more than one window elapsed idle, the intervening
+	// slots were empty; retire them as empties so ring age stays honest.
+	for t >= w.rotateAt {
+		old := w.cur.Swap(w.spare)
+		w.spare = old
+		snap := old.Snapshot()
+		old.Reset()
+		if len(w.ring) == cap(w.ring) && cap(w.ring) > 0 {
+			copy(w.ring, w.ring[1:])
+			w.ring = w.ring[:len(w.ring)-1]
+		}
+		w.ring = append(w.ring, snap)
+		w.cum = w.cum.Merge(snap)
+		w.rotateAt += w.windowNanos
+		if t-w.rotateAt > 64*w.windowNanos {
+			// Long idle gap: skip ahead instead of retiring thousands of
+			// empty slots one by one.
+			w.ring = w.ring[:0]
+			w.rotateAt = t + w.windowNanos
+			break
+		}
+	}
+}
+
+// Snapshot merges the live slot with the retained ring: the rolling
+// view the /metrics quantiles are computed from.
+func (w *Windowed) Snapshot() HistSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked()
+	out := w.cur.Load().Snapshot()
+	for _, s := range w.ring {
+		out = out.Merge(s)
+	}
+	return out
+}
+
+// Cumulative merges everything ever recorded — retired and live — for
+// lifetime counters (Prometheus _count/_sum are monotonic).
+func (w *Windowed) Cumulative() HistSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked()
+	return w.cum.Merge(w.cur.Load().Snapshot())
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import "testing"
+
+// testClock is an injectable wall clock for rotation tests.
+type testClock struct{ t int64 }
+
+func (c *testClock) now() int64       { return c.t }
+func (c *testClock) advance(by int64) { c.t += by }
+
+// TestWindowRotation drives the lazy rotation with an injected clock:
+// observations retire into the ring when a read crosses their slot's
+// deadline, fall out of the rolling view once the ring wraps, and never
+// leave the cumulative view. Rotation is read-driven, so each phase
+// forces it with a Snapshot before recording into the fresh slot.
+func TestWindowRotation(t *testing.T) {
+	clk := &testClock{t: 1000}
+	const window = 100
+	w := NewWindowed(window, 2, clk.now)
+
+	w.Record(10)
+	w.Record(20)
+	if snap := w.Snapshot(); snap.Count != 2 {
+		t.Fatalf("live slot count %d, want 2", snap.Count)
+	}
+
+	// Cross one deadline: the two observations retire into the ring and
+	// remain visible in the rolling view alongside the new live slot.
+	clk.advance(window)
+	w.Snapshot() // forces the rotation
+	w.Record(30)
+	snap := w.Snapshot()
+	if snap.Count != 3 || snap.Min != 10 || snap.Max != 30 {
+		t.Fatalf("after 1 rotation: count=%d min=%d max=%d, want 3/10/30", snap.Count, snap.Min, snap.Max)
+	}
+
+	// Cross into the fourth slot: with 2 ring slots, the first window's
+	// observations are evicted from the rolling view...
+	clk.advance(2*window + window/2)
+	w.Snapshot()
+	w.Record(40)
+	snap = w.Snapshot()
+	if snap.Count != 2 || snap.Min != 30 || snap.Max != 40 {
+		t.Fatalf("after eviction: count=%d min=%d max=%d, want 2/30/40", snap.Count, snap.Min, snap.Max)
+	}
+	// ...but stay in the cumulative view, which is monotonic.
+	cum := w.Cumulative()
+	if cum.Count != 4 || cum.Sum != 10+20+30+40 {
+		t.Fatalf("cumulative count=%d sum=%d, want 4/100", cum.Count, cum.Sum)
+	}
+}
+
+// TestWindowIdleGap pins the skip-ahead: a gap far longer than the ring
+// clears the rolling view in one step instead of retiring thousands of
+// empty slots, and the cumulative view still retains everything.
+func TestWindowIdleGap(t *testing.T) {
+	clk := &testClock{}
+	const window = 100
+	w := NewWindowed(window, 4, clk.now)
+	w.Record(5)
+	clk.advance(1000 * window)
+	if snap := w.Snapshot(); snap.Count != 0 {
+		t.Fatalf("rolling view after long idle gap: count %d, want 0", snap.Count)
+	}
+	if cum := w.Cumulative(); cum.Count != 1 || cum.Sum != 5 {
+		t.Fatalf("cumulative after gap: count=%d sum=%d, want 1/5", cum.Count, cum.Sum)
+	}
+	// The series keeps working after the skip.
+	w.Record(7)
+	if snap := w.Snapshot(); snap.Count != 1 || snap.Max != 7 {
+		t.Fatalf("record after gap: count=%d max=%d, want 1/7", snap.Count, snap.Max)
+	}
+}
+
+// TestWindowDefaults pins the zero-config constructor arguments.
+func TestWindowDefaults(t *testing.T) {
+	clk := &testClock{}
+	w := NewWindowed(0, 0, clk.now)
+	if w.windowNanos != 60e9 {
+		t.Fatalf("default window %d, want 60e9", w.windowNanos)
+	}
+	if cap(w.ring) != 1 {
+		t.Fatalf("default ring capacity %d, want 1", cap(w.ring))
+	}
+}

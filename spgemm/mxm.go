@@ -83,7 +83,7 @@ func mxmAttempt(mask, a, b *Matrix, opts Options) (_ *sparse.CSR[float64], err e
 	if err != nil {
 		return nil, err
 	}
-	observeRecal(rc, opts.Stats, start)
+	observeRecal(rc, opts.recorder(), start)
 	return c, nil
 }
 
@@ -101,15 +101,15 @@ func (o Options) recalibrator(mask, a, b *Matrix) *model.Recalibrator {
 // observeRecal feeds one timed run back into the estimator, preferring
 // the run-scoped per-run stats (FLOP-normalized cost) when a recorder
 // is attached. The counter delta lands in the recorder's recal block.
-func observeRecal(rc *model.Recalibrator, stats *StatsRecorder, start time.Time) {
+func observeRecal(rc *model.Recalibrator, rec *obs.Recorder, start time.Time) {
 	if rc == nil {
 		return
 	}
 	var st obs.Stats
-	if snap, ok := stats.recorder().LastRun(); ok {
+	if snap, ok := rec.LastRun(); ok {
 		st = snap
 	}
-	stats.recorder().AddRecal(rc.Observe(time.Since(start).Seconds(), st))
+	rec.AddRecal(rc.Observe(time.Since(start).Seconds(), st))
 }
 
 // MxMChain computes the chained masked product
@@ -273,8 +273,11 @@ func MxMUnmasked(a, b *Matrix, opts Options) (_ *Matrix, err error) {
 // A Multiply call that fails (ErrCanceled, ErrPanic) leaves the plan
 // intact: the same Multiplier can run again once the cause is resolved.
 type Multiplier struct {
-	mu    coreMultiplier
-	stats *StatsRecorder
+	mu coreMultiplier
+	// rec is the resolved observability recorder (the StatsRecorder's,
+	// or the engine telemetry's fallback; nil disables collection).
+	rec   *obs.Recorder
+	tel   *Telemetry
 	recal *model.Recalibrator
 	retry Retry
 }
@@ -315,7 +318,8 @@ func NewMultiplier(mask, a, b *Matrix, opts Options) (_ *Multiplier, err error) 
 	}
 	return &Multiplier{
 		mu:    cm,
-		stats: opts.Stats,
+		rec:   opts.recorder(),
+		tel:   opts.Engine.telemetry(),
 		recal: opts.recalibrator(mask, a, b),
 		retry: opts.Retry,
 	}, nil
@@ -352,7 +356,7 @@ func (mu *Multiplier) MultiplyContext(ctx context.Context) (_ *Matrix, err error
 	if budget < 1 {
 		budget = 1
 	}
-	rec := mu.stats.recorder()
+	rec := mu.rec
 	record := mu.retry.MaxAttempts > 1
 	backoff := mu.retry.Backoff
 	var lastErr error
@@ -390,6 +394,7 @@ func (mu *Multiplier) MultiplyContext(ctx context.Context) (_ *Matrix, err error
 	if record {
 		rec.AddRetry(obs.RetryCounters{Failures: 1})
 	}
+	dumpOnFailure(mu.tel, mu.retry, lastErr)
 	return nil, lastErr
 }
 
@@ -424,7 +429,7 @@ func (mu *Multiplier) multiplyAttempt(ctx context.Context, d core.Degradation) (
 		if snap, ok := mu.mu.LastRunStats(); ok {
 			st = snap
 		}
-		mu.stats.recorder().AddRecal(mu.recal.Observe(time.Since(start).Seconds(), st))
+		mu.rec.AddRecal(mu.recal.Observe(time.Since(start).Seconds(), st))
 	}
 	return c, nil
 }

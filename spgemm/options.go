@@ -7,6 +7,7 @@ import (
 	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/chaos"
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/obs"
 	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/tiling"
 )
@@ -194,8 +195,27 @@ func Defaults() Options {
 	}
 }
 
+// recorder resolves the obs recorder every run under these options
+// records into: the attached StatsRecorder's, or — when the engine
+// carries live telemetry but no StatsRecorder is attached — the
+// telemetry registry's own fallback recorder, so /metrics works with
+// zero configuration beyond EngineConfig.Telemetry. nil (no recorder,
+// no telemetry) disables collection as before.
+func (o Options) recorder() *obs.Recorder {
+	if r := o.Stats.recorder(); r != nil {
+		return r
+	}
+	return o.Engine.telemetry().recorder()
+}
+
 // config translates Options to the internal kernel configuration.
 func (o Options) config() core.Config {
+	tel := o.Engine.telemetry()
+	// A user recorder under a telemetry-carrying engine feeds the live
+	// registry too (AttachRecorder installs the sink; idempotent).
+	if tel != nil && o.Stats != nil {
+		tel.AttachRecorder(o.Stats)
+	}
 	cfg := core.Config{
 		Kappa:          o.Kappa,
 		MarkerBits:     o.MarkerBits,
@@ -206,10 +226,15 @@ func (o Options) config() core.Config {
 		FuseTileBudget: o.FuseTileBudget,
 		Context:        o.Context,
 		Engine:         o.Engine.internal(),
-		Recorder:       o.Stats.recorder(),
+		Recorder:       o.recorder(),
 	}
 	if o.chaos != nil || o.StallTimeout != 0 {
-		cfg.Resilience = &core.Resilience{Chaos: o.chaos, StallTimeout: o.StallTimeout}
+		// The telemetry tap records every armed chaos decision as an
+		// EventChaos in the flight recorder before the fault executes.
+		cfg.Resilience = &core.Resilience{
+			Chaos:        tel.internal().WrapInjector(o.chaos),
+			StallTimeout: o.StallTimeout,
+		}
 	}
 	switch o.Iteration {
 	case IterVanilla:

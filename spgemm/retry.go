@@ -88,7 +88,7 @@ func retryLoop(opts Options, attempt func(Options) (*sparse.CSR[float64], error)
 	if budget < 1 {
 		budget = 1
 	}
-	rec := opts.Stats.recorder()
+	rec := opts.recorder()
 	record := opts.Retry.MaxAttempts > 1
 	backoff := opts.Retry.Backoff
 	var lastErr error
@@ -123,7 +123,27 @@ func retryLoop(opts Options, attempt func(Options) (*sparse.CSR[float64], error)
 	if record {
 		rec.AddRetry(obs.RetryCounters{Failures: 1})
 	}
+	dumpOnFailure(opts.Engine.telemetry(), opts.Retry, lastErr)
 	return nil, lastErr
+}
+
+// dumpOnFailure writes the flight recorder's event window to disk when
+// a multiplication fails terminally: always on a stall or contained
+// panic, and on any retryable failure once a configured retry ladder
+// has exhausted its budget. Dump-write errors are swallowed — the
+// multiply's own error must surface undisturbed, and a broken dump
+// path has no other channel here. No-op without telemetry.
+func dumpOnFailure(tel *Telemetry, r Retry, err error) {
+	if tel == nil || err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, ErrStalled), errors.Is(err, ErrPanic):
+	case r.MaxAttempts > 1 && retryable(err):
+	default:
+		return
+	}
+	_, _ = tel.internal().DumpFailure("", err)
 }
 
 // sleepCtx waits d, returning early with the context's error if ctx is
