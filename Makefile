@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck govulncheck race check chaos fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa telemetry-smoke
+.PHONY: build test vet lint lint-json staticcheck govulncheck race check chaos fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,19 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's own analyzer suite (docs/LINTING.md): hot-path
-# allocation discipline, nil-safe recorder, padded atomic counters, the
-# error taxonomy and cooperative cancellation. Built from this module,
-# so it needs nothing beyond the Go toolchain.
+# lint runs the repo's own analyzer suite (docs/LINTING.md): the six
+# per-package contracts (hot-path allocation discipline, nil-safe
+# recorder, padded atomic counters, error taxonomy, cooperative
+# cancellation, checkout/release pairing) plus the three whole-program
+# concurrency contracts built on the call graph and lockset layer
+# (lockorder, atomicmix, goroutineleak). Built from this module, so it
+# needs nothing beyond the Go toolchain. lint-json emits the same
+# findings as a self-validating maskedspgemm/lint/v1 document.
 lint:
 	$(GO) run ./cmd/spgemm-lint ./...
+
+lint-json:
+	$(GO) run ./cmd/spgemm-lint -json ./...
 
 # staticcheck is optional tooling: run it when installed, skip silently
 # when the host doesn't have it (no network installs in CI containers).

@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	spgemm-lint [packages]
+//	spgemm-lint [-json] [packages]
 //
 // Findings print as file:line:col: [analyzer] message, one per line.
+// With -json, findings are emitted on stdout as a self-validating
+// maskedspgemm/lint/v1 document instead (schema tag plus a findings
+// array, empty on a clean run); the exit code contract is unchanged.
 // Suppress an individual finding with a //lint:ignore directive; see
 // docs/LINTING.md.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -20,7 +24,9 @@ import (
 )
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as a maskedspgemm/lint/v1 JSON document")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -39,8 +45,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spgemm-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	if *jsonOut {
+		data, err := lint.MarshalReport(lint.BuildReport(prog.Fset, diags))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spgemm-lint:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(data)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "spgemm-lint: %d finding(s)\n", len(diags))

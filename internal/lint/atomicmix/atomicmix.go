@@ -1,0 +1,250 @@
+// Package atomicmix generalizes atomicpad's access rule from annotated
+// counter blocks to every struct in the program: a field that is
+// updated through sync/atomic anywhere must be accessed through
+// sync/atomic everywhere. A plain load may be torn or hoisted out of a
+// loop by the compiler, a plain store silently discards concurrent
+// atomic increments, and the race detector only catches the mix if a
+// test happens to schedule both sides — the analyzer catches it from
+// the source alone.
+//
+// The one legitimate exception is the single-owner window: before a
+// value is published (constructors, init) or while the owner has
+// quiesced every writer (Reset/Clear methods), plain access is both
+// safe and idiomatic. Accesses inside a function named init, inside a
+// package function that returns the owning struct type, or inside a
+// method of the owning struct whose name starts with Reset/Clear (any
+// case) are therefore exempt. Anything else that is intentionally
+// unsynchronized — a stats snapshot that tolerates tearing, a test
+// hook — carries //lint:ignore atomicmix <reason>.
+//
+// Mechanics: the per-package pass records every `&x.f` passed directly
+// to a sync/atomic function as an object fact on the field; the
+// whole-program pass then sweeps every package for plain accesses to
+// exactly those fields, so a field atomically updated in one package
+// and plainly read in another is caught regardless of analysis order.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"maskedspgemm/internal/lint"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &lint.Analyzer{
+	Name:       "atomicmix",
+	Doc:        "a struct field updated via sync/atomic must not also be accessed plainly outside init/reset windows",
+	Run:        run,
+	RunProgram: runProgram,
+}
+
+// AtomicUseFact marks a struct field as sync/atomic-accessed. Exported
+// by the defining pass, consumed program-wide.
+type AtomicUseFact struct {
+	// Owner and Field name the struct and field for diagnostics.
+	Owner, Field string
+	// Pos holds the atomic access sites (first is used in messages).
+	Pos []token.Pos
+}
+
+// run records every field whose address is passed to a sync/atomic
+// function.
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field, owner := fieldOf(pass.TypesInfo, sel)
+				if field == nil || owner == nil {
+					continue
+				}
+				fact, _ := pass.ObjectFact(field).(*AtomicUseFact)
+				if fact == nil {
+					fact = &AtomicUseFact{Owner: owner.Obj().Name(), Field: field.Name()}
+				}
+				fact.Pos = append(fact.Pos, sel.Pos())
+				pass.ExportObjectFact(field, fact)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// runProgram sweeps every package for plain accesses to the fields the
+// per-package passes marked atomic.
+func runProgram(pass *lint.ProgramPass) error {
+	atomicFields := map[*types.Var]*AtomicUseFact{}
+	for obj, f := range pass.AllObjectFacts() {
+		if v, ok := obj.(*types.Var); ok {
+			if fact, ok := f.(*AtomicUseFact); ok {
+				atomicFields[v] = fact
+			}
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	type finding struct {
+		pos   token.Pos
+		fact  *AtomicUseFact
+		write bool
+	}
+	var findings []finding
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			// allowed marks selector nodes that are themselves the atomic
+			// access (&x.f handed to sync/atomic).
+			allowed := map[ast.Node]bool{}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+						if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+							allowed[sel] = true
+						}
+					}
+				}
+				return true
+			})
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || allowed[sel] {
+						return true
+					}
+					field, owner := fieldOf(pkg.Info, sel)
+					if field == nil {
+						return true
+					}
+					fact, ok := atomicFields[field]
+					if !ok {
+						return true
+					}
+					if inOwnerWindow(pkg.Info, fd, owner) {
+						return true
+					}
+					findings = append(findings, finding{pos: sel.Sel.Pos(), fact: fact})
+					return true
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		first := pass.Prog.Fset.Position(f.fact.Pos[0])
+		pass.Reportf(f.pos,
+			"field %s of %s is updated via sync/atomic (%s:%d) but accessed plainly here; use atomic loads/stores or confine the access to a constructor, init, or Reset/Clear method",
+			f.fact.Field, f.fact.Owner, base(first.Filename), first.Line)
+	}
+	return nil
+}
+
+// fieldOf resolves sel to a struct field access, returning the field's
+// canonical object and the owning named type (nil, nil otherwise).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) (*types.Var, *types.Named) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	f, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	return f.Origin(), named
+}
+
+// inOwnerWindow reports whether fd is a single-owner window for the
+// named struct: init, a constructor returning the type, or a
+// Reset/Clear method on it.
+func inOwnerWindow(info *types.Info, fd *ast.FuncDecl, owner *types.Named) bool {
+	if owner == nil {
+		return false
+	}
+	name := fd.Name.Name
+	if fd.Recv == nil {
+		if name == "init" {
+			return true
+		}
+		// Constructor: any result is the owner type or a pointer to it.
+		fn, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return false
+		}
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			t := sig.Results().At(i).Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj() == owner.Obj() {
+				return true
+			}
+		}
+		return false
+	}
+	// Method: must be on the owner and named like a quiesced-writer
+	// window.
+	lower := strings.ToLower(name)
+	if !strings.HasPrefix(lower, "reset") && !strings.HasPrefix(lower, "clear") {
+		return false
+	}
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	return ok && n.Obj() == owner.Obj()
+}
+
+// isSyncAtomicCall reports whether call targets a sync/atomic package
+// function.
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[fun.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,15 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/atomicmix"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+// TestAtomicMix loads the defining package first so the AtomicUseFact
+// crosses the package boundary into mixuse, like the real driver's
+// dependency-order walk.
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), atomicmix.Analyzer, "mixdef", "mixuse")
+}

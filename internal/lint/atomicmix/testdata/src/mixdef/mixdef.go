@@ -1,0 +1,38 @@
+// Package mixdef defines a counter updated via sync/atomic and
+// exercises every single-owner window the analyzer exempts, plus one
+// in-package violation.
+package mixdef
+
+import "sync/atomic"
+
+type Gauge struct {
+	N int64
+}
+
+// New touches N plainly before the value is published: exempt
+// (constructor window).
+func New() *Gauge {
+	g := &Gauge{}
+	g.N = 0
+	return g
+}
+
+// Inc is the atomic update that marks the field.
+func (g *Gauge) Inc() {
+	atomic.AddInt64(&g.N, 1)
+}
+
+// Get reads atomically: fine.
+func (g *Gauge) Get() int64 {
+	return atomic.LoadInt64(&g.N)
+}
+
+// Reset writes plainly inside a quiesced-writer window: exempt.
+func (g *Gauge) Reset() {
+	g.N = 0
+}
+
+// Peek mixes a plain read into the atomically updated field.
+func (g *Gauge) Peek() int64 {
+	return g.N // want `field N of Gauge is updated via sync/atomic \(mixdef\.go:\d+\) but accessed plainly here`
+}

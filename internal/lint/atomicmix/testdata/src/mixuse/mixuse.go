@@ -1,0 +1,26 @@
+// Package mixuse accesses mixdef's atomically updated field plainly
+// from another package: the AtomicUseFact exported while analyzing
+// mixdef is what makes this reportable.
+package mixuse
+
+import "mixdef"
+
+// Sample reads the counter without the atomic load.
+func Sample(g *mixdef.Gauge) int64 {
+	return g.N // want `field N of Gauge is updated via sync/atomic \(mixdef\.go:\d+\) but accessed plainly here`
+}
+
+// Snapshot documents why its plain read is acceptable.
+func Snapshot(g *mixdef.Gauge) int64 {
+	//lint:ignore atomicmix approximate snapshot; tearing is tolerated by the caller
+	return g.N
+}
+
+// Fresh writes plainly inside a constructor for the owner type defined
+// elsewhere — still exempt: the window rule keys on the owner, not the
+// defining package.
+func Fresh() *mixdef.Gauge {
+	g := &mixdef.Gauge{}
+	g.N = 7
+	return g
+}

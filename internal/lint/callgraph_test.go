@@ -1,0 +1,86 @@
+package lint_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+// findNode returns the unique graph node whose function has the given
+// name.
+func findNode(t *testing.T, g *lint.CallGraph, name string) *lint.Node {
+	t.Helper()
+	var found *lint.Node
+	for _, n := range g.Nodes() {
+		if n.Func.Name() == name {
+			if found != nil {
+				t.Fatalf("multiple nodes named %s", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return found
+}
+
+func TestBuildCallGraph(t *testing.T) {
+	prog := linttest.Load(t, linttest.TestdataDir(t), "cgdep", "cgmain")
+	g := lint.BuildCallGraph(prog)
+
+	top := findNode(t, g, "Top")
+	if top.Decl == nil || top.Pkg == nil || top.Pkg.ImportPath != "cgmain" {
+		t.Fatalf("Top node not attributed to cgmain: %+v", top)
+	}
+
+	// Out edges in source order: t.M(), go cgdep.Leaf(), defer helper(),
+	// helper() inside the function literal. f() is a function value and
+	// does not resolve.
+	if len(top.Out) != 4 {
+		t.Fatalf("Top.Out = %d edges, want 4", len(top.Out))
+	}
+	wantCallees := []string{"M", "Leaf", "helper", "helper"}
+	for i, e := range top.Out {
+		if e.Callee.Func.Name() != wantCallees[i] {
+			t.Errorf("Top.Out[%d] = %s, want %s", i, e.Callee.Func.Name(), wantCallees[i])
+		}
+		if e.Caller != top {
+			t.Errorf("Top.Out[%d].Caller is not Top", i)
+		}
+	}
+	if !top.Out[1].Go || top.Out[1].Defer {
+		t.Errorf("go cgdep.Leaf() edge flags = go:%v defer:%v, want go only", top.Out[1].Go, top.Out[1].Defer)
+	}
+	if !top.Out[2].Defer || top.Out[2].Go {
+		t.Errorf("defer helper() edge flags = go:%v defer:%v, want defer only", top.Out[2].Go, top.Out[2].Defer)
+	}
+	if top.Out[3].Go || top.Out[3].Defer {
+		t.Errorf("literal-body helper() edge must be a plain call, got go:%v defer:%v", top.Out[3].Go, top.Out[3].Defer)
+	}
+
+	// Leaf lives in the other module package and is called from M and
+	// from Top's go statement.
+	leaf := findNode(t, g, "Leaf")
+	if leaf.Decl == nil || leaf.Pkg == nil || leaf.Pkg.ImportPath != "cgdep" {
+		t.Fatalf("Leaf node not attributed to cgdep: %+v", leaf)
+	}
+	if len(leaf.In) != 2 {
+		t.Fatalf("Leaf.In = %d edges, want 2 (from M and Top)", len(leaf.In))
+	}
+
+	// A stdlib callee appears as an external node: no Decl, no Pkg.
+	upper := findNode(t, g, "ToUpper")
+	if upper.Decl != nil || upper.Pkg != nil {
+		t.Fatalf("strings.ToUpper should be external (Decl/Pkg nil), got %+v", upper)
+	}
+	if len(upper.Out) != 0 {
+		t.Fatalf("external node must have no outgoing edges, got %d", len(upper.Out))
+	}
+
+	// Lookup resolves through the same object identity the graph used.
+	if g.Lookup(top.Func) != top {
+		t.Fatal("Lookup(Top.Func) did not return the Top node")
+	}
+}

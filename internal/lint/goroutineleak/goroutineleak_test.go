@@ -1,0 +1,14 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/goroutineleak"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+// TestGoroutineLeak loads the dependency first so leak's cross-package
+// spawn proves termination through leakdep's exported EvidenceFact.
+func TestGoroutineLeak(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), goroutineleak.Analyzer, "leakdep", "leak")
+}

@@ -1,0 +1,102 @@
+// Package leak exercises every accepted termination proof, the two
+// leaking shapes, and the documented suppression.
+package leak
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"leakdep"
+)
+
+func work() {}
+
+// joined workers signal a WaitGroup the spawner waits on.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// quitLoop exits when its quit channel closes (context cancellation
+// proves termination the same way, via <-ctx.Done()).
+func quitLoop() func() {
+	quit := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+	return func() { close(quit) }
+}
+
+// closeSignal announces its own exit with close(done).
+func closeSignal() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// stopFlag polls an atomic.Bool.
+func stopFlag(stop *atomic.Bool) {
+	go func() {
+		for !stop.Load() {
+			work()
+		}
+	}()
+}
+
+// ctxPoll checks ctx.Err each iteration.
+func ctxPoll(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+// viaDep terminates through a callee in another package: the evidence
+// arrives as an object fact through the call graph.
+func viaDep(stop *atomic.Bool) {
+	go leakdep.Loop(stop)
+}
+
+// spin never exits and nothing can stop it.
+func spin() {
+	for {
+		work()
+	}
+}
+
+func leakyLit() {
+	go func() { // want `goroutine has no provable termination path`
+		for {
+			work()
+		}
+	}()
+}
+
+func leakyCall() {
+	go spin() // want `goroutine has no provable termination path`
+}
+
+// daemon is intentional and documented.
+func daemon() {
+	//lint:ignore goroutineleak process-lifetime pump, exits with the process
+	go spin()
+}

@@ -1,0 +1,15 @@
+// Package leakdep holds a worker loop whose termination evidence (a
+// stop-flag poll) is exported as an EvidenceFact and consumed when a
+// spawn in the importing package is checked.
+package leakdep
+
+import "sync/atomic"
+
+// Loop polls a stop flag: direct termination evidence.
+func Loop(stop *atomic.Bool) {
+	for !stop.Load() {
+		work()
+	}
+}
+
+func work() {}

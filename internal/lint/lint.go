@@ -22,15 +22,23 @@ import (
 
 // Analyzer is one static check. Run is invoked once per package, in
 // dependency order, so facts exported while analyzing a package are
-// visible when its importers are analyzed.
+// visible when its importers are analyzed. RunProgram, when set, is
+// invoked once after every per-package pass, with the whole program,
+// the cross-package call graph and every exported fact in scope — the
+// whole-program layer the concurrency-contract analyzers build on.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in //lint:ignore
 	// directives. Lower-case, no spaces.
 	Name string
 	// Doc is the one-paragraph description shown by -help.
 	Doc string
-	// Run performs the check, reporting findings via pass.Report.
+	// Run performs the per-package check, reporting findings via
+	// pass.Reportf and publishing summaries via pass.ExportObjectFact.
+	// Optional for analyzers that only need the whole-program pass.
 	Run func(pass *Pass) error
+	// RunProgram performs the whole-program check once, after Run has
+	// seen every package. Optional.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -76,6 +84,42 @@ func (p *Pass) ObjectFact(obj types.Object) any {
 	return p.facts.get(p.Analyzer.Name, obj)
 }
 
+// ProgramPass carries the whole type-checked program to an analyzer's
+// RunProgram hook: every module package, the cross-package call graph,
+// and read access to the facts the analyzer's per-package passes
+// exported.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	// Graph is the program's call graph, built once per Run and shared
+	// by every whole-program analyzer.
+	Graph *CallGraph
+
+	diags *[]Diagnostic
+	facts *factStore
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// ObjectFact returns the fact the analyzer's per-package passes
+// attached to obj, or nil.
+func (p *ProgramPass) ObjectFact(obj types.Object) any {
+	return p.facts.get(p.Analyzer.Name, obj)
+}
+
+// AllObjectFacts returns every (object, fact) pair the analyzer's
+// per-package passes exported, in unspecified order.
+func (p *ProgramPass) AllObjectFacts() map[types.Object]any {
+	return p.facts.all(p.Analyzer.Name)
+}
+
 // factStore holds cross-package facts for all analyzers of one run.
 type factStore struct {
 	m map[factKey]any
@@ -96,6 +140,16 @@ func (s *factStore) get(analyzer string, obj types.Object) any {
 	return s.m[factKey{analyzer, obj}]
 }
 
+func (s *factStore) all(analyzer string) map[types.Object]any {
+	out := map[types.Object]any{}
+	for k, v := range s.m {
+		if k.analyzer == analyzer {
+			out[k.obj] = v
+		}
+	}
+	return out
+}
+
 // Run executes the analyzers over every package of prog in dependency
 // order and returns the surviving diagnostics sorted by position.
 // Findings carrying a valid //lint:ignore directive are dropped; an
@@ -104,6 +158,9 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	facts := newFactStore()
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		for _, pkg := range prog.Packages {
 			pass := &Pass{
 				Analyzer:   a,
@@ -118,6 +175,28 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 			}
+		}
+	}
+	// Whole-program passes run after every package has been analyzed,
+	// sharing one call graph (built lazily: per-package-only suites pay
+	// nothing for it).
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(prog)
+		}
+		pass := &ProgramPass{
+			Analyzer: a,
+			Prog:     prog,
+			Graph:    graph,
+			diags:    &diags,
+			facts:    facts,
+		}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("%s: whole-program pass: %w", a.Name, err)
 		}
 	}
 	diags = Suppress(prog.Fset, allFiles(prog), diags)

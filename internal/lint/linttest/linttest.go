@@ -53,6 +53,19 @@ func Run(t *testing.T, testdataDir string, a *lint.Analyzer, fixtures ...string)
 	checkWants(t, prog, diags)
 }
 
+// Load parses and type-checks the named fixture packages (dependencies
+// first) and returns the Program, for tests that drive the framework's
+// whole-program machinery (call graph, lockset) directly instead of
+// through // want comparisons.
+func Load(t *testing.T, testdataDir string, fixtures ...string) *lint.Program {
+	t.Helper()
+	prog, err := loadFixtures(testdataDir, fixtures)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	return prog
+}
+
 // TestdataDir returns the caller's testdata/src directory.
 func TestdataDir(t *testing.T) string {
 	t.Helper()

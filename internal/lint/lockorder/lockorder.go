@@ -1,0 +1,328 @@
+// Package lockorder verifies the whole-program lock-acquisition order.
+// The per-package pass runs the framework's lockset dataflow over every
+// declared function and exports the resulting FuncLockSummary as an
+// object fact; the whole-program pass combines those summaries with the
+// cross-package call graph into a global lock-acquisition graph — an
+// edge A → B means some execution path acquires B while holding A,
+// possibly through a chain of calls spanning packages — and reports
+// every cycle as a potential deadlock, witnessed by the call chains
+// that realize each edge of the cycle.
+//
+// A cycle of length one (A → A) is a self-deadlock: Go mutexes are not
+// reentrant, so any path that re-acquires a lock of the same identity
+// while holding it will hang the moment both acquisitions hit the same
+// instance. Longer cycles are the classic ABBA inversion: two
+// goroutines entering the cycle from different edges block each other
+// forever.
+//
+// Lock identity is by declaration site ("pkg.Type.field"), so two
+// instances of the same type share an identity; see the lockset
+// documentation in internal/lint for why this over-approximation is
+// the contract worth enforcing. Intentional same-type nesting (e.g. a
+// parent/child of a hierarchy with a documented instance order) is
+// suppressed with //lint:ignore lockorder <reason> on the inner
+// acquisition.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"maskedspgemm/internal/lint"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &lint.Analyzer{
+	Name:       "lockorder",
+	Doc:        "the global lock-acquisition graph must be acyclic; cycles are potential deadlocks",
+	Run:        run,
+	RunProgram: runProgram,
+}
+
+// run exports one FuncLockSummary fact per declared function that
+// acquires a lock or calls anything while holding one.
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if sum := lint.ComputeLockSummary(pass.TypesInfo, pass.Pkg.Path(), fd); sum != nil {
+				pass.ExportObjectFact(fn, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// step is one frame of a witness chain: fn performs the next call (or
+// the final acquisition) at pos.
+type step struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// acqPath is how a function (transitively) reaches a lock acquisition.
+type acqPath struct {
+	chain []step
+}
+
+// lockEdge is one edge of the global lock graph with its first witness.
+type lockEdge struct {
+	from, to lint.LockID
+	// holder is the function that held `from`, and chain the call path
+	// from it down to the acquisition of `to`.
+	chain []step
+	pos   token.Pos
+}
+
+func runProgram(pass *lint.ProgramPass) error {
+	facts := pass.AllObjectFacts()
+	sums := make(map[*types.Func]*lint.FuncLockSummary, len(facts))
+	for obj, f := range facts {
+		if fn, ok := obj.(*types.Func); ok {
+			if sum, ok := f.(*lint.FuncLockSummary); ok {
+				sums[fn] = sum
+			}
+		}
+	}
+
+	// transAcquires computes, per function, every lock it may acquire
+	// (directly or through calls) with one witness chain each. Memoized;
+	// recursion through call-graph cycles contributes nothing on the
+	// back edge.
+	memo := map[*types.Func]map[lint.LockID]acqPath{}
+	onStack := map[*types.Func]bool{}
+	var trans func(fn *types.Func) map[lint.LockID]acqPath
+	trans = func(fn *types.Func) map[lint.LockID]acqPath {
+		if got, ok := memo[fn]; ok {
+			return got
+		}
+		if onStack[fn] {
+			return nil
+		}
+		onStack[fn] = true
+		defer func() { onStack[fn] = false }()
+		out := map[lint.LockID]acqPath{}
+		if sum := sums[fn]; sum != nil {
+			for _, acq := range sum.Acquires {
+				if _, ok := out[acq.ID]; !ok {
+					out[acq.ID] = acqPath{chain: []step{{fn, acq.Pos}}}
+				}
+			}
+		}
+		if node := pass.Graph.Lookup(fn); node != nil {
+			for _, e := range node.Out {
+				if e.Callee.Decl == nil || e.Go {
+					// External callees acquire no module locks; a spawned
+					// goroutine does not extend the spawner's lock order.
+					continue
+				}
+				for id, p := range trans(e.Callee.Func) {
+					if _, ok := out[id]; !ok {
+						out[id] = acqPath{chain: append([]step{{fn, e.Pos}}, p.chain...)}
+					}
+				}
+			}
+		}
+		memo[fn] = out
+		return out
+	}
+
+	// Build the lock graph. The first witness (in deterministic
+	// function order) is kept per edge.
+	edges := map[[2]lint.LockID]*lockEdge{}
+	addEdge := func(from, to lint.LockID, chain []step, pos token.Pos) {
+		key := [2]lint.LockID{from, to}
+		if have, ok := edges[key]; !ok || pos < have.pos {
+			edges[key] = &lockEdge{from: from, to: to, chain: chain, pos: pos}
+		}
+	}
+	fns := make([]*types.Func, 0, len(sums))
+	for fn := range sums {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		sum := sums[fn]
+		for _, acq := range sum.Acquires {
+			for _, h := range acq.Held {
+				addEdge(h, acq.ID, []step{{fn, acq.Pos}}, acq.Pos)
+			}
+		}
+		for _, c := range sum.Calls {
+			callee := c.Callee
+			if node := pass.Graph.Lookup(callee); node == nil || node.Decl == nil {
+				continue
+			}
+			for id, p := range trans(callee) {
+				for _, h := range c.Held {
+					addEdge(h, id, append([]step{{fn, c.Pos}}, p.chain...), c.Pos)
+				}
+			}
+		}
+	}
+
+	reportCycles(pass, edges)
+	return nil
+}
+
+// reportCycles finds the strongly connected components of the lock
+// graph and reports each component with a cycle (size > 1, or a
+// self-edge) once, witnessed by every internal edge's call chain.
+func reportCycles(pass *lint.ProgramPass, edges map[[2]lint.LockID]*lockEdge) {
+	adj := map[lint.LockID][]lint.LockID{}
+	var nodes []lint.LockID
+	seen := map[lint.LockID]bool{}
+	addNode := func(id lint.LockID) {
+		if !seen[id] {
+			seen[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	keys := make([][2]lint.LockID, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		addNode(k[0])
+		addNode(k[1])
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+
+	// Tarjan's SCC, iterative-friendly scale (lock graphs are tiny).
+	index := map[lint.LockID]int{}
+	low := map[lint.LockID]int{}
+	onStack := map[lint.LockID]bool{}
+	var stack []lint.LockID
+	var sccs [][]lint.LockID
+	next := 0
+	var strong func(v lint.LockID)
+	strong = func(v lint.LockID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []lint.LockID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		inSCC := map[lint.LockID]bool{}
+		for _, id := range scc {
+			inSCC[id] = true
+		}
+		var cyclic []*lockEdge
+		for _, k := range keys {
+			if inSCC[k[0]] && inSCC[k[1]] && (len(scc) > 1 || k[0] == k[1]) {
+				cyclic = append(cyclic, edges[k])
+			}
+		}
+		if len(cyclic) == 0 {
+			continue
+		}
+		sort.Slice(cyclic, func(i, j int) bool { return cyclic[i].pos < cyclic[j].pos })
+		ids := make([]string, 0, len(scc))
+		for _, id := range scc {
+			ids = append(ids, displayLock(id))
+		}
+		sort.Strings(ids)
+		var b strings.Builder
+		fmt.Fprintf(&b, "potential deadlock: lock-order cycle among %s", strings.Join(ids, ", "))
+		for i, e := range cyclic {
+			fmt.Fprintf(&b, "; chain %d: %s acquired while holding %s via %s",
+				i+1, displayLock(e.to), displayLock(e.from), renderChain(pass, e.chain))
+		}
+		pass.Reportf(cyclic[0].pos, "%s", b.String())
+	}
+}
+
+// displayLock shortens a LockID's package path to its base name.
+func displayLock(id lint.LockID) string {
+	s := string(id)
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// renderChain formats a witness chain as "f -> g -> h (file:line)".
+func renderChain(pass *lint.ProgramPass, chain []step) string {
+	parts := make([]string, len(chain))
+	for i, s := range chain {
+		parts[i] = shortFuncName(s.fn)
+	}
+	out := strings.Join(parts, " -> ")
+	if n := len(chain); n > 0 {
+		pos := pass.Prog.Fset.Position(chain[n-1].pos)
+		out += fmt.Sprintf(" (%s:%d)", baseName(pos.Filename), pos.Line)
+	}
+	return out
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// shortFuncName renders pkg.Func or pkg.(Type).Method.
+func shortFuncName(fn *types.Func) string {
+	pkg := "_"
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s).%s", pkg, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + "." + fn.Name()
+}

@@ -1,0 +1,33 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/lint/linttest"
+	"maskedspgemm/internal/lint/lockorder"
+)
+
+// TestABBA is the seeded two-lock inversion inside one package; the
+// diagnostic must carry both witnessing call chains.
+func TestABBA(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lockorder.Analyzer, "lockcycle")
+}
+
+// TestSelfDeadlock is the length-one cycle through a helper call.
+func TestSelfDeadlock(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lockorder.Analyzer, "lockself")
+}
+
+// TestCrossPackage closes a cycle across a package boundary: one edge
+// exists only because lockcross2's FuncLockSummary fact was exported
+// while analyzing the dependency and consumed by the whole-program
+// pass.
+func TestCrossPackage(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lockorder.Analyzer, "lockcross2", "lockcross1")
+}
+
+// TestConsistentOrderClean: a DAG-shaped lock graph and a documented
+// same-type nesting produce no findings.
+func TestConsistentOrderClean(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lockorder.Analyzer, "lockok")
+}

@@ -1,0 +1,32 @@
+// Package lockcross1 closes the cross-package cycle: Flush holds
+// Cache.mu across a call into lockcross2 (Cache.mu -> Store.Mu, an edge
+// that only exists because lockcross2's lock summary crossed the
+// package boundary as a fact), and Refill takes the pair in the
+// opposite order.
+package lockcross1
+
+import (
+	"sync"
+
+	"lockcross2"
+)
+
+type Cache struct {
+	mu sync.Mutex
+	s  *lockcross2.Store
+}
+
+// Flush holds Cache.mu across the Bump call that acquires Store.Mu.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Bump() // want `potential deadlock: lock-order cycle among lockcross1\.Cache\.mu, lockcross2\.Store\.Mu; chain 1: lockcross2\.Store\.Mu acquired while holding lockcross1\.Cache\.mu via lockcross1\.\(Cache\)\.Flush -> lockcross2\.\(Store\)\.Bump \(lockcross2\.go:\d+\); chain 2: lockcross1\.Cache\.mu acquired while holding lockcross2\.Store\.Mu via lockcross1\.\(Cache\)\.Refill \(lockcross1\.go:\d+\)`
+}
+
+// Refill takes Store.Mu first, then Cache.mu: the inverted order.
+func (c *Cache) Refill(s *lockcross2.Store) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}

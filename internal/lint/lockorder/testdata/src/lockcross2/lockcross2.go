@@ -1,0 +1,18 @@
+// Package lockcross2 is the dependency half of the cross-package cycle
+// fixture: its lock summary (Bump acquires Store.Mu) is exported as an
+// object fact and consumed when lockcross1 is analyzed.
+package lockcross2
+
+import "sync"
+
+type Store struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump acquires Store.Mu with nothing held: no edge by itself.
+func (s *Store) Bump() {
+	s.Mu.Lock()
+	s.n++
+	s.Mu.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package lockcycle is the seeded ABBA inversion: two functions take
+// the same two locks in opposite orders.
+package lockcycle
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// AThenB acquires A.mu, then B.mu while still holding it.
+func AThenB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `potential deadlock: lock-order cycle among lockcycle\.A\.mu, lockcycle\.B\.mu; chain 1: lockcycle\.B\.mu acquired while holding lockcycle\.A\.mu via lockcycle\.AThenB \(lockcycle\.go:\d+\); chain 2: lockcycle\.A\.mu acquired while holding lockcycle\.B\.mu via lockcycle\.BThenA \(lockcycle\.go:\d+\)`
+	b.mu.Unlock()
+}
+
+// BThenA acquires the same pair in the opposite order — the second half
+// of the inversion.
+func BThenA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

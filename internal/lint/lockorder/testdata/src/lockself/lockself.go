@@ -1,0 +1,24 @@
+// Package lockself is the length-one cycle: a method re-acquires a
+// non-reentrant mutex through a helper call while already holding it.
+package lockself
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add holds mu across a call to bump, which locks mu again: guaranteed
+// self-deadlock on the same instance.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want `potential deadlock: lock-order cycle among lockself\.Counter\.mu; chain 1: lockself\.Counter\.mu acquired while holding lockself\.Counter\.mu via lockself\.\(Counter\)\.Add -> lockself\.\(Counter\)\.bump \(lockself\.go:\d+\)`
+}
+
+func (c *Counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}

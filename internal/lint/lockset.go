@@ -1,0 +1,457 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the lockset half of the whole-program layer: a
+// flow-ordered, lint-grade dataflow over one function body that tracks
+// which mutexes are held at every acquisition and every outgoing call.
+// Per-package passes compute a FuncLockSummary per declared function
+// and export it as an object fact; a whole-program pass then combines
+// the summaries with the call graph into a global lock-acquisition
+// graph (see the lockorder analyzer).
+//
+// The abstraction is the standard static one: a lock is identified by
+// its declaration site — a field of a named type ("pkg.Type.field"), a
+// package-level var ("pkg.var"), or a function-local var
+// ("pkg.func.var") — so two instances of the same type share an
+// identity. That over-approximates aliasing (locking a.mu then b.mu of
+// two distinct engines reports the same edge as a self-nesting), which
+// is the correct direction for a deadlock lint: a program whose lock
+// order is only safe because two same-typed locks are provably distinct
+// instances is relying on an invariant no future edit is checked
+// against.
+//
+// Precision notes, all deliberately conservative:
+//   - Branches are analyzed with a copy of the held set and do not
+//     merge back, so a Lock inside an if-body is not considered held
+//     after the branch. A function that conditionally leaks a lock past
+//     a branch is beyond this lint's scope.
+//   - defer mu.Unlock() keeps the lock in the held set until function
+//     exit — exactly the window in which calls can deadlock.
+//   - Function literals are walked with an empty held set (they run at
+//     an unknown time) but their own acquisitions and calls are
+//     attributed to the enclosing declaration.
+//   - Calls inside go statements are recorded with an empty held set:
+//     the spawned goroutine does not inherit the spawner's locks.
+
+// LockID names one lock by declaration site, program-wide.
+type LockID string
+
+// LockAcq is one acquisition site: the lock taken and the locks already
+// held when it was taken.
+type LockAcq struct {
+	ID   LockID
+	Pos  token.Pos
+	Held []LockID
+}
+
+// LockedCall is one outgoing call made while at least zero locks are
+// held. Callee is nil for calls through function values.
+type LockedCall struct {
+	Callee *types.Func
+	Pos    token.Pos
+	Held   []LockID
+}
+
+// FuncLockSummary is the per-function lockset fact the lockorder
+// analyzer exports: every acquisition with its held-before set, and
+// every statically resolved call with the locks held across it.
+type FuncLockSummary struct {
+	Acquires []LockAcq
+	Calls    []LockedCall
+}
+
+// lockWalker threads the held set through one declaration.
+type lockWalker struct {
+	info    *types.Info
+	pkgPath string
+	fnName  string
+	sum     *FuncLockSummary
+	// pending holds function literal bodies to walk with a fresh held
+	// set once the main body is done.
+	pending []*ast.FuncLit
+	visited map[*ast.FuncLit]bool
+}
+
+// ComputeLockSummary runs the lockset dataflow over one declared
+// function. Returns nil when the body acquires no locks and makes no
+// calls under a lock (the common case — keeps fact storage sparse).
+func ComputeLockSummary(info *types.Info, pkgPath string, fd *ast.FuncDecl) *FuncLockSummary {
+	if fd.Body == nil {
+		return nil
+	}
+	w := &lockWalker{
+		info:    info,
+		pkgPath: pkgPath,
+		fnName:  fd.Name.Name,
+		sum:     &FuncLockSummary{},
+		visited: map[*ast.FuncLit]bool{},
+	}
+	w.walkBlock(fd.Body, nil)
+	for len(w.pending) > 0 {
+		lit := w.pending[0]
+		w.pending = w.pending[1:]
+		w.walkBlock(lit.Body, nil)
+	}
+	if len(w.sum.Acquires) == 0 && len(w.sum.Calls) == 0 {
+		return nil
+	}
+	return w.sum
+}
+
+// walkBlock walks stmts in source order, threading held.
+func (w *lockWalker) walkBlock(block *ast.BlockStmt, held []LockID) []LockID {
+	if block == nil {
+		return held
+	}
+	for _, s := range block.List {
+		held = w.walkStmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held []LockID) []LockID {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.walkExpr(s.X, held, false)
+	case *ast.DeferStmt:
+		if id, kind := w.lockOp(s.Call); kind == opUnlock {
+			// Released at exit: the lock stays held for the rest of the
+			// body, which is the window the dataflow must see.
+			_ = id
+			return held
+		}
+		return w.walkExpr(s.Call, held, false)
+	case *ast.GoStmt:
+		// The goroutine runs without the spawner's locks; its call (and
+		// any literal body) is analyzed lock-free. The spawner's held
+		// set is unaffected.
+		w.walkExpr(s.Call, nil, false)
+		return held
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.walkExpr(e, held, false)
+		}
+		for _, e := range s.Lhs {
+			held = w.walkExpr(e, held, false)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.walkExpr(e, held, false)
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		held = w.walkExpr(s.Cond, held, false)
+		w.walkBlock(s.Body, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+		return held
+	case *ast.BlockStmt:
+		return w.walkBlock(s, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.walkExpr(s.Cond, held, false)
+		}
+		w.walkBlock(s.Body, copyHeld(held))
+		return held
+	case *ast.RangeStmt:
+		held = w.walkExpr(s.X, held, false)
+		w.walkBlock(s.Body, copyHeld(held))
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.walkExpr(s.Tag, held, false)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyHeld(held)
+				for _, e := range cc.List {
+					h = w.walkExpr(e, h, false)
+				}
+				for _, st := range cc.Body {
+					h = w.walkStmt(st, h)
+				}
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyHeld(held)
+				for _, st := range cc.Body {
+					h = w.walkStmt(st, h)
+				}
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				h := copyHeld(held)
+				if cc.Comm != nil {
+					h = w.walkStmt(cc.Comm, h)
+				}
+				for _, st := range cc.Body {
+					h = w.walkStmt(st, h)
+				}
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.walkExpr(v, held, false)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.SendStmt:
+		held = w.walkExpr(s.Value, held, false)
+		return w.walkExpr(s.Chan, held, false)
+	case *ast.IncDecStmt:
+		return w.walkExpr(s.X, held, false)
+	default:
+		return held
+	}
+}
+
+// walkExpr scans one expression for calls (in evaluation order is not
+// attempted; source order is close enough for a lint) and function
+// literals.
+func (w *lockWalker) walkExpr(e ast.Expr, held []LockID, _ bool) []LockID {
+	if e == nil {
+		return held
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.FuncLit:
+			w.enqueue(e)
+		case *ast.CallExpr:
+			// Arguments first (they evaluate before the call), then the
+			// call itself mutates held via the closure below.
+			for _, a := range e.Args {
+				walk(a)
+			}
+			if fe, ok := e.Fun.(*ast.SelectorExpr); ok {
+				walk(fe.X)
+			}
+			held = w.walkCall(e, held)
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.BinaryExpr:
+			walk(e.X)
+			walk(e.Y)
+		case *ast.SelectorExpr:
+			walk(e.X)
+		case *ast.IndexExpr:
+			walk(e.X)
+			walk(e.Index)
+		case *ast.SliceExpr:
+			walk(e.X)
+		case *ast.StarExpr:
+			walk(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				walk(el)
+			}
+		case *ast.KeyValueExpr:
+			walk(e.Value)
+		case *ast.TypeAssertExpr:
+			walk(e.X)
+		}
+	}
+	walk(e)
+	return held
+}
+
+// walkCall classifies one call: a lock acquisition, a release, or an
+// ordinary call recorded with the current held set.
+func (w *lockWalker) walkCall(call *ast.CallExpr, held []LockID) []LockID {
+	if id, kind := w.lockOp(call); kind != opNone {
+		switch kind {
+		case opLock:
+			w.sum.Acquires = append(w.sum.Acquires, LockAcq{
+				ID:   id,
+				Pos:  call.Pos(),
+				Held: copyHeld(held),
+			})
+			return append(held, id)
+		case opUnlock:
+			return removeHeld(held, id)
+		}
+	}
+	// Only calls made under at least one lock go into the summary: the
+	// lock-free call edges the transitive analysis also needs are
+	// already in the call graph, so storing them again here would just
+	// duplicate it into every fact.
+	if len(held) == 0 {
+		return held
+	}
+	callee := CalleeFunc(w.info, call)
+	if callee == nil {
+		return held
+	}
+	w.sum.Calls = append(w.sum.Calls, LockedCall{
+		Callee: callee,
+		Pos:    call.Pos(),
+		Held:   copyHeld(held),
+	})
+	return held
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp recognizes mu.Lock/RLock/TryLock and mu.Unlock/RUnlock on
+// sync.Mutex, sync.RWMutex and types embedding them, returning the
+// lock's identity. TryLock is treated as an acquisition (the held set
+// over-approximates the success path, which is the one that orders
+// locks).
+func (w *lockWalker) lockOp(call *ast.CallExpr) (LockID, lockOpKind) {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn, _ := w.info.Uses[fun.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", opNone
+	}
+	var kind lockOpKind
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	return w.lockIDOf(fun.X), kind
+}
+
+// lockIDOf names the lock value expr by declaration site.
+func (w *lockWalker) lockIDOf(e ast.Expr) LockID {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := w.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				obj := named.Obj()
+				return LockID(fmt.Sprintf("%s.%s.%s", pkgPathOf(obj.Pkg()), obj.Name(), sel.Obj().Name()))
+			}
+			return LockID(fmt.Sprintf("%s.%s.%s", w.pkgPath, w.fnName, sel.Obj().Name()))
+		}
+		// Package-qualified var: pkg.mu.Lock().
+		if obj, ok := w.info.Uses[e.Sel].(*types.Var); ok {
+			return lockIDOfVar(obj, w.pkgPath, w.fnName)
+		}
+	case *ast.Ident:
+		if obj, ok := w.info.Uses[e].(*types.Var); ok {
+			return lockIDOfVar(obj, w.pkgPath, w.fnName)
+		}
+	case *ast.UnaryExpr:
+		return w.lockIDOf(e.X)
+	case *ast.StarExpr:
+		return w.lockIDOf(e.X)
+	}
+	return LockID(fmt.Sprintf("%s.%s.<anonymous lock>", w.pkgPath, w.fnName))
+}
+
+// lockIDOfVar names a mutex-typed variable: package-level vars by
+// package, locals by enclosing function (so same-named locals of
+// different functions stay distinct). An embedded-mutex receiver
+// (e.Lock() on a struct embedding sync.Mutex) resolves here too, via
+// the receiver variable, and is named by its type instead.
+func lockIDOfVar(v *types.Var, pkgPath, fnName string) LockID {
+	// A receiver or plain value whose type is a named struct embedding
+	// the mutex: name the lock by the type, not the variable, so every
+	// method of the type agrees. Types declared in sync itself (a bare
+	// sync.Mutex/RWMutex variable) are exempt — those are named by the
+	// variable below, or every plain mutex var in the program would
+	// collapse into one identity.
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && pkgPathOf(named.Obj().Pkg()) != "sync" {
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			obj := named.Obj()
+			return LockID(fmt.Sprintf("%s.%s.(embedded)", pkgPathOf(obj.Pkg()), obj.Name()))
+		}
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return LockID(fmt.Sprintf("%s.%s", pkgPathOf(v.Pkg()), v.Name()))
+	}
+	return LockID(fmt.Sprintf("%s.%s.%s", pkgPath, fnName, v.Name()))
+}
+
+func pkgPathOf(p *types.Package) string {
+	if p == nil {
+		return "_"
+	}
+	return p.Path()
+}
+
+func (w *lockWalker) enqueue(lit *ast.FuncLit) {
+	if !w.visited[lit] {
+		w.visited[lit] = true
+		w.pending = append(w.pending, lit)
+	}
+}
+
+func copyHeld(held []LockID) []LockID {
+	if len(held) == 0 {
+		return nil
+	}
+	out := make([]LockID, len(held))
+	copy(out, held)
+	return out
+}
+
+func removeHeld(held []LockID, id LockID) []LockID {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == id {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}

@@ -1,0 +1,176 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"maskedspgemm/internal/lint"
+	"maskedspgemm/internal/lint/linttest"
+)
+
+// summaries computes the lock summary of every declared function in
+// pkg, keyed by declaration name.
+func summaries(pkg *lint.Package) map[string]*lint.FuncLockSummary {
+	out := map[string]*lint.FuncLockSummary{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				out[fd.Name.Name] = lint.ComputeLockSummary(pkg.Info, pkg.ImportPath, fd)
+			}
+		}
+	}
+	return out
+}
+
+func heldIDs(held []lint.LockID) []string {
+	out := make([]string, len(held))
+	for i, id := range held {
+		out[i] = string(id)
+	}
+	return out
+}
+
+func TestComputeLockSummary(t *testing.T) {
+	prog := linttest.Load(t, linttest.TestdataDir(t), "locksum")
+	sums := summaries(prog.Packages[0])
+
+	// fill touches no locks: sparse summaries stay nil.
+	if sums["fill"] != nil {
+		t.Errorf("fill: want nil summary, got %+v", sums["fill"])
+	}
+
+	// Guarded: one acquisition with nothing held, and only the call made
+	// under the lock recorded.
+	g := sums["Guarded"]
+	if g == nil {
+		t.Fatal("Guarded: no summary")
+	}
+	if len(g.Acquires) != 1 || g.Acquires[0].ID != "locksum.Box.mu" || len(g.Acquires[0].Held) != 0 {
+		t.Errorf("Guarded.Acquires = %+v, want one bare locksum.Box.mu", g.Acquires)
+	}
+	if len(g.Calls) != 1 || g.Calls[0].Callee.Name() != "fill" {
+		t.Fatalf("Guarded.Calls = %+v, want exactly the locked fill call", g.Calls)
+	}
+	if ids := heldIDs(g.Calls[0].Held); len(ids) != 1 || ids[0] != "locksum.Box.mu" {
+		t.Errorf("Guarded locked call held = %v, want [locksum.Box.mu]", ids)
+	}
+
+	// Deferred: the deferred unlock keeps the lock held across the call.
+	d := sums["Deferred"]
+	if d == nil || len(d.Calls) != 1 || len(d.Calls[0].Held) != 1 {
+		t.Errorf("Deferred: want fill recorded under the deferred-held lock, got %+v", d)
+	}
+
+	// Nested: second acquisition sees the package-level gate held.
+	n := sums["Nested"]
+	if n == nil || len(n.Acquires) != 2 {
+		t.Fatalf("Nested: want 2 acquisitions, got %+v", n)
+	}
+	if n.Acquires[0].ID != "locksum.gate" || len(n.Acquires[0].Held) != 0 {
+		t.Errorf("Nested.Acquires[0] = %+v, want bare locksum.gate", n.Acquires[0])
+	}
+	if n.Acquires[1].ID != "locksum.Box.mu" {
+		t.Errorf("Nested.Acquires[1].ID = %s, want locksum.Box.mu", n.Acquires[1].ID)
+	}
+	if ids := heldIDs(n.Acquires[1].Held); len(ids) != 1 || ids[0] != "locksum.gate" {
+		t.Errorf("Nested.Acquires[1].Held = %v, want [locksum.gate]", ids)
+	}
+
+	// Spawn: the call inside the go statement runs lock-free and is not
+	// recorded; the plain call after it is.
+	s := sums["Spawn"]
+	if s == nil || len(s.Calls) != 1 {
+		t.Fatalf("Spawn: want exactly one locked call (the goroutine's is lock-free), got %+v", s)
+	}
+
+	// Local: a function-local mutex is named by its enclosing function.
+	l := sums["Local"]
+	if l == nil || len(l.Acquires) != 1 || l.Acquires[0].ID != "locksum.Local.mu" {
+		t.Errorf("Local = %+v, want one acquisition of locksum.Local.mu", l)
+	}
+}
+
+// TestLockFactsCrossPackage is the facts round-trip: a FuncLockSummary
+// exported while analyzing locksum must be readable in the
+// whole-program pass through the *types.Func object resolved from
+// locksumuse's call site — the same object identity, because all
+// packages share one type-checked graph.
+func TestLockFactsCrossPackage(t *testing.T) {
+	prog := linttest.Load(t, linttest.TestdataDir(t), "locksum", "locksumuse")
+	checked := false
+	probe := &lint.Analyzer{
+		Name: "lockprobe",
+		Doc:  "test probe",
+		Run: func(pass *lint.Pass) error {
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					if sum := lint.ComputeLockSummary(pass.TypesInfo, pass.Pkg.Path(), fd); sum != nil {
+						pass.ExportObjectFact(fn, sum)
+					}
+				}
+			}
+			return nil
+		},
+		RunProgram: func(pass *lint.ProgramPass) error {
+			// Resolve Guarded from the importing package's call site.
+			var use *lint.Package
+			for _, pkg := range pass.Prog.Packages {
+				if pkg.ImportPath == "locksumuse" {
+					use = pkg
+				}
+			}
+			if use == nil {
+				t.Fatal("locksumuse not loaded")
+			}
+			for _, file := range use.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := lint.CalleeFunc(use.Info, call)
+					if fn == nil || fn.Name() != "Guarded" {
+						return true
+					}
+					sum, ok := pass.ObjectFact(fn).(*lint.FuncLockSummary)
+					if !ok {
+						t.Fatal("no FuncLockSummary fact on locksum.(*Box).Guarded via locksumuse's object")
+					}
+					if len(sum.Acquires) != 1 || sum.Acquires[0].ID != "locksum.Box.mu" {
+						t.Errorf("round-tripped summary = %+v, want one acquisition of locksum.Box.mu", sum)
+					}
+					checked = true
+					return true
+				})
+			}
+			// AllObjectFacts must surface the same summaries.
+			found := false
+			for obj, f := range pass.AllObjectFacts() {
+				if obj.Name() == "Guarded" {
+					if _, ok := f.(*lint.FuncLockSummary); ok {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Error("AllObjectFacts is missing Guarded's summary")
+			}
+			return nil
+		},
+	}
+	if _, err := lint.Run(prog, []*lint.Analyzer{probe}); err != nil {
+		t.Fatalf("running probe: %v", err)
+	}
+	if !checked {
+		t.Fatal("probe never reached the cross-package fact check")
+	}
+}

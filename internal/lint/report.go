@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+
+	"maskedspgemm/internal/obs"
+)
+
+// ReportSchema tags the machine-readable findings document
+// `spgemm-lint -json` emits. Same self-validating contract as the
+// repo's stats/v1 and flightrec/v1 documents: the emitter round-trips
+// its own output through the declared schema before printing it.
+const ReportSchema = "maskedspgemm/lint/v1"
+
+// Finding is one diagnostic of a lint report, position flattened for
+// consumers that never see a token.FileSet.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Report is the lint/v1 document: the schema tag plus every finding in
+// position order.
+type Report struct {
+	Schema   string    `json:"schema"`
+	Findings []Finding `json:"findings"`
+}
+
+// BuildReport renders diagnostics into a lint/v1 report. Findings is
+// never nil, so a clean run emits `"findings": []`, not null.
+func BuildReport(fset *token.FileSet, diags []Diagnostic) *Report {
+	r := &Report{Schema: ReportSchema, Findings: []Finding{}}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		r.Findings = append(r.Findings, Finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return r
+}
+
+// MarshalReport renders the report with the repo's JSON convention and
+// validates the bytes against lint/v1 before returning them, so schema
+// drift fails at the emitter instead of in a consumer.
+func MarshalReport(r *Report) ([]byte, error) {
+	data, err := obs.MarshalJSONBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateLintJSON(data); err != nil {
+		return nil, fmt.Errorf("lint: emitted report is not schema-valid: %w", err)
+	}
+	return data, nil
+}
+
+// ValidateLintJSON checks that data is a schema-conforming lint/v1
+// document: it strictly round-trips through Report and carries the
+// expected schema tag.
+func ValidateLintJSON(data []byte) error {
+	var r Report
+	if err := obs.RoundTrip(data, &r); err != nil {
+		return err
+	}
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("lint: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	return nil
+}

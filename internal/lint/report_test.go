@@ -1,0 +1,65 @@
+package lint_test
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+
+	"maskedspgemm/internal/lint"
+)
+
+func sampleReport(t *testing.T) ([]byte, *lint.Report) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f := fset.AddFile("pkg/x.go", -1, 100)
+	r := lint.BuildReport(fset, []lint.Diagnostic{
+		{Pos: f.Pos(10), Analyzer: "lockorder", Message: "potential deadlock"},
+	})
+	data, err := lint.MarshalReport(r)
+	if err != nil {
+		t.Fatalf("MarshalReport: %v", err)
+	}
+	return data, r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	data, r := sampleReport(t)
+	if err := lint.ValidateLintJSON(data); err != nil {
+		t.Fatalf("ValidateLintJSON rejected the emitter's own output: %v", err)
+	}
+	if r.Schema != lint.ReportSchema {
+		t.Fatalf("schema = %q, want %q", r.Schema, lint.ReportSchema)
+	}
+	if len(r.Findings) != 1 || r.Findings[0].File != "pkg/x.go" || r.Findings[0].Line != 1 || r.Findings[0].Col != 11 {
+		t.Fatalf("findings = %+v", r.Findings)
+	}
+}
+
+func TestReportEmptyFindingsIsArray(t *testing.T) {
+	data, err := lint.MarshalReport(lint.BuildReport(token.NewFileSet(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"findings": []`) {
+		t.Fatalf("clean report must serialize findings as [], got:\n%s", data)
+	}
+}
+
+func TestValidateLintJSONRejects(t *testing.T) {
+	data, _ := sampleReport(t)
+
+	wrongSchema := bytes.Replace(data, []byte(lint.ReportSchema), []byte("maskedspgemm/lint/v0"), 1)
+	if err := lint.ValidateLintJSON(wrongSchema); err == nil {
+		t.Error("wrong schema tag accepted")
+	}
+
+	unknownField := bytes.Replace(data, []byte(`"findings"`), []byte(`"extra": 1, "findings"`), 1)
+	if err := lint.ValidateLintJSON(unknownField); err == nil {
+		t.Error("unknown field accepted (decode must be strict)")
+	}
+
+	if err := lint.ValidateLintJSON([]byte("{")); err == nil {
+		t.Error("truncated document accepted")
+	}
+}

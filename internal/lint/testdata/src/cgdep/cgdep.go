@@ -1,0 +1,5 @@
+// Package cgdep is the dependency side of the call-graph fixture.
+package cgdep
+
+// Leaf is called from cgmain both directly and through a method.
+func Leaf() {}

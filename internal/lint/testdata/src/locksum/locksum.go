@@ -1,0 +1,54 @@
+// Package locksum exercises the lockset dataflow: plain and deferred
+// unlocks, nested acquisition, goroutine isolation, and local mutexes.
+package locksum
+
+import "sync"
+
+var gate sync.Mutex
+
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func fill(b *Box) { b.n = 9 }
+
+// Guarded calls fill under the lock, then again after releasing it;
+// only the first call lands in the summary.
+func (b *Box) Guarded() {
+	b.mu.Lock()
+	fill(b)
+	b.mu.Unlock()
+	fill(b)
+}
+
+// Deferred keeps the lock held to function exit.
+func (b *Box) Deferred() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fill(b)
+}
+
+// Nested acquires the package gate, then Box.mu while holding it.
+func Nested(b *Box) {
+	gate.Lock()
+	defer gate.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// Spawn must not leak the spawner's held set into the goroutine.
+func Spawn(b *Box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go fill(b)
+	fill(b)
+}
+
+// Local names a function-local mutex by its enclosing function.
+func Local() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

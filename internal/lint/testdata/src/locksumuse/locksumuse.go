@@ -1,0 +1,11 @@
+// Package locksumuse calls into locksum so the fact round-trip test
+// can resolve a locksum method from this package's type info and read
+// the summary fact exported while locksum was analyzed.
+package locksumuse
+
+import "locksum"
+
+// Use calls the guarded method across the package boundary.
+func Use(b *locksum.Box) {
+	b.Guarded()
+}

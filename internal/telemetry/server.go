@@ -70,6 +70,10 @@ func (t *Telemetry) Handler() http.Handler {
 type Server struct {
 	srv  *http.Server
 	addr string
+	// done is closed when the serve goroutine returns, so Close can
+	// join it instead of racing process exit against the listener
+	// teardown.
+	done chan struct{}
 }
 
 // Addr is the bound listen address (host:port, with the real port when
@@ -98,14 +102,19 @@ func (s *Server) URL() string {
 }
 
 // Close shuts the listener down, waiting briefly for in-flight
-// requests.
+// requests, then joins the serve goroutine.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	return s.srv.Shutdown(ctx)
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	return err
 }
 
 // Start binds addr (":0" picks a free port) and serves the debug
@@ -120,11 +129,14 @@ func (t *Telemetry) Start(addr string) (*Server, error) {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: t.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	s := &Server{srv: srv, addr: ln.Addr().String()}
+	s := &Server{srv: srv, addr: ln.Addr().String(), done: make(chan struct{})}
 	go func() {
-		// ErrServerClosed is the normal Close path; anything else has no
-		// channel to surface through (the caller moved on), so drop it —
-		// the smoke gate's scrapes would fail loudly anyway.
+		// Serve returns on Shutdown (Close) with ErrServerClosed — the
+		// normal path; anything else has no channel to surface through
+		// (the caller moved on), so drop it — the smoke gate's scrapes
+		// would fail loudly anyway. Closing done joins the goroutine to
+		// Close.
+		defer close(s.done)
 		_ = srv.Serve(ln)
 	}()
 	return s, nil
