@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json staticcheck govulncheck race check chaos fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa telemetry-smoke
+.PHONY: build test vet lint lint-json staticcheck govulncheck race check chaos fuzz bench-plan bench-sched bench-smoke bench-stats bench-engine bench-fusion bench-kappa bench-trsv telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -50,7 +50,7 @@ govulncheck:
 race:
 	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/exec/... ./internal/tiling/... ./internal/obs/... ./internal/telemetry/... ./spgemm/...
 
-check: vet lint staticcheck govulncheck race test bench-engine bench-fusion chaos telemetry-smoke
+check: vet lint staticcheck govulncheck race test bench-engine bench-fusion bench-trsv chaos telemetry-smoke
 
 # telemetry-smoke is the live-observability gate: run a small stats
 # experiment with an ephemeral debug listener attached, then have the
@@ -115,6 +115,20 @@ bench-engine:
 bench-fusion:
 	$(GO) run ./cmd/spgemm-bench -experiment fusion -shift 6 \
 		-graphs GAP-road-sim -reps 2 -budget 1s -check-fused-allocs
+
+# bench-trsv is the triangular-solve regression gate: solve L·x = 1 on
+# a small graph with the serial substitution loop and the
+# dependency-wave schedule, self-validating the bench-trsv/v1 document.
+# Bit-identity between the two solutions is asserted unconditionally
+# inside the experiment; the speedup bound is opt-in via TRSV_SPEEDUP
+# (e.g. TRSV_SPEEDUP=1.0) because the wave win needs real cores —
+# timing on a single-core runner proves nothing. Part of `make check`.
+TRSV_SPEEDUP ?= 0
+bench-trsv:
+	$(GO) run ./cmd/spgemm-bench -experiment trsv -shift 6 \
+		-graphs GAP-road-sim,hollywood-2009-sim -reps 2 -budget 1s \
+		-trsv-json -min-trsv-speedup $(TRSV_SPEEDUP)
+	@rm -f BENCH_trsv.json
 
 # bench-kappa exercises the online κ recalibrator against an offline
 # sweep. Timing-sensitive, so it is informational rather than part of

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|engine|fusion|kappa-adapt|chaos|all [flags]
+//	spgemm-bench -experiment table1|fig1|fig10|fig11|fig13|fig14|tune|ablation|predict|model|plan|sched|stats|engine|fusion|kappa-adapt|trsv|chaos|all [flags]
 //
 // Flags:
 //
@@ -29,6 +29,9 @@
 //	-adaptive-kappa  run the online-κ experiment (= -experiment kappa-adapt)
 //	-kappa-json      with the κ experiment, write BENCH_kappa_adapt.json
 //	-kappa-slack F   fail if adapted κ is more than F worse than best/default
+//	-trsv            run the triangular-solve experiment (= -experiment trsv)
+//	-trsv-json       with the trsv experiment, write BENCH_trsv.json
+//	-min-trsv-speedup F  fail unless waves beat serial by F on some graph
 //	-chaos-seed N    run the seeded chaos drill (= -experiment chaos)
 //	-listen ADDR     serve live telemetry (/metrics, /stats, /flight,
 //	                 expvar, pprof) on ADDR while the experiments run
@@ -112,6 +115,9 @@ func main() {
 	adaptiveKappa := flag.Bool("adaptive-kappa", false, "run the online-κ recalibration experiment (same as -experiment kappa-adapt)")
 	kappaJSON := flag.Bool("kappa-json", false, "with the κ experiment, write the report to BENCH_kappa_adapt.json")
 	kappaSlack := flag.Float64("kappa-slack", 0, "with the κ experiment, fail if the adapted κ's warm time is more than this fraction over the best swept κ or the static default")
+	trsvFlag := flag.Bool("trsv", false, "run the triangular-solve experiment (same as -experiment trsv)")
+	trsvJSON := flag.Bool("trsv-json", false, "with the trsv experiment, write the report to BENCH_trsv.json")
+	minTrsvSpeedup := flag.Float64("min-trsv-speedup", 0, "with the trsv experiment, fail unless some graph's wave schedule beats serial by this factor (0 = bit-identity gate only)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "run the seeded chaos drill with this seed (0 = off; same as -experiment chaos with seed 1)")
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /stats, /flight, pprof) on this address while experiments run (e.g. :6060 or 127.0.0.1:0)")
 	telemetryCheck := flag.Bool("telemetry-check", false, "after the experiments, self-scrape the telemetry server and fail unless /metrics, /stats and /flight parse with all required series (implies -listen 127.0.0.1:0)")
@@ -341,6 +347,35 @@ func main() {
 				}
 				fmt.Fprintf(w, "adapted κ within %.0f%% of the best swept κ and the static default on every graph\n",
 					*kappaSlack*100)
+			}
+			return nil
+		})
+		ran = true
+	}
+	// The trsv experiment times the triangular-solve schedules; like the
+	// other timing comparisons "all" skips it, -trsv (or -experiment
+	// trsv) selects it. Bit-identity between the wave and serial
+	// solutions is asserted unconditionally inside the experiment;
+	// -min-trsv-speedup adds the timing bound for machines with real
+	// cores — the `make bench-trsv` gate.
+	if *experiment == "trsv" || *trsvFlag {
+		run("trsv", func() error {
+			report, err := bench.TrsvBench(w, o)
+			if err != nil {
+				return err
+			}
+			if *trsvJSON {
+				if err := writeValidated("BENCH_trsv.json",
+					func(f *os.File) error { return report.WriteJSON(f) },
+					bench.ValidateTrsvReportJSON); err != nil {
+					return err
+				}
+			}
+			if *minTrsvSpeedup > 0 {
+				if err := report.CheckWaveSpeedup(*minTrsvSpeedup); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wave schedule beats serial by >= %.2fx on at least one graph\n", *minTrsvSpeedup)
 			}
 			return nil
 		})

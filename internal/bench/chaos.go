@@ -143,11 +143,91 @@ func ChaosDrill(w io.Writer, o Options, seed int64) error {
 				policy, cell.p, cell.k, sd.Crossings(cell.p), sd.Fired(cell.p), outcome)
 		}
 	}
+	// Wave-barrier cells: the dependency-wave executor's barrier seam,
+	// driven through the masked triangular solve — the kernel whose
+	// schedule actually crosses barriers. Same contract as above: typed
+	// error or bit-identical solution, pool invariants after every cell.
+	for _, policy := range []sched.Policy{sched.Static, sched.Dynamic, sched.Guided} {
+		for _, kind := range []chaos.Kind{chaos.KindPanic, chaos.KindCancel, chaos.KindDelay} {
+			cellSeed := uint64(seed) ^ uint64(chaos.WaveBarrier)<<16 ^ uint64(policy)<<8 ^ uint64(kind)
+			l := lowerFromGraph(graphgen.ErdosRenyi(160, 160*8, cellSeed))
+			b := make([]float64, l.Rows)
+			for i := range b {
+				b[i] = 1
+			}
+			ref := make([]float64, l.Rows)
+			if err := core.SolveTriSerial(ref, l, b, core.SolveOpts{Tri: core.Lower}); err != nil {
+				return fmt.Errorf("bench: chaos solve reference: %w", err)
+			}
+
+			cfg := core.DefaultConfig()
+			cfg.Schedule = policy
+			cfg.Workers = workersOr(o.Workers, 4)
+			cfg.Engine = eng
+			so := core.SolveOpts{Tri: core.Lower, Mode: core.SolveWaves, WaveGrain: 64, MergeBelow: 2}
+
+			sd := chaos.NewSeeded(seed)
+			sd.ArmSeeded(chaos.WaveBarrier, kind, 4, time.Millisecond)
+			swap.cur.Store(sd)
+			cfg.Resilience = &core.Resilience{Chaos: swap}
+			got := make([]float64, l.Rows)
+			ferr := core.SolveTriInto[float64, semiring.PlusTimes[float64]](sr, got, l, b, cfg, so)
+			swap.cur.Store(nil)
+
+			outcome := "absorbed (bit-identical)"
+			switch {
+			case ferr != nil && !typedChaosError(ferr):
+				return fmt.Errorf("bench: chaos cell %v/%v/%v failed with untyped error: %w",
+					policy, chaos.WaveBarrier, kind, ferr)
+			case ferr != nil:
+				outcome = "typed: " + chaosErrName(ferr)
+				surfaced++
+			case !solutionsEqual(ref, got):
+				return fmt.Errorf("bench: chaos cell %v/%v/%v succeeded but solution differs from serial",
+					policy, chaos.WaveBarrier, kind)
+			default:
+				absorbed++
+			}
+			if err := eng.SelfCheck(); err != nil {
+				return fmt.Errorf("bench: pool invariants violated after %v/%v/%v: %w",
+					policy, chaos.WaveBarrier, kind, err)
+			}
+
+			// Clean rerun on the same engine must reproduce serial exactly.
+			cfg.Resilience = nil
+			clean := make([]float64, l.Rows)
+			if err := core.SolveTriInto[float64, semiring.PlusTimes[float64]](sr, clean, l, b, cfg, so); err != nil {
+				return fmt.Errorf("bench: clean solve rerun after %v/%v/%v: %w",
+					policy, chaos.WaveBarrier, kind, err)
+			}
+			if !solutionsEqual(ref, clean) {
+				return fmt.Errorf("bench: clean solve rerun after %v/%v/%v differs from serial",
+					policy, chaos.WaveBarrier, kind)
+			}
+			fmt.Fprintf(w, "%-8v %-18v %-10v %10d %6d  %s\n",
+				policy, chaos.WaveBarrier, kind, sd.Crossings(chaos.WaveBarrier),
+				sd.Fired(chaos.WaveBarrier), outcome)
+		}
+	}
+
 	st := eng.Stats()
 	fmt.Fprintf(w, "%d cells: %d faults surfaced typed, %d absorbed; %d workspaces quarantined; pool invariants held throughout\n",
 		absorbed+surfaced, surfaced, absorbed, st.Quarantines)
 
 	return chaosOverheadPin(w, o)
+}
+
+// solutionsEqual compares two solve vectors bit-for-bit.
+func solutionsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // chaosOverheadPin measures the warm, engineless, serial Multiply with

@@ -46,6 +46,12 @@ const (
 	PlanStore
 	// RowKernel fires at row-kernel entry, once per output row.
 	RowKernel
+	// WaveBarrier fires in the wave scheduler once per worker per
+	// barrier crossing, before the worker arrives at the barrier — the
+	// seam where a dependency-carrying run (masked triangular solve) is
+	// most exposed: a fault here must drain every parked worker without
+	// deadlocking the barrier protocol.
+	WaveBarrier
 	// NumPoints bounds the Point enum.
 	NumPoints
 )
@@ -53,6 +59,7 @@ const (
 var pointNames = [NumPoints]string{
 	"workspace-checkout", "workspace-release", "tile-claim",
 	"worker-spawn", "accum-grow", "plan-store", "row-kernel",
+	"wave-barrier",
 }
 
 func (p Point) String() string {

@@ -45,6 +45,18 @@ var (
 	// state. Give the Multiplier an Engine (per-call workspace checkout)
 	// to serve concurrent callers.
 	ErrConcurrentMultiply = errors.New("core: concurrent Multiply on a Multiplier without an Engine")
+
+	// ErrSingular marks a triangular solve whose operand cannot be
+	// inverted on the solved rows: a structurally missing diagonal entry
+	// (detected at plan time) or a stored-but-zero diagonal value
+	// (detected during substitution).
+	ErrSingular = errors.New("core: singular triangular operand")
+
+	// ErrNotTriangular marks a triangular-solve operand that stores an
+	// entry on the wrong side of the diagonal among the solved rows —
+	// the level-set plan would silently drop it, so it is rejected at
+	// plan time instead.
+	ErrNotTriangular = errors.New("core: operand is not triangular")
 )
 
 // errConfig builds a Validate rejection wrapping ErrConfig.
@@ -76,4 +88,24 @@ func wrapRunErr(err error) error {
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
 	return err
+}
+
+// wrapSolveErr is wrapRunErr for the triangular-solve kernel, with one
+// extra rule first: a worker that hit a zero diagonal panics with an
+// ErrSingular-wrapped error (the substitution cannot continue), and the
+// containment frame turns that into a *PanicError. That is a domain
+// outcome, not a kernel defect, so it surfaces as the original singular
+// error rather than ErrPanic — PanicError.Unwrap keeps the chain
+// classifiable either way.
+func wrapSolveErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *sched.PanicError
+	if errors.As(err, &pe) && errors.Is(pe, ErrSingular) {
+		if e, ok := pe.Value.(error); ok {
+			return e
+		}
+	}
+	return wrapRunErr(err)
 }

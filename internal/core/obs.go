@@ -24,6 +24,59 @@ func schedRun(ctx context.Context, cfg Config, workers, tiles int, fn func(worke
 	}, fn)
 }
 
+// solveRunOpts assembles the wave executor's options from the config's
+// resilience knobs plus the run's wave-stats block.
+func solveRunOpts(cfg Config, wstats *sched.WaveStats) sched.RunOpts {
+	opt := sched.RunOpts{MinChunk: cfg.GuidedMinChunk, WaveStats: wstats}
+	if cfg.Resilience != nil {
+		opt.Chaos = cfg.Resilience.Chaos
+		opt.StallTimeout = cfg.Resilience.StallTimeout
+	}
+	return opt
+}
+
+// runSolveWavesSpanned executes a wave plan under the exec.solve span
+// and pprof label, handing each tile callback the worker's counter
+// block (nil when observability is off).
+func runSolveWavesSpanned(
+	ctx context.Context, cfg Config, scope *obs.RunScope, workers int,
+	plan sched.WavePlan, wstats *sched.WaveStats,
+	run func(worker, t int, wc *obs.WorkerCounters),
+) error {
+	opt := solveRunOpts(cfg, wstats)
+	if !scope.Enabled() {
+		return sched.RunWavesOpts(ctx, cfg.Schedule, workers, plan, opt, func(worker, t int) {
+			run(worker, t, nil)
+		})
+	}
+	slots := scope.WorkerSlots(workers)
+	defer scope.Span(obs.PhaseExecSolve)()
+	var err error
+	scope.Do(ctx, obs.PhaseExecSolve, func() {
+		err = sched.RunWavesOpts(ctx, cfg.Schedule, workers, plan, opt, func(worker, t int) {
+			wc := &slots[worker]
+			wc.Tiles.Add(1)
+			run(worker, t, wc)
+		})
+	})
+	return err
+}
+
+// runSolveSerialSpanned runs the serial substitution loop under the
+// exec.solve span and label; without a scope it calls fn directly, so
+// the warm engine-backed path stays allocation-free.
+func runSolveSerialSpanned(ctx context.Context, scope *obs.RunScope, fn func() error) error {
+	if !scope.Enabled() {
+		return fn()
+	}
+	defer scope.Span(obs.PhaseExecSolve)()
+	var err error
+	scope.Do(ctx, obs.PhaseExecSolve, func() {
+		err = fn()
+	})
+	return err
+}
+
 // This file is the glue between the kernel pipeline and the obs
 // recorder: phase-spanned plan construction, per-run accumulator
 // counter deltas, and the spanned/labelled wrappers around the numeric

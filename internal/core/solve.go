@@ -1,0 +1,799 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"maskedspgemm/internal/exec"
+	"maskedspgemm/internal/obs"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+	"maskedspgemm/internal/tiling"
+)
+
+// Masked sparse triangular solve on the dependency-wave scheduler.
+//
+// SolveTri computes x from op(L)·x = b restricted to a structural row
+// mask: the solve runs on the principal submatrix op(L)[mask, mask],
+// exactly the level-scheduled SpTRSV of arXiv 2503.05408 with the
+// paper's Eq. 2 row-work estimate (row nnz, restricted to the mask)
+// reused as the wave-coarsening cost model. Rows outside the mask pass
+// through unchanged (x[i] = b[i]). Unlike SpGEMM, substitution is
+// inherently ordered, so the plan is a level-set DAG schedule: rows
+// whose in-mask dependencies all sit in strictly earlier levels form a
+// wave, waves run under sched.RunWavesOpts on the persistent worker
+// pool, and the coarsener merges narrow levels into single-tile serial
+// waves and splits wide levels into FLOP-balanced tiles.
+//
+// Arithmetic is the native one of T (plus, times, subtract, divide) —
+// substitution needs an inverse, which a general semiring does not
+// supply. The semiring parameter types the pooled workspace only, so a
+// solve and a multiply over the same semiring share the engine's pool.
+
+// Tri selects which triangle of the operand a solve reads.
+type Tri int
+
+const (
+	// Lower solves with the lower triangle: forward substitution.
+	Lower Tri = iota
+	// Upper solves with the upper triangle: backward substitution.
+	Upper
+)
+
+// String renders the triangle for logs and error messages.
+func (t Tri) String() string {
+	switch t {
+	case Lower:
+		return "lower"
+	case Upper:
+		return "upper"
+	default:
+		return fmt.Sprintf("Tri(%d)", int(t))
+	}
+}
+
+// SolveMode selects the execution strategy of a triangular solve.
+type SolveMode int
+
+const (
+	// SolveAuto picks waves or serial from the plan's total row work
+	// against SolveOpts.SerialBelow — the model-layer crossover.
+	SolveAuto SolveMode = iota
+	// SolveWaves forces the wave-scheduled path.
+	SolveWaves
+	// SolveSerial forces the single-worker substitution loop.
+	SolveSerial
+)
+
+// Defaults for the wave-coarsening knobs; see SolveOpts.
+const (
+	// DefaultWaveGrain is the Eq. 2 row-work target per tile when a wide
+	// level is split: small enough to load-balance skewed levels, large
+	// enough that a tile amortizes its claim.
+	DefaultWaveGrain = 4096
+	// DefaultMergeBelow is the level width under which consecutive
+	// levels are merged into one serial wave: a level narrower than the
+	// worker count pays a barrier without buying parallelism.
+	DefaultMergeBelow = 8
+	// DefaultSerialBelow is the total-row-work crossover under which
+	// SolveAuto runs the whole solve serially: goroutine fan-out and
+	// barriers cost more than a short substitution loop.
+	DefaultSerialBelow = 1 << 14
+)
+
+// SolveOpts configures one triangular solve. The zero value solves the
+// lower triangle, unmasked, with automatic mode and default coarsening
+// knobs.
+type SolveOpts struct {
+	// Tri selects the stored triangle of the operand.
+	Tri Tri
+	// Transpose solves op(L) = Lᵀ: the transpose is materialized once at
+	// plan time and cached with the plan, so iterative transpose solves
+	// pay it once.
+	Transpose bool
+	// Mask lists the solved rows, sorted ascending without duplicates.
+	// Nil (or empty) solves every row. The solve runs on the principal
+	// submatrix L[Mask, Mask]; rows outside pass b through unchanged.
+	Mask []sparse.Index
+	// Mode selects waves, serial, or the automatic crossover.
+	Mode SolveMode
+	// WaveGrain is the Eq. 2 row-work target per tile when a wide level
+	// is split (DefaultWaveGrain when <= 0).
+	WaveGrain int64
+	// MergeBelow is the level width under which consecutive levels merge
+	// into one serial wave (DefaultMergeBelow when <= 0).
+	MergeBelow int
+	// SerialBelow is the total-work crossover for SolveAuto
+	// (DefaultSerialBelow when <= 0).
+	SerialBelow int64
+}
+
+// withDefaults resolves the zero-value knobs and normalizes an empty
+// mask to the unmasked solve.
+func (so SolveOpts) withDefaults() SolveOpts {
+	if so.WaveGrain <= 0 {
+		so.WaveGrain = DefaultWaveGrain
+	}
+	if so.MergeBelow <= 0 {
+		so.MergeBelow = DefaultMergeBelow
+	}
+	if so.SerialBelow <= 0 {
+		so.SerialBelow = DefaultSerialBelow
+	}
+	if len(so.Mask) == 0 {
+		so.Mask = nil
+	}
+	return so
+}
+
+// validate rejects unknown enums and malformed masks for an n-row
+// operand. Mask violations are structural (ErrInvalidMatrix), enum
+// violations are configuration (ErrConfig), mirroring Validate.
+func (so SolveOpts) validate(n int) error {
+	switch so.Tri {
+	case Lower, Upper:
+	default:
+		return errConfig("unknown triangle %d", so.Tri)
+	}
+	switch so.Mode {
+	case SolveAuto, SolveWaves, SolveSerial:
+	default:
+		return errConfig("unknown solve mode %d", so.Mode)
+	}
+	prev := sparse.Index(-1)
+	for k, r := range so.Mask {
+		if r < 0 || int(r) >= n {
+			return fmt.Errorf("%w: mask row %d out of range [0,%d)", ErrInvalidMatrix, r, n)
+		}
+		if r <= prev {
+			return fmt.Errorf("%w: mask rows must be strictly ascending (entry %d: %d after %d)",
+				ErrInvalidMatrix, k, r, prev)
+		}
+		prev = r
+	}
+	return nil
+}
+
+// effectiveLower reports whether the solve substitutes forward:
+// transposing flips the stored triangle.
+func (so SolveOpts) effectiveLower() bool {
+	return (so.Tri == Lower) != so.Transpose
+}
+
+// solveKind encodes the solve flavor into PlanKey.Solve: non-zero to
+// discriminate from SpGEMM plans, then one bit each for triangle and
+// transpose.
+func (so SolveOpts) solveKind() uint8 {
+	k := uint8(1)
+	if so.Tri == Upper {
+		k |= 2
+	}
+	if so.Transpose {
+		k |= 4
+	}
+	return k
+}
+
+// solveHash fingerprints what the wave order depends on: the operand's
+// row structure, the mask contents and the coarsening knobs, folded
+// word-wise FNV-1a style. Column indices are deliberately excluded —
+// hashing them would double the per-call memory traffic — so the cache
+// relies on the documented contract that an operand is not mutated
+// while cached plans for it may be reused; RowPtr plus the OperandID
+// (pointer, shape, nnz) already catches reallocation and any structural
+// edit that moves a row boundary.
+func solveHash[T sparse.Number](l *sparse.CSR[T], so SolveOpts) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	h = (h ^ uint64(l.Rows)) * prime
+	for _, p := range l.RowPtr {
+		h = (h ^ uint64(p)) * prime
+	}
+	h = (h ^ uint64(len(so.Mask))) * prime
+	for _, r := range so.Mask {
+		h = (h ^ uint64(uint32(r))) * prime
+	}
+	h = (h ^ uint64(so.WaveGrain)) * prime
+	h = (h ^ uint64(so.MergeBelow)) * prime
+	return h
+}
+
+// SolveTri solves op(L)·x = b into a fresh vector. See SolveTriInto.
+func SolveTri[T sparse.Number, S semiring.Semiring[T]](
+	sr S, l *sparse.CSR[T], b []T, cfg Config, so SolveOpts,
+) ([]T, error) {
+	dst := make([]T, len(b))
+	if err := SolveTriInto(sr, dst, l, b, cfg, so); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// SolveTriInto solves op(L)·x = b into dst under the wave scheduler.
+// L must be square with sorted rows; dst and b must have length L.Rows
+// and must either be the same slice (in-place solve) or not overlap.
+// Rows outside the mask receive b unchanged. The level-set plan is
+// cached in cfg.Engine keyed by operand fingerprint plus a structure
+// hash (see solveHash); warm engine-backed solves are allocation-free
+// on the substitution path.
+//
+// Failure taxonomy: ErrSingular for a structurally missing or
+// numerically zero diagonal on a solved row, ErrNotTriangular for an
+// in-mask entry on the wrong side of the diagonal, ErrCanceled /
+// ErrPanic / ErrStalled exactly as MaskedSpGEMM.
+func SolveTriInto[T sparse.Number, S semiring.Semiring[T]](
+	sr S, dst []T, l *sparse.CSR[T], b []T, cfg Config, so SolveOpts,
+) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	so = so.withDefaults()
+	n := l.Rows
+	if l.Cols != n {
+		return fmt.Errorf("%w: triangular operand must be square, got %dx%d", sparse.ErrShape, l.Rows, l.Cols)
+	}
+	if len(dst) != n || len(b) != n {
+		return fmt.Errorf("%w: operand is %dx%d but len(dst)=%d, len(b)=%d",
+			sparse.ErrShape, n, n, len(dst), len(b))
+	}
+	if err := so.validate(n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+
+	ctx := cfg.Context
+	scope := cfg.Recorder.StartRun()
+	defer scope.End()
+	poolPrior := cfg.Engine.Stats()
+
+	plan, err := solvePlanFor(ctx, cfg, l, so, scope)
+	if err != nil {
+		return err
+	}
+	sp := plan.Solve
+
+	op := l
+	if so.Transpose {
+		op = sp.Trans.(*sparse.CSR[T])
+	}
+	// dst starts as b: out-of-mask rows keep it, solved rows overwrite it
+	// in dependency order. An in-place solve (dst is b) skips the copy.
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+
+	// Mask membership for the substitution kernel, staged in the pooled
+	// dense scratch's state bytes: set before the run, cleared after, so
+	// the workspace goes back to the pool clean. A failed run poisons the
+	// checkout instead (same quarantine discipline as the SpGEMM path).
+	var ws *exec.Workspace[T, S]
+	var state []uint8
+	clean := so.Mask == nil
+	if so.Mask != nil {
+		ws = exec.Dense[T, S](cfg.Engine, sr, n, 1, 0)
+		defer func() {
+			if !clean {
+				ws.Poison()
+			}
+			ws.Release()
+		}()
+		_, state = ws.Dense[0].EnsureSize(n)
+		for _, r := range so.Mask {
+			state[r] = 1
+		}
+	}
+
+	workers := sched.Workers(cfg.Workers)
+	serial := so.Mode == SolveSerial || workers <= 1 ||
+		(so.Mode == SolveAuto && sp.Flops < so.SerialBelow)
+
+	var wstats *sched.WaveStats
+	if serial {
+		if !scope.Enabled() {
+			// Direct call, no spans: keeps the warm engine-backed path
+			// free of closure allocations (the zero-alloc pin).
+			err = solveSerialOrder(ctx, op, dst, b, state, sp.Order)
+		} else {
+			err = runSolveSerialSpanned(ctx, scope, func() error {
+				return solveSerialOrder(ctx, op, dst, b, state, sp.Order)
+			})
+		}
+	} else {
+		var wp sched.WavePlan
+		wp, err = sched.NewWavePlan(sp.Waves)
+		if err == nil {
+			if scope.Enabled() {
+				wstats = &sched.WaveStats{}
+			}
+			err = runSolveWavesSpanned(ctx, cfg, scope, workers, wp, wstats, func(worker, t int, wc *obs.WorkerCounters) {
+				tile := sp.Tiles[t]
+				var flops int64
+				for s := tile.Lo; s < tile.Hi; s++ {
+					i := int(sp.Order[s])
+					flops += op.RowNNZ(i)
+					solveRow(op, dst, b, state, i)
+				}
+				if wc != nil {
+					wc.Rows.Add(int64(tile.Rows()))
+					wc.Flops.Add(flops)
+				}
+			})
+		}
+	}
+	if err != nil {
+		return wrapSolveErr(err)
+	}
+
+	if so.Mask != nil {
+		for _, r := range so.Mask {
+			state[r] = 0
+		}
+	}
+	recordSolveStats(scope, sp, wstats)
+	recordPoolDelta(cfg, poolPrior, scope)
+	scope.MarkComplete()
+	clean = true
+	return nil
+}
+
+// SolveTriSerial is the reference substitution: a single loop in
+// substitution order with its own validation, sharing only the per-row
+// arithmetic with the wave path so the two are bit-identical by
+// construction (each row is summed in CSR storage order by exactly one
+// worker in both). It allocates its own scratch and, for transpose
+// solves, its own transpose — the baseline the wave path is verified
+// and benchmarked against, not a fast path.
+func SolveTriSerial[T sparse.Number](
+	dst []T, l *sparse.CSR[T], b []T, so SolveOpts,
+) (err error) {
+	so = so.withDefaults()
+	n := l.Rows
+	if l.Cols != n {
+		return fmt.Errorf("%w: triangular operand must be square, got %dx%d", sparse.ErrShape, l.Rows, l.Cols)
+	}
+	if len(dst) != n || len(b) != n {
+		return fmt.Errorf("%w: operand is %dx%d but len(dst)=%d, len(b)=%d",
+			sparse.ErrShape, n, n, len(dst), len(b))
+	}
+	if err := so.validate(n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	op := l
+	if so.Transpose {
+		op = sparse.Transpose(l)
+	}
+	lower := so.effectiveLower()
+	var state []uint8
+	if so.Mask != nil {
+		state = make([]uint8, n)
+		for _, r := range so.Mask {
+			state[r] = 1
+		}
+	}
+	// Structural validation up front, so the substitution loop below can
+	// share solveRow's unchecked arithmetic with the wave kernel.
+	walk := func(i int) error {
+		diag := false
+		for _, j := range op.RowCols(i) {
+			jj := int(j)
+			if state != nil && state[jj] == 0 {
+				continue
+			}
+			if jj == i {
+				diag = true
+				continue
+			}
+			if dep := jj < i; dep != lower {
+				return fmt.Errorf("%w: entry (%d,%d) lies outside the %s triangle on the solved rows",
+					ErrNotTriangular, i, jj, effTriName(lower))
+			}
+		}
+		if !diag {
+			return fmt.Errorf("%w: row %d has no stored diagonal", ErrSingular, i)
+		}
+		return nil
+	}
+	if so.Mask != nil {
+		for _, r := range so.Mask {
+			if err := walk(int(r)); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if err := walk(i); err != nil {
+				return err
+			}
+		}
+	}
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	defer func() {
+		err = recoverSingular(recover(), err)
+	}()
+	if so.Mask != nil {
+		if lower {
+			for _, r := range so.Mask {
+				solveRow(op, dst, b, state, int(r))
+			}
+		} else {
+			for k := len(so.Mask) - 1; k >= 0; k-- {
+				solveRow(op, dst, b, state, int(so.Mask[k]))
+			}
+		}
+		return nil
+	}
+	if lower {
+		for i := 0; i < n; i++ {
+			solveRow(op, dst, b, nil, i)
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			solveRow(op, dst, b, nil, i)
+		}
+	}
+	return nil
+}
+
+// effTriName names the effective triangle for error messages (the
+// stored one for plain solves, the flipped one under transpose, in the
+// transposed operand's coordinates).
+func effTriName(lower bool) string {
+	if lower {
+		return "lower"
+	}
+	return "upper"
+}
+
+// solveRow substitutes one row: acc = Σ op[i,j]·x[j] over the in-mask
+// off-diagonal entries in CSR storage order, then
+// x[i] = (b[i] − acc) / diag. The summation order is what makes serial
+// and wave execution bit-identical — each row is computed by exactly
+// one worker, in exactly this order, in both. A zero (or structurally
+// missing, hence zero) diagonal panics with an ErrSingular-wrapped
+// error; the containment frame turns that into the typed return (see
+// wrapSolveErr). state is the mask-membership byte vector, nil when
+// every row is solved.
+//
+//spgemm:hotpath
+func solveRow[T sparse.Number](op *sparse.CSR[T], dst, b []T, state []uint8, i int) {
+	cols, vals := op.Row(i)
+	ii := sparse.Index(i)
+	var acc, diag, zero T
+	for k, j := range cols {
+		if j == ii {
+			diag = vals[k]
+			continue
+		}
+		if state != nil && state[j] == 0 {
+			continue
+		}
+		acc += vals[k] * dst[j]
+	}
+	if diag == zero {
+		//lint:ignore hotpathalloc failure path: the solve is over
+		panic(fmt.Errorf("%w: zero diagonal at row %d", ErrSingular, i))
+	}
+	dst[i] = (b[i] - acc) / diag
+}
+
+// solveSerialOrder is the engine-backed serial execution: the planned
+// substitution order run by one worker, polling cancellation every
+// stride rows. Zero-alloc on the warm path; the ErrSingular panic from
+// solveRow is recovered into the typed return.
+func solveSerialOrder[T sparse.Number](
+	ctx context.Context, op *sparse.CSR[T], dst, b []T, state []uint8, order []sparse.Index,
+) (err error) {
+	defer func() {
+		err = recoverSingular(recover(), err)
+	}()
+	const pollStride = 1024
+	for s, r := range order {
+		if ctx != nil && s%pollStride == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		solveRow(op, dst, b, state, int(r))
+	}
+	return nil
+}
+
+// recoverSingular converts a recovered ErrSingular panic (solveRow's
+// zero-diagonal signal) into the error it wraps; any other panic value
+// is re-raised. Call with the result of recover().
+func recoverSingular(r any, prev error) error {
+	if r == nil {
+		return prev
+	}
+	if e, ok := r.(error); ok && errors.Is(e, ErrSingular) {
+		return e
+	}
+	panic(r)
+}
+
+// buildSolvePlan runs the level-set analysis and wave coarsening for
+// one solve flavor: O(nnz) like every plan pass. Levels are computed in
+// substitution order (ascending rows for an effective lower triangle,
+// descending for upper), a stable counting sort by level produces the
+// slot order, and the coarsener merges runs of levels narrower than
+// MergeBelow into single-tile serial waves while splitting wide levels
+// at ~WaveGrain row work per tile.
+func buildSolvePlan[T sparse.Number](l *sparse.CSR[T], so SolveOpts) (*exec.SolvePlan, error) {
+	op := l
+	var trans any
+	if so.Transpose {
+		t := sparse.Transpose(l)
+		trans = t
+		op = t
+	}
+	lower := so.effectiveLower()
+	n := op.Rows
+
+	var inMask []uint8
+	m := n
+	if so.Mask != nil {
+		inMask = make([]uint8, n)
+		for _, r := range so.Mask {
+			inMask[r] = 1
+		}
+		m = len(so.Mask)
+	}
+
+	level := make([]int32, n)
+	rowWork := make([]int64, n)
+	maxLv := int32(-1)
+	var totalFlops int64
+	visit := func(i int) error {
+		lv := int32(0)
+		var w int64
+		diag := false
+		for _, j := range op.RowCols(i) {
+			jj := int(j)
+			if inMask != nil && inMask[jj] == 0 {
+				continue
+			}
+			if jj == i {
+				diag = true
+				w++
+				continue
+			}
+			if dep := jj < i; dep != lower {
+				return fmt.Errorf("%w: entry (%d,%d) lies outside the %s triangle on the solved rows",
+					ErrNotTriangular, i, jj, effTriName(lower))
+			}
+			w++
+			if next := level[jj] + 1; next > lv {
+				lv = next
+			}
+		}
+		if !diag {
+			return fmt.Errorf("%w: row %d has no stored diagonal", ErrSingular, i)
+		}
+		level[i] = lv
+		rowWork[i] = w
+		totalFlops += w
+		if lv > maxLv {
+			maxLv = lv
+		}
+		return nil
+	}
+	// Substitution order guarantees every dependency's level is final
+	// before it is read: forward solves scan rows ascending, backward
+	// solves descending, and masked solves visit only the masked rows.
+	if so.Mask != nil {
+		if lower {
+			for _, r := range so.Mask {
+				if err := visit(int(r)); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for k := len(so.Mask) - 1; k >= 0; k-- {
+				if err := visit(int(so.Mask[k])); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else if lower {
+		for i := 0; i < n; i++ {
+			if err := visit(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			if err := visit(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	numLv := int(maxLv) + 1
+	if m == 0 || numLv == 0 {
+		return &exec.SolvePlan{Trans: trans}, nil
+	}
+
+	// Stable counting sort of the substitution order by level: slots
+	// grouped by level, substitution order preserved within each level —
+	// which is what lets a merged serial wave honor its intra-wave
+	// dependencies by running its single tile front to back.
+	lvStart := make([]int, numLv+1)
+	lvFlops := make([]int64, numLv)
+	countLevels := func(i int) {
+		lvStart[level[i]+1]++
+		lvFlops[level[i]] += rowWork[i]
+	}
+	order := make([]sparse.Index, m)
+	if so.Mask != nil {
+		for _, r := range so.Mask {
+			countLevels(int(r))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			countLevels(i)
+		}
+	}
+	for k := 0; k < numLv; k++ {
+		lvStart[k+1] += lvStart[k]
+	}
+	fill := make([]int, numLv)
+	copy(fill, lvStart[:numLv])
+	place := func(i int) {
+		order[fill[level[i]]] = sparse.Index(i)
+		fill[level[i]]++
+	}
+	if so.Mask != nil {
+		if lower {
+			for _, r := range so.Mask {
+				place(int(r))
+			}
+		} else {
+			for k := len(so.Mask) - 1; k >= 0; k-- {
+				place(int(so.Mask[k]))
+			}
+		}
+	} else if lower {
+		for i := 0; i < n; i++ {
+			place(i)
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			place(i)
+		}
+	}
+
+	// Coarsening: narrow-level runs collapse into one serial single-tile
+	// wave (one barrier instead of one per level, no claim contention);
+	// wide levels split greedily at ~WaveGrain row work per tile so a
+	// skewed level cannot serialize its wave behind one heavy tile.
+	var tiles []tiling.Tile
+	var waves []sched.Wave
+	var waveFlops []int64
+	for k := 0; k < numLv; {
+		width := lvStart[k+1] - lvStart[k]
+		tileLo := len(tiles)
+		if width < so.MergeBelow {
+			slotLo := lvStart[k]
+			var f int64
+			for k < numLv && lvStart[k+1]-lvStart[k] < so.MergeBelow {
+				f += lvFlops[k]
+				k++
+			}
+			tiles = append(tiles, tiling.Tile{Lo: slotLo, Hi: lvStart[k]})
+			waveFlops = append(waveFlops, f)
+		} else {
+			slotLo, slotHi := lvStart[k], lvStart[k+1]
+			lo := slotLo
+			var acc int64
+			for s := slotLo; s < slotHi; s++ {
+				acc += rowWork[order[s]]
+				if acc >= so.WaveGrain && s+1 < slotHi {
+					tiles = append(tiles, tiling.Tile{Lo: lo, Hi: s + 1})
+					lo, acc = s+1, 0
+				}
+			}
+			tiles = append(tiles, tiling.Tile{Lo: lo, Hi: slotHi})
+			waveFlops = append(waveFlops, lvFlops[k])
+			k++
+		}
+		waves = append(waves, sched.Wave{Lo: tileLo, Hi: len(tiles)})
+	}
+	serialWaves := 0
+	for _, w := range waves {
+		if w.Tiles() == 1 {
+			serialWaves++
+		}
+	}
+	return &exec.SolvePlan{
+		Order:       order,
+		Tiles:       tiles,
+		Waves:       waves,
+		Levels:      numLv,
+		SerialWaves: serialWaves,
+		Flops:       totalFlops,
+		WaveFlops:   waveFlops,
+		Trans:       trans,
+	}, nil
+}
+
+// solvePlanFor resolves the level-schedule plan through the engine's
+// cache. Unlike SpGEMM plans, a stale solve plan is a correctness bug
+// (the wave order encodes dependencies), so the key content-hashes the
+// structure and mask on top of the operand fingerprint; the hash is
+// O(rows + mask) per call, paid on hits too.
+func solvePlanFor[T sparse.Number](
+	ctx context.Context, cfg Config, l *sparse.CSR[T], so SolveOpts, scope *obs.RunScope,
+) (exec.Plan, error) {
+	if cfg.Engine == nil {
+		return buildSolvePlanSpanned(ctx, l, so, scope)
+	}
+	key := exec.PlanKey{
+		A:         exec.IDOf(l),
+		Solve:     so.solveKind(),
+		SolveHash: solveHash(l, so),
+	}
+	// Lookup-before-Plan keeps the warm path allocation-free: the build
+	// closure is only constructed on a miss.
+	if p, ok := cfg.Engine.PlanLookup(key); ok {
+		return p, nil
+	}
+	return cfg.Engine.Plan(key, func() (exec.Plan, error) {
+		return buildSolvePlanSpanned(ctx, l, so, scope)
+	})
+}
+
+// buildSolvePlanSpanned is buildSolvePlan under the plan.levels span
+// and pprof label, wrapped into an exec.Plan.
+func buildSolvePlanSpanned[T sparse.Number](
+	ctx context.Context, l *sparse.CSR[T], so SolveOpts, scope *obs.RunScope,
+) (exec.Plan, error) {
+	var sp *exec.SolvePlan
+	var err error
+	if !scope.Enabled() {
+		sp, err = buildSolvePlan(l, so)
+	} else {
+		end := scope.Span(obs.PhasePlanLevels)
+		scope.Do(ctx, obs.PhasePlanLevels, func() {
+			sp, err = buildSolvePlan(l, so)
+		})
+		end()
+	}
+	if err != nil {
+		return exec.Plan{}, err
+	}
+	return exec.Plan{Tiles: sp.Tiles, Solve: sp}, nil
+}
+
+// recordSolveStats folds the plan shape and barrier traffic into the
+// run scope's sched block. wstats is nil on serial runs (no barriers).
+func recordSolveStats(scope *obs.RunScope, sp *exec.SolvePlan, wstats *sched.WaveStats) {
+	if !scope.Enabled() {
+		return
+	}
+	var c obs.SchedCounters
+	c.WaveRuns = 1
+	c.Levels = int64(sp.Levels)
+	c.Waves = int64(len(sp.Waves))
+	c.SerialWaves = int64(sp.SerialWaves)
+	if wstats != nil {
+		c.Barriers = wstats.Crossings.Load()
+		c.BarrierWaitNs = wstats.BarrierWaitNs.Load()
+	}
+	for w := range sp.Waves {
+		c.WaveTiles[obs.WaveBucket(int64(sp.Waves[w].Tiles()))]++
+		c.WaveFlops[obs.WaveBucket(sp.WaveFlops[w])]++
+	}
+	scope.AddSched(c)
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"maskedspgemm/internal/chaos"
+	"maskedspgemm/internal/sched"
 	"maskedspgemm/internal/sparse"
 	"maskedspgemm/internal/tiling"
 )
@@ -16,10 +17,45 @@ import (
 // the kernel mutates a Tile — and survive operand mutation harmlessly:
 // the plan key pins rows, so a stale hit still partitions exactly
 // [0, rows); at worst the FLOP balance is off and accumulators grow on
-// demand. Correctness never depends on plan freshness.
+// demand. For SpGEMM, correctness never depends on plan freshness;
+// triangular-solve plans are the exception — their wave order encodes
+// dependencies, so their keys content-hash the structure (see
+// PlanKey.SolveHash) instead of relying on identity alone.
 type Plan struct {
 	Tiles  []tiling.Tile
 	RowCap int64
+	// Solve is the level-schedule payload of a triangular-solve plan;
+	// nil for SpGEMM plans.
+	Solve *SolvePlan
+}
+
+// SolvePlan is the dependency-wave half of a masked triangular-solve
+// plan: the substitution order of the in-mask rows, the FLOP-balanced
+// tile partition of that order, and the wave coarsening over those
+// tiles. Shared read-only across runs like every cached plan.
+type SolvePlan struct {
+	// Order maps execution slot to row index: the in-mask rows sorted by
+	// (dependency level, substitution order). Tiles partition slots, not
+	// raw row indices.
+	Order []sparse.Index
+	// Tiles partitions [0, len(Order)) into row-work-balanced tiles
+	// aligned to level boundaries.
+	Tiles []tiling.Tile
+	// Waves groups consecutive tiles into dependency waves: every slot
+	// in a wave depends only on slots in strictly earlier waves.
+	Waves []sched.Wave
+	// Levels is the raw level-set depth before coarsening; SerialWaves
+	// counts waves the coarsener collapsed to a single tile.
+	Levels, SerialWaves int
+	// Flops is the Eq. 2 total row work of the solve; WaveFlops is the
+	// per-wave breakdown (len(Waves) entries), feeding the observability
+	// histograms without a rescan.
+	Flops     int64
+	WaveFlops []int64
+	// Trans holds the plan-time transposed operand for transpose solves
+	// (a *sparse.CSR[T]; typed any because Plan is not generic). Nil for
+	// non-transpose solves.
+	Trans any
 }
 
 // OperandID fingerprints one operand: pointer identity plus the
@@ -53,12 +89,50 @@ type PlanKey struct {
 	// Vanilla captures whether the row capacity was sized by the flop
 	// upper bound (vanilla iteration) or the mask row maximum.
 	Vanilla bool
+	// Solve discriminates triangular-solve plans from SpGEMM plans in
+	// the shared cache: 0 for SpGEMM, otherwise an encoding of the solve
+	// kind (lower/upper, transpose) plus one.
+	Solve uint8
+	// SolveHash fingerprints what a solve plan's correctness depends on:
+	// the operand's structure and the mask contents, plus the coarsening
+	// knobs. A solve plan's wave order encodes dependencies, so — unlike
+	// SpGEMM — a stale hit would be a correctness bug, not a balance
+	// wobble; content-hashing closes the recycled-address hole. Zero for
+	// SpGEMM plans.
+	SolveHash uint64
 }
 
 // planEntry is one cached plan with its LRU stamp.
 type planEntry struct {
 	plan  Plan
 	stamp uint64
+}
+
+// PlanLookup returns the cached plan for key without building: the
+// allocation-free fast path for callers whose build closure would
+// otherwise be constructed (and heap-escape) on every call. A hit
+// counts toward PlanHits and refreshes the LRU stamp; a miss counts
+// nothing — the follow-up Plan call does.
+//
+//spgemm:hotpath
+func (e *Engine) PlanLookup(key PlanKey) (Plan, bool) {
+	if e == nil || e.maxPlans() == 0 {
+		return Plan{}, false
+	}
+	e.mu.Lock()
+	ent, ok := e.plans[key]
+	var plan Plan
+	if ok {
+		e.planClock++
+		ent.stamp = e.planClock
+		plan = ent.plan
+	}
+	e.mu.Unlock()
+	if !ok {
+		return Plan{}, false
+	}
+	e.planHits.Add(1)
+	return plan, true
 }
 
 // Plan returns the cached plan for key, or builds, caches and returns

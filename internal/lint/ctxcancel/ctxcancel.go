@@ -8,11 +8,15 @@
 //
 // A claim operation is an Add or CompareAndSwap on a sync/atomic
 // integer (the shared tile counter), or a call to a function whose name
-// contains "claim" (claimGuided). A stop flag is any value reachable in
-// the enclosing declaration whose type is atomic.Bool, or a struct
-// (like sched.runState) containing an atomic.Bool field. Loops in
-// functions with no stop flag in scope — the legacy panic-propagating
-// entry points — are exempt by construction.
+// contains "claim" (claimGuided) — or, since the wave scheduler, a name
+// containing "barrier", "arrive" or "await": a worker spinning at a
+// wave barrier is exactly as capable of outliving a cancelled run as
+// one churning through a tile bag, so its wait loop owes the same poll.
+// A stop flag is any value reachable in the enclosing declaration whose
+// type is atomic.Bool, or a struct (like sched.runState) containing an
+// atomic.Bool field. Loops in functions with no stop flag in scope —
+// the legacy panic-propagating entry points — are exempt by
+// construction.
 package ctxcancel
 
 import (
@@ -136,17 +140,26 @@ func containsClaim(pass *lint.Pass, loop *ast.ForStmt) bool {
 				isAtomicInteger(sig.Recv().Type()) && (name == "Add" || name == "CompareAndSwap") {
 				claims = true
 			}
-			if strings.Contains(strings.ToLower(name), "claim") {
+			if claimName(name) {
 				claims = true
 			}
 		case *ast.Ident:
-			if strings.Contains(strings.ToLower(fun.Name), "claim") {
+			if claimName(fun.Name) {
 				claims = true
 			}
 		}
 		return true
 	})
 	return claims
+}
+
+// claimName reports whether a function name marks a claim-like
+// operation: a tile claim, or a wave-barrier wait (barrier/arrive/
+// await), whose spin loop must poll the stop flag just the same.
+func claimName(name string) bool {
+	n := strings.ToLower(name)
+	return strings.Contains(n, "claim") || strings.Contains(n, "barrier") ||
+		strings.Contains(n, "arrive") || strings.Contains(n, "await")
 }
 
 // isAtomicInteger reports sync/atomic's integer counter types.

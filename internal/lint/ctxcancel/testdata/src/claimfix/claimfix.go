@@ -81,6 +81,30 @@ func nestedBad(st *state, n int64) {
 	}
 }
 
+func arriveBarrier(gen *atomic.Int64, want int64) bool { return gen.Load() >= want }
+
+// badBarrierWait spins at a wave barrier without polling the stop flag:
+// a cancelled run leaves the worker parked until the stragglers arrive.
+func badBarrierWait(st *state, gen int64) {
+	for { // want `tile-claim loop does not poll the stop flag between claims`
+		if arriveBarrier(&st.next, gen) {
+			return
+		}
+	}
+}
+
+// goodBarrierWait polls the stop flag on every spin.
+func goodBarrierWait(st *state, gen int64) {
+	for {
+		if st.stop.Load() {
+			return
+		}
+		if arriveBarrier(&st.next, gen) {
+			return
+		}
+	}
+}
+
 // noClaim loops without claiming: nothing to report even without polls.
 func noClaim(st *state, n int64) int64 {
 	var sum int64

@@ -14,7 +14,10 @@
 //     protocol (context cancellation lands here via <-ctx.Done());
 //   - a stop-flag poll: atomic.Bool.Load or ctx.Err();
 //   - a WaitGroup join: any (*sync.WaitGroup).Done call;
-//   - a completion signal: close(ch), which a supervisor awaits.
+//   - a completion signal: close(ch), which a supervisor awaits;
+//   - a condition-variable park: (*sync.Cond).Wait — the wave
+//     scheduler's barrier; the releasing Broadcast is the supervisor's
+//     to issue, making the exit observable.
 //
 // A goroutine whose termination is established by means the analyzer
 // cannot see (an external library's own lifecycle, process-lifetime
@@ -208,6 +211,11 @@ func directEvidence(info *types.Info, body ast.Node) string {
 					kind = "stop-flag poll"
 				case fn.Name() == "Err" && recvIs(fn, "context", "Context"):
 					kind = "context poll"
+				case fn.Name() == "Wait" && recvIs(fn, "sync", "Cond"):
+					// A worker parked in sync.Cond.Wait (the wave
+					// barrier) is released by a Broadcast the supervisor
+					// owns — an observable join point, same as a channel.
+					kind = "condvar wait"
 				}
 			}
 		}

@@ -70,6 +70,19 @@ func ctxPoll(ctx context.Context) {
 	}()
 }
 
+// condWait parks on a condition variable the supervisor broadcasts —
+// the wave barrier's shape: an observable join point, not a leak.
+func condWait(c *sync.Cond, done *bool) {
+	go func() {
+		c.L.Lock()
+		for !*done {
+			c.Wait()
+		}
+		c.L.Unlock()
+		work()
+	}()
+}
+
 // viaDep terminates through a callee in another package: the evidence
 // arrives as an object fact through the call graph.
 func viaDep(stop *atomic.Bool) {

@@ -1,0 +1,165 @@
+package model
+
+import (
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/sched"
+	"maskedspgemm/internal/sparse"
+)
+
+// Execution-time tuning for the masked triangular solve: the same
+// philosophy as Predict — cheap structural features, decision rules
+// with explicit thresholds — applied to the level-schedule knobs the
+// wave coarsener exposes (core.SolveOpts.WaveGrain / MergeBelow) and
+// the serial-fallback crossover.
+
+// SolveFeatures are the structural quantities the solve predictor
+// decides on, computable in one O(n + nnz-restricted) pass over the
+// operand structure (no level-set construction needed).
+type SolveFeatures struct {
+	// Rows is the number of solved rows (the mask size, or n unmasked).
+	Rows int
+	// Work is the Eq. 2 total row work of the solve: stored entries on
+	// the solved rows, restricted to the mask.
+	Work int64
+	// AvgRowWork is Work / Rows.
+	AvgRowWork float64
+	// BandFrac estimates dependency depth: the fraction of off-diagonal
+	// entries within a narrow band of the diagonal. Banded systems
+	// produce long dependency chains (deep, narrow level sets) where
+	// waves buy little; scattered systems produce shallow wide level
+	// sets where waves shine.
+	BandFrac float64
+}
+
+// ExtractSolve computes the solve features of op(L)·x = b under an
+// optional row mask (nil or empty = all rows). The band window is
+// max(1, n/64) — narrow relative to the matrix, wide enough to catch
+// tridiagonal-like chains.
+func ExtractSolve[T sparse.Number](l *sparse.CSR[T], mask []sparse.Index) SolveFeatures {
+	n := l.Rows
+	var f SolveFeatures
+	if n == 0 {
+		return f
+	}
+	band := int64(n / 64)
+	if band < 1 {
+		band = 1
+	}
+	var inMask []uint8
+	if len(mask) > 0 {
+		inMask = make([]uint8, n)
+		for _, r := range mask {
+			if int(r) < n {
+				inMask[r] = 1
+			}
+		}
+		f.Rows = len(mask)
+	} else {
+		f.Rows = n
+	}
+	var offDiag, banded int64
+	visit := func(i int) {
+		for _, j := range l.RowCols(i) {
+			jj := int(j)
+			if inMask != nil && inMask[jj] == 0 {
+				continue
+			}
+			f.Work++
+			if jj == i {
+				continue
+			}
+			offDiag++
+			d := int64(i - jj)
+			if d < 0 {
+				d = -d
+			}
+			if d <= band {
+				banded++
+			}
+		}
+	}
+	if len(mask) > 0 {
+		for _, r := range mask {
+			if int(r) < n {
+				visit(int(r))
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			visit(i)
+		}
+	}
+	if f.Rows > 0 {
+		f.AvgRowWork = float64(f.Work) / float64(f.Rows)
+	}
+	if offDiag > 0 {
+		f.BandFrac = float64(banded) / float64(offDiag)
+	}
+	return f
+}
+
+// SolveThresholds are the decision boundaries of the solve predictor.
+type SolveThresholds struct {
+	// SerialBelow is the total row work under which the whole solve runs
+	// serially — barriers and goroutine fan-out cost more than a short
+	// substitution loop.
+	SerialBelow int64
+	// BandedFrac: above this banded fraction the system is treated as
+	// chain-dominated and the serial crossover is raised (waves would be
+	// mostly single-tile levels separated by barriers).
+	BandedFrac float64
+	// BandedSerialBelow replaces SerialBelow for chain-dominated systems.
+	BandedSerialBelow int64
+	// GrainRows is the target number of rows per tile used to derive
+	// WaveGrain from the average row work: grain ≈ AvgRowWork·GrainRows.
+	GrainRows int
+	// MinGrain and MaxGrain clamp the derived grain.
+	MinGrain, MaxGrain int64
+}
+
+// DefaultSolveThresholds mirrors the SpGEMM defaults' spirit: serial
+// below ~16k units of work (the plan-pass crossover the rest of the
+// pipeline uses), a 4× higher bar for banded systems, and tiles sized
+// to amortize a claim without starving the widest levels.
+func DefaultSolveThresholds() SolveThresholds {
+	return SolveThresholds{
+		SerialBelow:       core.DefaultSerialBelow,
+		BandedFrac:        0.75,
+		BandedSerialBelow: 4 * core.DefaultSerialBelow,
+		GrainRows:         256,
+		MinGrain:          512,
+		MaxGrain:          1 << 16,
+	}
+}
+
+// PredictSolve maps solve features to execution options and a worker
+// configuration: the wave/serial crossover plus coarsening knobs
+// derived from the row-work distribution. The returned SolveOpts keeps
+// Tri/Transpose/Mask zeroed — callers overlay their own flavor.
+func PredictSolve(f SolveFeatures, th SolveThresholds, workers int) (core.SolveOpts, core.Config) {
+	cfg := core.DefaultConfig()
+	cfg.Schedule = sched.Dynamic
+	cfg.Workers = workers
+
+	so := core.SolveOpts{Mode: core.SolveAuto}
+	serialBelow := th.SerialBelow
+	if f.BandFrac >= th.BandedFrac {
+		serialBelow = th.BandedSerialBelow
+	}
+	so.SerialBelow = serialBelow
+
+	grain := int64(f.AvgRowWork * float64(max(th.GrainRows, 1)))
+	if grain < th.MinGrain {
+		grain = th.MinGrain
+	}
+	if grain > th.MaxGrain {
+		grain = th.MaxGrain
+	}
+	so.WaveGrain = grain
+
+	// Merge levels narrower than the worker fan-out: a level that cannot
+	// feed every worker pays its barrier without buying parallelism.
+	p := sched.Workers(workers)
+	so.MergeBelow = max(2*p, core.DefaultMergeBelow)
+	return so, cfg
+}

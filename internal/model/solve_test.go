@@ -1,0 +1,93 @@
+package model
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// tridiag builds the banded worst case: a lower bidiagonal chain where
+// every row depends on the previous one.
+func tridiag(n int) *sparse.CSR[float64] {
+	coo := sparse.NewCOO[float64](n, n, 0)
+	for i := 0; i < n; i++ {
+		coo.Add(sparse.Index(i), sparse.Index(i), 2)
+		if i > 0 {
+			coo.Add(sparse.Index(i), sparse.Index(i-1), 1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// scattered builds a shallow system: rows depend only on a handful of
+// far-away early rows, so level sets are wide.
+func scattered(n int) *sparse.CSR[float64] {
+	coo := sparse.NewCOO[float64](n, n, 0)
+	for i := 0; i < n; i++ {
+		coo.Add(sparse.Index(i), sparse.Index(i), 2)
+		if i >= n/2 {
+			coo.Add(sparse.Index(i), sparse.Index(i%7), 1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestExtractSolveFeatures(t *testing.T) {
+	n := 1024
+	f := ExtractSolve(tridiag(n), nil)
+	if f.Rows != n {
+		t.Fatalf("Rows = %d, want %d", f.Rows, n)
+	}
+	if f.Work != int64(2*n-1) {
+		t.Fatalf("Work = %d, want %d", f.Work, 2*n-1)
+	}
+	if f.BandFrac != 1 {
+		t.Fatalf("tridiagonal BandFrac = %v, want 1", f.BandFrac)
+	}
+	g := ExtractSolve(scattered(n), nil)
+	if g.BandFrac > 0.5 {
+		t.Fatalf("scattered BandFrac = %v, want <= 0.5", g.BandFrac)
+	}
+	// Masked extraction restricts the work to the mask.
+	mask := []sparse.Index{0, 1, 2, 3}
+	fm := ExtractSolve(tridiag(n), mask)
+	if fm.Rows != 4 || fm.Work != 7 {
+		t.Fatalf("masked features = %+v, want Rows=4 Work=7", fm)
+	}
+}
+
+func TestPredictSolveCrossover(t *testing.T) {
+	th := DefaultSolveThresholds()
+	// Chain-dominated systems get the raised serial bar.
+	banded := ExtractSolve(tridiag(4096), nil)
+	soBanded, cfg := PredictSolve(banded, th, 4)
+	if soBanded.SerialBelow != th.BandedSerialBelow {
+		t.Fatalf("banded SerialBelow = %d, want %d", soBanded.SerialBelow, th.BandedSerialBelow)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("predicted config invalid: %v", err)
+	}
+	// Scattered systems keep the standard crossover.
+	flat := ExtractSolve(scattered(4096), nil)
+	soFlat, _ := PredictSolve(flat, th, 4)
+	if soFlat.SerialBelow != th.SerialBelow {
+		t.Fatalf("scattered SerialBelow = %d, want %d", soFlat.SerialBelow, th.SerialBelow)
+	}
+	if soFlat.WaveGrain < th.MinGrain || soFlat.WaveGrain > th.MaxGrain {
+		t.Fatalf("WaveGrain = %d outside [%d, %d]", soFlat.WaveGrain, th.MinGrain, th.MaxGrain)
+	}
+	if soFlat.MergeBelow < core.DefaultMergeBelow {
+		t.Fatalf("MergeBelow = %d below the default floor", soFlat.MergeBelow)
+	}
+	// The predicted options must be accepted by the solver end to end.
+	b := make([]float64, 4096)
+	for i := range b {
+		b[i] = float64(i%13) + 1
+	}
+	dst := make([]float64, len(b))
+	if err := core.SolveTriInto[float64, semiring.PlusTimes[float64]](semiring.PlusTimes[float64]{}, dst, scattered(4096), b, cfg, soFlat); err != nil {
+		t.Fatalf("predicted options rejected: %v", err)
+	}
+}

@@ -24,6 +24,7 @@ package obs
 import (
 	"context"
 	"math"
+	"math/bits"
 	"runtime/pprof"
 	"runtime/trace"
 	"sync"
@@ -48,11 +49,19 @@ const (
 	PhaseExecKernel
 	// PhaseExecAssemble is the CSR stitching of per-tile outputs.
 	PhaseExecAssemble
+	// PhasePlanLevels is the triangular-solve level-set discovery and
+	// wave coarsening: dependency depths, substitution order, and the
+	// merge/split of levels into FLOP-balanced waves.
+	PhasePlanLevels
+	// PhaseExecSolve is the wave-scheduled substitution kernel of the
+	// masked triangular solve.
+	PhaseExecSolve
 	numPhases
 )
 
 // phaseNames are the stable identifiers used in the JSON schema and in
-// pprof labels; changing one is a schema break.
+// pprof labels; changing one is a schema break (appending is additive
+// and keeps stats/v1).
 var phaseNames = [numPhases]string{
 	"plan.row_work",
 	"plan.prefix_sum",
@@ -60,6 +69,8 @@ var phaseNames = [numPhases]string{
 	"plan.row_cap",
 	"exec.kernel",
 	"exec.assemble",
+	"plan.levels",
+	"exec.solve",
 }
 
 func (p Phase) String() string {
@@ -260,6 +271,7 @@ type Recorder struct {
 	fused   FusedCounters
 	recal   RecalCounters
 	retry   RetryCounters
+	sched   SchedCounters
 	runs    int64
 	// sink is the optional live-telemetry tap (see Sink); stored behind
 	// an atomic pointer so recording paths read it without the mutex.
@@ -294,6 +306,7 @@ func (r *Recorder) Reset() {
 	r.fused = FusedCounters{}
 	r.recal = RecalCounters{}
 	r.retry = RetryCounters{}
+	r.sched = SchedCounters{}
 	r.runs = 0
 	r.lastRun = Stats{}
 	r.hasLast = false
@@ -444,6 +457,98 @@ func (r *Recorder) AddRetry(c RetryCounters) {
 	if c.Failures > 0 {
 		r.Event(EventFailure, PhaseNone, c.Failures, 0)
 	}
+}
+
+// WaveHistBuckets is the bucket count of the wave-shape histograms:
+// log2 buckets, so bucket b (b > 0) covers values in [2^(b-1), 2^b) and
+// the last bucket absorbs everything wider.
+const WaveHistBuckets = 16
+
+// WaveBucket returns the log2 histogram bucket of v: bits.Len64,
+// clamped to the last bucket. Zero and negative values land in bucket 0.
+func WaveBucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= WaveHistBuckets {
+		return WaveHistBuckets - 1
+	}
+	return b
+}
+
+// SchedCounters are the wave-executor statistics of level-scheduled
+// runs (masked triangular solve): how many dependency-carrying runs
+// happened, how their level sets coarsened into waves, and what the
+// wave barriers cost. Flat single-wave SpGEMM runs record nothing here,
+// so the block stays zero — and is omitted from tables — on pure
+// multiply workloads.
+type SchedCounters struct {
+	// WaveRuns counts wave-scheduled runs.
+	WaveRuns int64 `json:"wave_runs"`
+	// Levels counts raw dependency levels before coarsening, summed
+	// across runs.
+	Levels int64 `json:"levels"`
+	// Waves counts executed waves after coarsening, summed across runs.
+	Waves int64 `json:"waves"`
+	// SerialWaves counts waves the coarsener collapsed to a single tile
+	// (narrow level runs executed serially between barriers).
+	SerialWaves int64 `json:"serial_waves"`
+	// Barriers counts barrier arrivals: one per worker per crossed wave
+	// boundary.
+	Barriers int64 `json:"barriers"`
+	// BarrierWaitNs is the cumulative time workers spent parked at wave
+	// barriers waiting for stragglers.
+	BarrierWaitNs int64 `json:"barrier_wait_ns"`
+	// WaveTiles and WaveFlops are log2-bucket histograms (see WaveBucket)
+	// of per-wave tile counts and Eq. 2 flop volumes.
+	WaveTiles [WaveHistBuckets]int64 `json:"wave_tiles"`
+	WaveFlops [WaveHistBuckets]int64 `json:"wave_flops"`
+}
+
+// add folds d into c, elementwise on the histograms.
+func (c *SchedCounters) add(d SchedCounters) {
+	c.WaveRuns += d.WaveRuns
+	c.Levels += d.Levels
+	c.Waves += d.Waves
+	c.SerialWaves += d.SerialWaves
+	c.Barriers += d.Barriers
+	c.BarrierWaitNs += d.BarrierWaitNs
+	for i := range c.WaveTiles {
+		c.WaveTiles[i] += d.WaveTiles[i]
+	}
+	for i := range c.WaveFlops {
+		c.WaveFlops[i] += d.WaveFlops[i]
+	}
+}
+
+// sub returns c - d, elementwise on the histograms.
+func (c SchedCounters) sub(d SchedCounters) SchedCounters {
+	out := SchedCounters{
+		WaveRuns:      c.WaveRuns - d.WaveRuns,
+		Levels:        c.Levels - d.Levels,
+		Waves:         c.Waves - d.Waves,
+		SerialWaves:   c.SerialWaves - d.SerialWaves,
+		Barriers:      c.Barriers - d.Barriers,
+		BarrierWaitNs: c.BarrierWaitNs - d.BarrierWaitNs,
+	}
+	for i := range out.WaveTiles {
+		out.WaveTiles[i] = c.WaveTiles[i] - d.WaveTiles[i]
+	}
+	for i := range out.WaveFlops {
+		out.WaveFlops[i] = c.WaveFlops[i] - d.WaveFlops[i]
+	}
+	return out
+}
+
+// AddSched folds wave-executor statistics into the totals.
+func (r *Recorder) AddSched(c SchedCounters) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sched.add(c)
+	r.mu.Unlock()
 }
 
 // AddFused folds fused-pipeline statistics into the totals.

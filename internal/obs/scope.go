@@ -36,6 +36,7 @@ type RunScope struct {
 	accum   AccumCounters
 	pool    PoolCounters
 	fused   FusedCounters
+	sched   SchedCounters
 	// completed marks the run as having finished its kernel; End counts
 	// only completed runs toward Runs and LastRun, so a run that errors
 	// out mid-pipeline still folds its partial spans into the cumulative
@@ -171,6 +172,14 @@ func (s *RunScope) AddFused(f FusedCounters) {
 	s.fused.Add(f)
 }
 
+// AddSched folds wave-executor statistics into the scope.
+func (s *RunScope) AddSched(c SchedCounters) {
+	if s == nil {
+		return
+	}
+	s.sched.add(c)
+}
+
 // MarkComplete flags the run as having finished successfully, so End
 // counts it toward Recorder runs and publishes it as LastRun.
 func (s *RunScope) MarkComplete() {
@@ -214,6 +223,7 @@ func (s *RunScope) stats() Stats {
 	out.Accum = s.accum
 	out.Pool = s.pool
 	out.Fused = s.fused
+	out.Sched = s.sched
 	out.finalize()
 	return out
 }
@@ -271,6 +281,7 @@ func (r *Recorder) foldScope(s *RunScope, snap Stats) {
 	r.pool.PlanHits += s.pool.PlanHits
 	r.pool.PlanMisses += s.pool.PlanMisses
 	r.fused.Add(s.fused)
+	r.sched.add(s.sched)
 	if s.completed {
 		r.runs++
 		r.lastRun = snap

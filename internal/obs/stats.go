@@ -123,6 +123,9 @@ type Stats struct {
 	// Retry is the retry-ladder statistics of the facade's resilience
 	// layer (zero when no retry policy is configured).
 	Retry RetryCounters `json:"retry"`
+	// Sched is the wave-executor statistics of level-scheduled runs
+	// (zero when only flat single-wave kernels ran).
+	Sched SchedCounters `json:"sched"`
 }
 
 // Stats snapshots the recorder. Nil recorders return a zero snapshot
@@ -166,6 +169,7 @@ func (r *Recorder) Stats() Stats {
 	s.Fused = r.fused
 	s.Recal = r.recal
 	s.Retry = r.retry
+	s.Sched = r.sched
 	s.finalize()
 	return s
 }
@@ -247,6 +251,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Failures:     s.Retry.Failures - prev.Retry.Failures,
 		Stalls:       s.Retry.Stalls - prev.Retry.Stalls,
 	}
+	out.Sched = s.Sched.sub(prev.Sched)
 	out.finalize()
 	return out
 }
@@ -297,5 +302,10 @@ func (s Stats) WriteTable(w io.Writer) {
 	if c := s.Retry; c.Attempts > 0 {
 		fmt.Fprintf(w, "  retry: attempts=%d retries=%d degradations=%d failures=%d stalls=%d\n",
 			c.Attempts, c.Retries, c.Degradations, c.Failures, c.Stalls)
+	}
+	if c := s.Sched; c.WaveRuns > 0 {
+		fmt.Fprintf(w, "  sched: wave-runs=%d levels=%d waves=%d (serial=%d) barriers=%d barrier-wait=%.3fms\n",
+			c.WaveRuns, c.Levels, c.Waves, c.SerialWaves, c.Barriers,
+			float64(c.BarrierWaitNs)/1e6)
 	}
 }

@@ -34,6 +34,11 @@ type RunOpts struct {
 	// still holds the run until it returns, but the error is typed and
 	// carries the stacks of every goroutine for diagnosis.
 	StallTimeout time.Duration
+	// WaveStats, when non-nil, accumulates wave-executor counters
+	// (barrier crossings, cumulative barrier-wait time) across the run's
+	// workers. The caller owns the struct and may share it across runs;
+	// nil skips all accounting.
+	WaveStats *WaveStats
 }
 
 // StallError reports a run whose workers stopped completing tiles for a
@@ -46,11 +51,19 @@ type StallError struct {
 	// Done and Tiles are the completed-tile count at detection and the
 	// run's total.
 	Done, Tiles int64
+	// Wave and Waves are the index of the wave in progress at detection
+	// and the plan's wave count, so a dependency-carrying run's verdict
+	// names the stuck wave. Flat single-wave runs report 0 and 1.
+	Wave, Waves int64
 	// Stacks is the formatted all-goroutine stack dump at detection.
 	Stacks []byte
 }
 
 func (e *StallError) Error() string {
+	if e.Waves > 1 {
+		return fmt.Sprintf("sched: no tile progress for %v (%d/%d tiles done, stuck in wave %d of %d)",
+			e.Timeout, e.Done, e.Tiles, e.Wave, e.Waves)
+	}
 	return fmt.Sprintf("sched: no tile progress for %v (%d/%d tiles done)", e.Timeout, e.Done, e.Tiles)
 }
 
@@ -61,7 +74,7 @@ func (st *runState) stall(se *StallError) {
 		st.se = se
 	}
 	st.mu.Unlock()
-	st.stop.Store(true)
+	st.halt()
 }
 
 // injectCancel records an injected spurious cancel and sets stop. The
@@ -74,7 +87,7 @@ func (st *runState) injectCancel(p chaos.Point) {
 			p, errors.Join(chaos.ErrInjected, context.Canceled))
 	}
 	st.mu.Unlock()
-	st.stop.Store(true)
+	st.halt()
 }
 
 // injectClaim fires the TileClaim seam; true means the worker must
@@ -111,10 +124,11 @@ func (st *runState) injectSpawn(inj chaos.Injector) bool {
 
 // watchStall arms the stall watchdog: a side goroutine that samples the
 // completed-tile counter every timeout and fails the run if a full
-// window passes with no progress while tiles remain. The returned
-// function must be called to release the watcher. A non-positive
-// timeout arms nothing.
-func (st *runState) watchStall(timeout time.Duration, tiles int64) (finish func()) {
+// window passes with no progress while tiles remain. The verdict
+// records the wave in progress at detection time (waves is the plan's
+// wave count). The returned function must be called to release the
+// watcher. A non-positive timeout arms nothing.
+func (st *runState) watchStall(timeout time.Duration, tiles, waves int64) (finish func()) {
 	if timeout <= 0 || tiles <= 0 {
 		return func() {}
 	}
@@ -138,7 +152,10 @@ func (st *runState) watchStall(timeout time.Duration, tiles int64) (finish func(
 				}
 				buf := make([]byte, 1<<20)
 				buf = buf[:runtime.Stack(buf, true)]
-				st.stall(&StallError{Timeout: timeout, Done: done, Tiles: tiles, Stacks: buf})
+				st.stall(&StallError{
+					Timeout: timeout, Done: done, Tiles: tiles,
+					Wave: st.wave.Load(), Waves: waves, Stacks: buf,
+				})
 				return
 			}
 		}

@@ -64,6 +64,23 @@ type runState struct {
 	// recorded cause would silently truncate the result.
 	se    *StallError
 	cause error
+	// wave tracks the index of the wave currently executing, so stall
+	// verdicts can name the stuck wave of a dependency-carrying run.
+	wave atomic.Int64
+	// wake, when non-nil, rouses workers parked at a wave barrier after
+	// the stop flag is raised (set once, before any worker spawns). Every
+	// stop-setter must go through halt, or a parked worker could sleep
+	// through the failure it is supposed to drain on.
+	wake func()
+}
+
+// halt raises the stop flag and wakes any workers parked at a wave
+// barrier so they observe it and drain.
+func (st *runState) halt() {
+	st.stop.Store(true)
+	if st.wake != nil {
+		st.wake()
+	}
 }
 
 // capture records the first panic and tells every worker to drain.
@@ -73,7 +90,7 @@ func (st *runState) capture(w int, v any, stack []byte) {
 		st.pe = &PanicError{Value: v, Stack: stack, Worker: w}
 	}
 	st.mu.Unlock()
-	st.stop.Store(true)
+	st.halt()
 }
 
 // watch mirrors ctx cancellation into the stop flag from a side
@@ -87,7 +104,7 @@ func (st *runState) watch(ctx context.Context) (finish func()) {
 	go func() {
 		select {
 		case <-ctx.Done():
-			st.stop.Store(true)
+			st.halt()
 		case <-quit:
 		}
 	}()
@@ -146,129 +163,10 @@ func RunChunkedE(ctx context.Context, policy Policy, p, tiles, minChunk int, fn 
 // RunChunkedOpts is RunChunkedE with the resilience extras: an optional
 // chaos injector armed at the tile-claim and worker-spawn seams, and an
 // optional stall watchdog (see RunOpts). The zero RunOpts reproduces
-// RunChunkedE exactly.
+// RunChunkedE exactly. A flat tile bag is the degenerate single-wave
+// plan, so this is a thin wrapper over the wave core (RunWavesOpts).
 func RunChunkedOpts(ctx context.Context, policy Policy, p, tiles int, opt RunOpts, fn func(worker, tile int)) error {
-	switch policy {
-	case Static, Dynamic, Guided:
-	default:
-		return fmt.Errorf("sched: unknown policy %d", policy)
-	}
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-	}
-	p = Workers(p)
-	if p > tiles {
-		p = tiles
-	}
-	minChunk := opt.MinChunk
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	var st runState
-	defer st.watch(ctx)()
-	defer st.watchStall(opt.StallTimeout, int64(tiles))()
-	inj := opt.Chaos
-	// tick counts completed tiles for the watchdog; without one the
-	// loops stay increment-free.
-	wd := opt.StallTimeout > 0
-
-	if p <= 1 {
-		st.guard(0, func() {
-			if st.injectSpawn(inj) {
-				return
-			}
-			for t := 0; t < tiles; t++ {
-				if st.stop.Load() || st.injectClaim(inj) {
-					return
-				}
-				fn(0, t)
-				if wd {
-					st.done.Add(1)
-				}
-			}
-		})
-		return st.err(ctx)
-	}
-
-	var wg sync.WaitGroup
-	wg.Add(p)
-	spawn := func(w int, loop func()) {
-		go func() {
-			defer wg.Done()
-			st.guard(w, func() {
-				if st.injectSpawn(inj) {
-					return
-				}
-				loop()
-			})
-		}()
-	}
-	switch policy {
-	case Static:
-		for w := 0; w < p; w++ {
-			w := w
-			spawn(w, func() {
-				for t := w; t < tiles; t += p {
-					if st.stop.Load() || st.injectClaim(inj) {
-						return
-					}
-					fn(w, t)
-					if wd {
-						st.done.Add(1)
-					}
-				}
-			})
-		}
-	case Dynamic:
-		var next atomic.Int64
-		for w := 0; w < p; w++ {
-			w := w
-			spawn(w, func() {
-				for {
-					if st.stop.Load() || st.injectClaim(inj) {
-						return
-					}
-					t := int(next.Add(1)) - 1
-					if t >= tiles {
-						return
-					}
-					fn(w, t)
-					if wd {
-						st.done.Add(1)
-					}
-				}
-			})
-		}
-	case Guided:
-		var next atomic.Int64
-		for w := 0; w < p; w++ {
-			w := w
-			spawn(w, func() {
-				for {
-					if st.stop.Load() {
-						return
-					}
-					lo, hi := claimGuided(&next, tiles, p, minChunk)
-					if lo >= hi {
-						return
-					}
-					for t := lo; t < hi; t++ {
-						if st.stop.Load() || st.injectClaim(inj) {
-							return
-						}
-						fn(w, t)
-						if wd {
-							st.done.Add(1)
-						}
-					}
-				}
-			})
-		}
-	}
-	wg.Wait()
-	return st.err(ctx)
+	return RunWavesOpts(ctx, policy, p, SingleWave(tiles), opt, fn)
 }
 
 // BlocksE is Blocks with panic containment and cooperative

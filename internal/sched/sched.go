@@ -13,6 +13,15 @@
 // 32768-tile end this cuts the per-tile atomic traffic that Dynamic
 // pays without giving up runtime balance.
 //
+// Tiles may carry dependencies: a WavePlan orders the tile space into
+// waves (levels of mutually independent tiles) separated by completion
+// barriers, and RunWaves/RunWavesE/RunWavesOpts execute such plans on a
+// single persistent worker pool that claims tiles within each wave
+// under the same three policies and crosses wave boundaries without
+// respawning goroutines. The flat tile bag is the degenerate
+// single-wave plan, so every entry point here is a thin wrapper over
+// the wave core in wave.go.
+//
 // The package also provides Blocks, a one-shot parallel-for over
 // contiguous index blocks, which the plan-construction phases (work
 // estimation, prefix sums, CSR assembly) use to spread their O(n)
@@ -52,8 +61,12 @@ func (p Policy) String() string {
 	}
 }
 
-// Workers returns the worker count to use: w if positive, otherwise
-// GOMAXPROCS (the paper pins one thread per core).
+// Workers resolves a requested worker count to the count a run will
+// actually use: w itself when positive, otherwise GOMAXPROCS at call
+// time (the paper pins one thread per core). The result is always at
+// least 1, so zero and negative requests are safe everywhere a worker
+// count is taken; entry points additionally clamp the result to the
+// available parallelism (tile count, or widest wave of a WavePlan).
 func Workers(w int) int {
 	if w > 0 {
 		return w
@@ -68,6 +81,7 @@ func Workers(w int) int {
 // When p == 1 the tiles run inline on the caller's goroutine, so
 // single-worker measurements carry no goroutine overhead. The Guided
 // policy runs with a chunk floor of 1; use RunChunked to raise it.
+// Non-positive tile counts run nothing; an unknown policy panics.
 func Run(policy Policy, p, tiles int, fn func(worker, tile int)) {
 	RunChunked(policy, p, tiles, 1, fn)
 }
@@ -75,67 +89,12 @@ func Run(policy Policy, p, tiles int, fn func(worker, tile int)) {
 // RunChunked is Run with an explicit chunk floor for the Guided policy:
 // a worker never claims fewer than minChunk tiles per atomic operation
 // (except the final, possibly partial, chunk). minChunk <= 0 means 1.
-// Static and Dynamic ignore minChunk.
+// Static and Dynamic ignore minChunk. A flat tile bag is the degenerate
+// single-wave plan, so this delegates to the wave core; a panic inside
+// fn is re-raised on the caller's goroutine with its original value.
 func RunChunked(policy Policy, p, tiles, minChunk int, fn func(worker, tile int)) {
-	p = Workers(p)
-	if p > tiles {
-		p = tiles
-	}
-	if p <= 1 {
-		for t := 0; t < tiles; t++ {
-			fn(0, t)
-		}
-		return
-	}
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	switch policy {
-	case Static:
-		for w := 0; w < p; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for t := w; t < tiles; t += p {
-					fn(w, t)
-				}
-			}(w)
-		}
-	case Dynamic:
-		var next atomic.Int64
-		for w := 0; w < p; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for {
-					t := int(next.Add(1)) - 1
-					if t >= tiles {
-						return
-					}
-					fn(w, t)
-				}
-			}(w)
-		}
-	case Guided:
-		var next atomic.Int64
-		for w := 0; w < p; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for {
-					lo, hi := claimGuided(&next, tiles, p, minChunk)
-					if lo >= hi {
-						return
-					}
-					for t := lo; t < hi; t++ {
-						fn(w, t)
-					}
-				}
-			}(w)
-		}
-	default:
-		panic("sched: unknown policy")
-	}
-	wg.Wait()
+	mustPolicy(policy)
+	mustRun(RunWavesOpts(nil, policy, p, SingleWave(tiles), RunOpts{MinChunk: minChunk}, fn))
 }
 
 // claimGuided reserves the next guided chunk [lo, hi): remaining/p tiles,
@@ -144,23 +103,7 @@ func RunChunked(policy Policy, p, tiles, minChunk int, fn func(worker, tile int)
 //
 //spgemm:hotpath
 func claimGuided(next *atomic.Int64, tiles, p, minChunk int) (lo, hi int) {
-	for {
-		cur := next.Load()
-		if cur >= int64(tiles) {
-			return tiles, tiles
-		}
-		rem := int64(tiles) - cur
-		c := rem / int64(p)
-		if c < int64(minChunk) {
-			c = int64(minChunk)
-		}
-		if c > rem {
-			c = rem
-		}
-		if next.CompareAndSwap(cur, cur+c) {
-			return int(cur), int(cur + c)
-		}
-	}
+	return claimGuidedRange(next, tiles, p, minChunk)
 }
 
 // GuidedChunk returns the chunk size a guided claim takes when rem tiles
@@ -190,8 +133,12 @@ func GuidedChunk(rem, p, minChunk int) int {
 // Block boundaries are deterministic (n*w/p), so repeated calls with the
 // same (p, n) see identical blocks — the two passes of a parallel prefix
 // sum rely on this. When p <= 1 the single block runs inline on the
-// caller's goroutine.
+// caller's goroutine. Non-positive n runs nothing, matching
+// Run/RunChunked's treatment of non-positive tile counts.
 func Blocks(p, n int, fn func(worker, lo, hi int)) {
+	if n < 0 {
+		n = 0
+	}
 	p = Workers(p)
 	if p > n {
 		p = n
@@ -213,6 +160,11 @@ func Blocks(p, n int, fn func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
-// StaticOwner returns the worker that owns tile t under the static
-// policy with p workers — exposed so tests can verify assignment.
+// StaticOwner returns the worker id that owns tile t under the Static
+// policy with p workers: t mod p, the round-robin assignment decided
+// before execution. The invariant holds across wave boundaries too —
+// the wave executor offsets each worker's first tile within a wave so
+// global ownership never shifts. p must be positive (the clamped worker
+// count an entry point actually ran with, not the raw request).
+// Exposed so tests can verify assignment.
 func StaticOwner(t, p int) int { return t % p }

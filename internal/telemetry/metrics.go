@@ -33,6 +33,8 @@ var RequiredSeries = []string{
 	"spgemm_pool_hits_total",
 	"spgemm_plan_cache_hits_total",
 	"spgemm_retry_attempts_total",
+	"spgemm_waves_total",
+	"spgemm_wave_barriers_total",
 	"spgemm_flightrec_events_total",
 }
 
@@ -127,6 +129,15 @@ func (t *Telemetry) WriteMetrics(w io.Writer) error {
 	counter("spgemm_recal_explorations_total", "Recalibrator exploration steps.", stats.Recal.Explorations)
 	counter("spgemm_recal_recenters_total", "Recalibrator recenters.", stats.Recal.Recenters)
 	counter("spgemm_recal_snapbacks_total", "Recalibrator snapbacks to the static default.", stats.Recal.Snapbacks)
+	counter("spgemm_wave_runs_total", "Wave-scheduled (level-set) runs.", stats.Sched.WaveRuns)
+	counter("spgemm_wave_levels_total", "Raw dependency levels before wave coarsening.", stats.Sched.Levels)
+	counter("spgemm_waves_total", "Coarsened waves executed.", stats.Sched.Waves)
+	counter("spgemm_serial_waves_total", "Waves the coarsener collapsed to a single tile.", stats.Sched.SerialWaves)
+	counter("spgemm_wave_barriers_total", "Barrier arrivals (one per worker per crossed wave boundary).", stats.Sched.Barriers)
+
+	m.header("spgemm_wave_barrier_wait_seconds_total",
+		"Cumulative time workers spent parked at wave barriers.", "counter")
+	m.printf("spgemm_wave_barrier_wait_seconds_total %s\n", formatSeconds(stats.Sched.BarrierWaitNs))
 
 	m.header("spgemm_kappa_last", "Most recently applied kappa (0 when adaptive tuning is off).", "gauge")
 	m.printf("spgemm_kappa_last %s\n", strconv.FormatFloat(stats.Recal.KappaLast, 'g', -1, 64))

@@ -207,6 +207,16 @@ func (t *Telemetry) aggregateStats() obs.Stats {
 		if s.Recal.KappaLast != 0 {
 			sum.Recal.KappaLast = s.Recal.KappaLast
 		}
+		sum.Sched.WaveRuns += s.Sched.WaveRuns
+		sum.Sched.Levels += s.Sched.Levels
+		sum.Sched.Waves += s.Sched.Waves
+		sum.Sched.SerialWaves += s.Sched.SerialWaves
+		sum.Sched.Barriers += s.Sched.Barriers
+		sum.Sched.BarrierWaitNs += s.Sched.BarrierWaitNs
+		for i := range sum.Sched.WaveTiles {
+			sum.Sched.WaveTiles[i] += s.Sched.WaveTiles[i]
+			sum.Sched.WaveFlops[i] += s.Sched.WaveFlops[i]
+		}
 	}
 	return sum
 }

@@ -42,6 +42,14 @@ var (
 	// carries a *StallError with the progress count and the stacks of
 	// every goroutine at verdict time.
 	ErrStalled = core.ErrStalled
+	// ErrSingular marks a triangular solve whose operand has a
+	// structurally missing or numerically zero diagonal entry on a
+	// solved row; the message names the row.
+	ErrSingular = core.ErrSingular
+	// ErrNotTriangular marks a triangular solve whose operand has an
+	// in-mask entry on the wrong side of the diagonal for the selected
+	// triangle.
+	ErrNotTriangular = core.ErrNotTriangular
 )
 
 // PanicError is the typed capture of a contained kernel panic:

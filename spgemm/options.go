@@ -92,6 +92,11 @@ type Options struct {
 	Tiling TilingStrategy
 	// Schedule policy. Default SchedDynamic.
 	Schedule Schedule
+	// LevelSchedule selects how TRSV executes its dependency levels:
+	// LevelAuto (default) predicts waves vs. serial from the operand
+	// structure, LevelWaves forces the coarsened wave schedule,
+	// LevelSerial forces the substitution loop. Ignored by MxM.
+	LevelSchedule LevelSchedule
 	// Workers is the goroutine pool size; 0 = GOMAXPROCS.
 	Workers int
 	// PlanWorkers is the goroutine count for plan construction and

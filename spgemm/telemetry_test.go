@@ -266,3 +266,54 @@ func TestTelemetryManualDump(t *testing.T) {
 		t.Fatalf("manual dump not forced:\n%s", data)
 	}
 }
+
+// TestTelemetryWaveCounters checks that level-scheduled solves surface
+// in /metrics: the wave families are present unconditionally (zero on a
+// multiply-only workload) and agree with the recorder after a TRSV.
+func TestTelemetryWaveCounters(t *testing.T) {
+	tel := NewTelemetry(TelemetryConfig{
+		FlightPath: filepath.Join(t.TempDir(), "flight.json"),
+	})
+	eng := NewEngine(EngineConfig{Telemetry: tel})
+
+	// Before any solve the families exist with value zero.
+	pre := scrapeMetrics(t, tel)
+	if missing := telemetry.MissingSeries(pre, []string{
+		"spgemm_wave_runs_total", "spgemm_waves_total", "spgemm_serial_waves_total",
+		"spgemm_wave_barriers_total", "spgemm_wave_barrier_wait_seconds_total",
+	}); len(missing) > 0 {
+		t.Fatalf("wave families missing before any solve: %v", missing)
+	}
+	if s, _ := telemetry.FindSample(pre, "spgemm_wave_runs_total"); s.Value != 0 {
+		t.Fatalf("wave runs before any solve = %v, want 0", s.Value)
+	}
+
+	l := triMatrix(t, 300, true, 5)
+	stats := NewStatsRecorder()
+	opts := Defaults()
+	opts.LevelSchedule = LevelWaves
+	opts.Workers = 4
+	opts.Engine = eng
+	opts.Stats = stats
+	if _, err := TRSV(l, rhs(300), TriLower, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	samples := scrapeMetrics(t, tel)
+	st := stats.Stats()
+	if st.Sched.WaveRuns != 1 {
+		t.Fatalf("stats/v1 wave runs = %d, want 1", st.Sched.WaveRuns)
+	}
+	runs, _ := telemetry.FindSample(samples, "spgemm_wave_runs_total")
+	if runs.Value != float64(st.Sched.WaveRuns) {
+		t.Fatalf("spgemm_wave_runs_total = %v, stats/v1 = %d", runs.Value, st.Sched.WaveRuns)
+	}
+	waves, _ := telemetry.FindSample(samples, "spgemm_waves_total")
+	if waves.Value != float64(st.Sched.Waves) || waves.Value < 1 {
+		t.Fatalf("spgemm_waves_total = %v, stats/v1 = %d", waves.Value, st.Sched.Waves)
+	}
+	barriers, _ := telemetry.FindSample(samples, "spgemm_wave_barriers_total")
+	if barriers.Value != float64(st.Sched.Barriers) {
+		t.Fatalf("spgemm_wave_barriers_total = %v, stats/v1 = %d", barriers.Value, st.Sched.Barriers)
+	}
+}
